@@ -1,0 +1,81 @@
+// Command rvasm assembles an RV32GC assembler source into a RISC-V ELF32
+// executable (the per-platform compilation step of the compliance flow).
+//
+// Example:
+//
+//	rvasm -o test.elf -D RVTEST_FP test.S
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rvnegtest/internal/asm"
+	"rvnegtest/internal/elf"
+	"rvnegtest/internal/template"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "a.out", "output ELF file")
+		textBase = flag.Uint("text", uint(template.DefaultLayout.TextBase), "text section base address")
+		dataBase = flag.Uint("data", uint(template.DefaultLayout.DataBase), "data section base address")
+		defines  defineList
+		listSyms = flag.Bool("symbols", false, "print the symbol table")
+	)
+	flag.Var(&defines, "D", "define a symbol for .ifdef (repeatable; NAME or NAME=VALUE)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rvasm [flags] input.S")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	prog, err := asm.Assemble(string(src), asm.Options{
+		TextBase: uint32(*textBase),
+		DataBase: uint32(*dataBase),
+		Defines:  defines.m,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	img := elf.FromProgram(prog)
+	if err := os.WriteFile(*out, img.Write(), 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("%s: text %d bytes at %#x, data %d bytes at %#x, entry %#x\n",
+		*out, len(prog.Text.Data), prog.Text.Addr, len(prog.Data.Data), prog.Data.Addr, prog.Entry)
+	if *listSyms {
+		for name, addr := range prog.Symbols {
+			fmt.Printf("%08x %s\n", addr, name)
+		}
+	}
+}
+
+type defineList struct{ m map[string]int64 }
+
+func (d *defineList) String() string { return fmt.Sprint(d.m) }
+
+func (d *defineList) Set(s string) error {
+	if d.m == nil {
+		d.m = map[string]int64{}
+	}
+	name, val, has := strings.Cut(s, "=")
+	v := int64(1)
+	if has {
+		if _, err := fmt.Sscanf(val, "%d", &v); err != nil {
+			return fmt.Errorf("bad define value %q", val)
+		}
+	}
+	d.m[name] = v
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rvasm: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,218 @@
+// Command rvcompliance runs Phase B: compliance testing of the simulator
+// models against the reference simulator, reproducing Table I of the
+// paper.
+//
+// Examples:
+//
+//	rvcompliance -generate 1000000            # fuzz a suite, then test
+//	rvcompliance -suite suite.txt -bugs       # use a saved suite
+//	rvcompliance -ref reference -sims Spike   # custom comparison
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rvnegtest"
+	"rvnegtest/internal/compliance"
+	"rvnegtest/internal/isa"
+	"rvnegtest/internal/sim"
+	"rvnegtest/internal/torture"
+)
+
+func main() {
+	var (
+		suitePath = flag.String("suite", "", "saved suite file (from rvfuzz -out)")
+		generate  = flag.Uint64("generate", 0, "generate a suite with this many fuzzer executions first")
+		seconds   = flag.Float64("seconds", 0, "wall-time budget for generation")
+		seed      = flag.Int64("seed", 1, "fuzzer seed for -generate")
+		cov       = flag.String("cov", "v3", "coverage configuration for -generate")
+		refName   = flag.String("ref", "riscvOVPsim", "reference simulator")
+		simsFlag  = flag.String("sims", "Spike,VP,sail-riscv,GRIFT", "simulators under test (comma separated)")
+		isasFlag  = flag.String("isa", "RV32I,RV32IMC,RV32GC", "ISA configurations (comma separated)")
+		bugs      = flag.Bool("bugs", false, "print the mismatch-category breakdown per simulator")
+		examples  = flag.Bool("examples", false, "print example mismatching test cases per cell")
+		positive  = flag.Bool("positive", false, "use the official-style directed positive suite (per configuration)")
+		tortureN  = flag.Int("torture", 0, "use a torture-style positive baseline suite with N cases per configuration")
+		rounds    = flag.Int("continuous", 0, "continuous mode: repeat generate+compare for N rounds with fresh seeds")
+		exportDir = flag.String("export-sigs", "", "write the reference signatures for the suite into this directory and exit")
+		verifyDir = flag.String("verify-sigs", "", "compare simulators against reference signature files in this directory")
+		asJSON    = flag.Bool("json", false, "emit the report as JSON (for CI pipelines)")
+	)
+	flag.Parse()
+
+	if *positive || *tortureN > 0 {
+		runPositiveBaseline(*positive, *tortureN, *seed, *isasFlag, *refName, *simsFlag)
+		return
+	}
+	if *rounds > 0 {
+		runContinuous(*rounds, *generate, *seed, *cov)
+		return
+	}
+
+	var suite *rvnegtest.Suite
+	switch {
+	case *suitePath != "":
+		var err error
+		suite, err = rvnegtest.LoadSuite(*suitePath)
+		if err != nil {
+			fatalf("loading suite: %v", err)
+		}
+	case *generate > 0 || *seconds > 0:
+		cfg := rvnegtest.DefaultFuzzConfig()
+		var ok bool
+		if cfg, ok = rvnegtest.CoverageConfig(cfg, *cov); !ok {
+			fatalf("unknown coverage configuration %q", *cov)
+		}
+		cfg.Seed = *seed
+		var st rvnegtest.FuzzStats
+		var err error
+		suite, st, err = rvnegtest.GenerateSuite(cfg, *generate, time.Duration(*seconds*float64(time.Second)))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("generated %d test cases from %d executions (%.0f/s)\n\n",
+			st.TestCases, st.Execs, st.ExecsPerSec)
+	default:
+		fatalf("need -suite FILE or -generate N")
+	}
+
+	runner := &compliance.Runner{MaxExamples: 10}
+	ref, ok := sim.ByName(*refName)
+	if !ok {
+		fatalf("unknown reference simulator %q", *refName)
+	}
+	runner.Ref = ref
+	for _, name := range strings.Split(*simsFlag, ",") {
+		v, ok := sim.ByName(strings.TrimSpace(name))
+		if !ok {
+			fatalf("unknown simulator %q", name)
+		}
+		runner.SUTs = append(runner.SUTs, v)
+	}
+	for _, name := range strings.Split(*isasFlag, ",") {
+		cfg, err := isa.ParseConfig(strings.TrimSpace(name))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		runner.Configs = append(runner.Configs, cfg)
+	}
+
+	if *exportDir != "" {
+		for _, cfg := range runner.Configs {
+			if err := compliance.ExportReferenceSignatures(suite, runner.Ref, cfg, *exportDir, nil); err != nil {
+				fatalf("exporting signatures: %v", err)
+			}
+		}
+		fmt.Printf("reference signatures for %d cases written under %s\n", len(suite.Cases), *exportDir)
+		return
+	}
+	if *verifyDir != "" {
+		for _, cfg := range runner.Configs {
+			for _, v := range runner.SUTs {
+				cell, err := compliance.VerifyAgainstSignatures(suite, v, cfg, *verifyDir)
+				if err != nil {
+					fatalf("verifying: %v", err)
+				}
+				fmt.Printf("%-8v %-12s %s\n", cfg, v.Name, cell)
+			}
+		}
+		return
+	}
+
+	rep, err := runner.Run(suite)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *asJSON {
+		raw, err := rep.JSON()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("%s\n", raw)
+		return
+	}
+	fmt.Print(rep.Render())
+	if *bugs {
+		fmt.Println("\nFindings by mismatch category:")
+		fmt.Print(rep.BugFindings())
+	}
+	if *examples {
+		fmt.Println("\nExample mismatching cases (bytestreams, hex):")
+		for i, cfg := range rep.Configs {
+			for j, name := range rep.Sims {
+				c := rep.Cells[i][j]
+				for _, idx := range c.Examples {
+					fmt.Printf("  %v %s case %d: %x\n", cfg, name, idx, suite.Cases[idx])
+				}
+			}
+		}
+	}
+}
+
+// runPositiveBaseline runs positive-testing suites (the official-style
+// directed suite or the torture-style random baseline) per configuration —
+// these are per-extension suites, so each configuration gets its own.
+func runPositiveBaseline(official bool, tortureN int, seed int64, isas, refName, sims string) {
+	for _, name := range strings.Split(isas, ",") {
+		cfg, err := isa.ParseConfig(strings.TrimSpace(name))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var suite *rvnegtest.Suite
+		if official {
+			suite = rvnegtest.OfficialStyleSuite(cfg)
+		} else {
+			suite = torture.Suite(seed, cfg, tortureN, 16)
+		}
+		runner := &compliance.Runner{Configs: []isa.Config{cfg}, MaxExamples: 10}
+		ref, ok := sim.ByName(refName)
+		if !ok {
+			fatalf("unknown reference %q", refName)
+		}
+		runner.Ref = ref
+		for _, s := range strings.Split(sims, ",") {
+			v, ok := sim.ByName(strings.TrimSpace(s))
+			if !ok {
+				fatalf("unknown simulator %q", s)
+			}
+			runner.SUTs = append(runner.SUTs, v)
+		}
+		rep, err := runner.Run(suite)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("suite: %s\n%s\n", suite.Origin, rep.Render())
+	}
+}
+
+// runContinuous repeats the generate+compare pipeline with fresh seeds.
+func runContinuous(rounds int, execs uint64, seed int64, cov string) {
+	if execs == 0 {
+		execs = 100000
+	}
+	cfg := rvnegtest.DefaultFuzzConfig()
+	var ok bool
+	if cfg, ok = rvnegtest.CoverageConfig(cfg, cov); !ok {
+		fatalf("unknown coverage configuration %q", cov)
+	}
+	cfg.Seed = seed
+	res, err := rvnegtest.Continuous(cfg, rounds, execs, nil)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("continuous negative testing: %d rounds x %d executions\n", rounds, execs)
+	for i, r := range res.Rounds {
+		fmt.Printf("round %d (seed %d): %d test cases, %d new findings\n",
+			i+1, r.Seed, r.TestCases, r.NewFindings)
+	}
+	fmt.Printf("distinct findings overall: %d\n\nfinal round:\n%s", res.Distinct, res.Last.Render())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rvcompliance: "+format+"\n", args...)
+	os.Exit(1)
+}

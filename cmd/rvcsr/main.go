@@ -1,0 +1,97 @@
+// Command rvcsr runs the fine-grained CSR compliance tests of the paper's
+// section VI proposal: per-CSR directed tests selected dynamically by the
+// target platform's capabilities, compared under don't-care rules, with a
+// coverage metric over the (CSR, access-kind) surface.
+//
+// Examples:
+//
+//	rvcsr -isa RV32GC                       # all simulators, full platform
+//	rvcsr -isa RV32I -hardwired-counters    # capability selection in action
+//	rvcsr -coverage                         # print the coverage metric
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"rvnegtest/internal/csrtest"
+	"rvnegtest/internal/isa"
+	"rvnegtest/internal/sim"
+	"rvnegtest/internal/template"
+)
+
+func main() {
+	var (
+		isaName   = flag.String("isa", "RV32GC", "ISA configuration")
+		hardwired = flag.Bool("hardwired-counters", false, "platform hardwires mcycle/minstret to zero")
+		covOnly   = flag.Bool("coverage", false, "print the CSR coverage metric and exit")
+		verbose   = flag.Bool("v", false, "print per-test results even when passing")
+	)
+	flag.Parse()
+
+	cfg, err := isa.ParseConfig(*isaName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	tests := csrtest.Suite(cfg)
+
+	if *covOnly {
+		covered, total, detail := csrtest.Coverage(tests, cfg)
+		fmt.Printf("CSR coverage for %v: %d/%d (CSR, access) points\n", cfg, covered, total)
+		var keys []string
+		for k := range detail {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %s\n", k)
+		}
+		return
+	}
+
+	p := template.Platform{Layout: template.DefaultLayout, Cfg: cfg, CountersHardwired: *hardwired}
+	caps := csrtest.Caps(p)
+	fmt.Printf("platform: %v, capabilities: counters=%v fpu=%v\n", cfg,
+		caps&csrtest.CapCounters != 0, caps&csrtest.CapFPU != 0)
+	fmt.Printf("suite: %d tests, %d selected for this platform\n\n",
+		len(tests), len(csrtest.Select(tests, caps)))
+
+	fail := false
+	for _, v := range sim.All {
+		if !v.Supports(cfg) {
+			fmt.Printf("%-12s /\n", v.Name)
+			continue
+		}
+		results, err := csrtest.Run(v, p, tests)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		passed, skipped, failed := 0, 0, 0
+		for _, r := range results {
+			switch {
+			case r.Skipped:
+				skipped++
+			case r.Crashed || r.TimedOut || len(r.Mismatch) > 0:
+				failed++
+				fail = true
+				fmt.Printf("%-12s FAIL %s (%+v)\n", v.Name, r.Test, r)
+			default:
+				passed++
+				if *verbose {
+					fmt.Printf("%-12s pass %s\n", v.Name, r.Test)
+				}
+			}
+		}
+		fmt.Printf("%-12s %d passed, %d skipped (capability), %d failed\n", v.Name, passed, skipped, failed)
+	}
+	if fail {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rvcsr: "+format+"\n", args...)
+	os.Exit(1)
+}

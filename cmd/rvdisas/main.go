@@ -1,0 +1,87 @@
+// Command rvdisas disassembles RV32GC machine code: raw hex words from the
+// command line, or the text segment of an ELF file.
+//
+// Examples:
+//
+//	rvdisas 00310093 005201b3
+//	rvdisas -elf test.elf
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+
+	"rvnegtest/internal/elf"
+	"rvnegtest/internal/isa"
+)
+
+func main() {
+	elfPath := flag.String("elf", "", "disassemble this ELF file's executable segments")
+	flag.Parse()
+
+	if *elfPath != "" {
+		raw, err := os.ReadFile(*elfPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		img, err := elf.Parse(raw)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, seg := range img.Segments {
+			if seg.Flags&0x1 == 0 { // not executable
+				continue
+			}
+			disasm(seg.Addr, seg.Data)
+		}
+		return
+	}
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: rvdisas [-elf FILE] [hexword ...]")
+		os.Exit(2)
+	}
+	var buf []byte
+	for _, arg := range flag.Args() {
+		b, err := hex.DecodeString(arg)
+		if err != nil {
+			fatalf("bad hex %q: %v", arg, err)
+		}
+		// Hex words on the command line are big-endian human notation;
+		// flip to memory order.
+		for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+			b[i], b[j] = b[j], b[i]
+		}
+		buf = append(buf, b...)
+	}
+	disasm(0, buf)
+}
+
+func disasm(addr uint32, code []byte) {
+	for pc := 0; pc+2 <= len(code); {
+		lo := uint16(code[pc]) | uint16(code[pc+1])<<8
+		var inst isa.Inst
+		if lo&3 == 3 {
+			if pc+4 > len(code) {
+				break
+			}
+			w := uint32(lo) | uint32(code[pc+2])<<16 | uint32(code[pc+3])<<24
+			inst = isa.Ref.Decode32(w)
+		} else {
+			inst = isa.Ref.DecodeC(lo)
+		}
+		if inst.Size == 2 {
+			fmt.Printf("%08x:     %04x  %s\n", addr+uint32(pc), inst.Raw, isa.Disasm(inst))
+		} else {
+			fmt.Printf("%08x: %08x  %s\n", addr+uint32(pc), inst.Raw, isa.Disasm(inst))
+		}
+		pc += int(inst.Size)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rvdisas: "+format+"\n", args...)
+	os.Exit(1)
+}

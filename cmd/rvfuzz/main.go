@@ -1,0 +1,162 @@
+// Command rvfuzz runs Phase A of the pipeline: fuzzer-based generation of
+// a RISC-V compliance test suite (negative-testing oriented), with the
+// paper's coverage configurations v0..v3.
+//
+// Examples:
+//
+//	rvfuzz -cov v3 -execs 1000000 -out suite.txt
+//	rvfuzz -fig4 -execs 200000            # growth-curve experiment
+//	rvfuzz -cov v1 -seconds 30 -asm-dir suite-asm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rvnegtest"
+	"rvnegtest/internal/compliance"
+	"rvnegtest/internal/fuzz"
+	"rvnegtest/internal/template"
+)
+
+func main() {
+	var (
+		cov       = flag.String("cov", "v3", "coverage configuration: v0|v1|v2|v3")
+		execs     = flag.Uint64("execs", 0, "execution budget (0 = unbounded)")
+		seconds   = flag.Float64("seconds", 0, "wall-time budget (0 = unbounded)")
+		seed      = flag.Int64("seed", 1, "fuzzer seed")
+		isaName   = flag.String("isa", "RV32GC", "foundation simulator ISA configuration")
+		out       = flag.String("out", "", "write the generated suite to this file")
+		asmDir    = flag.String("asm-dir", "", "export the suite as assembler sources into this directory")
+		fig4      = flag.Bool("fig4", false, "run the Fig. 4 experiment (all four coverage configurations)")
+		noMut     = flag.Bool("no-custom-mutator", false, "ablation: disable the instruction-aware mutator")
+		noFlt     = flag.Bool("no-filter", false, "ablation: disable the static filter")
+		workers   = flag.Int("workers", 1, "parallel fuzzer workers (corpora are merged and minimized)")
+		minimize  = flag.Bool("minimize", false, "minimize the suite to coverage-unique cases before saving")
+		seedSuite = flag.String("seed-suite", "", "seed the campaign with a previously generated suite")
+		stats     = flag.Bool("stats", false, "print the generated suite's composition statistics")
+	)
+	flag.Parse()
+	if *execs == 0 && *seconds == 0 {
+		*execs = 200000
+	}
+	dur := time.Duration(*seconds * float64(time.Second))
+
+	if *fig4 {
+		runFig4(*execs, dur, *seed)
+		return
+	}
+
+	cfg := rvnegtest.DefaultFuzzConfig()
+	var ok bool
+	if cfg, ok = rvnegtest.CoverageConfig(cfg, *cov); !ok {
+		fatalf("unknown coverage configuration %q", *cov)
+	}
+	isaCfg, err := rvnegtest.ParseISA(*isaName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg.ISA = isaCfg
+	cfg.Seed = *seed
+	cfg.DisableCustomMutator = *noMut
+	cfg.DisableFilter = *noFlt
+	if *seedSuite != "" {
+		prior, err := rvnegtest.LoadSuite(*seedSuite)
+		if err != nil {
+			fatalf("loading seed suite: %v", err)
+		}
+		cfg.Seeds = prior.Cases
+		fmt.Printf("seeded with %d prior test cases\n", len(prior.Cases))
+	}
+
+	var suite *rvnegtest.Suite
+	if *workers > 1 {
+		if *execs == 0 {
+			fatalf("-workers needs -execs (the per-worker budget)")
+		}
+		cases, stats, err := fuzz.ParallelCampaign(cfg, *workers, *execs)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var totalExecs uint64
+		for _, s := range stats {
+			totalExecs += s.Execs
+		}
+		suite = &rvnegtest.Suite{
+			Cases:  cases,
+			Origin: fmt.Sprintf("parallel fuzzer workers=%d seed=%d execs=%d", *workers, *seed, totalExecs),
+		}
+		fmt.Printf("configuration %s on %v (seed %d, %d workers)\n", *cov, isaCfg, *seed, *workers)
+		fmt.Printf("executions:     %d total\n", totalExecs)
+		fmt.Printf("test cases:     %d (merged + minimized)\n", len(cases))
+	} else {
+		var st rvnegtest.FuzzStats
+		suite, st, err = rvnegtest.GenerateSuite(cfg, *execs, dur)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("configuration %s on %v (seed %d)\n", *cov, isaCfg, *seed)
+		fmt.Printf("executions:     %d (%.0f/s)\n", st.Execs, st.ExecsPerSec)
+		fmt.Printf("filtered out:   %d (%.1f%%)\n", st.Dropped, pct(st.Dropped, st.Execs))
+		fmt.Printf("test cases:     %d\n", st.TestCases)
+		fmt.Printf("coverage:       %d bucket bits over %d points\n", st.CovBits, st.CovPoints)
+		if st.Crashes+st.Timeouts > 0 {
+			fmt.Printf("crashes: %d, timeouts: %d\n", st.Crashes, st.Timeouts)
+		}
+		if *minimize {
+			min, err := fuzz.Minimize(suite.Cases, cfg)
+			if err != nil {
+				fatalf("minimizing: %v", err)
+			}
+			fmt.Printf("minimized:      %d -> %d cases\n", len(suite.Cases), len(min))
+			suite.Cases = min
+		}
+	}
+	if *stats {
+		fmt.Print(compliance.AnalyzeSuite(suite))
+	}
+	if *out != "" {
+		if err := suite.Save(*out); err != nil {
+			fatalf("saving suite: %v", err)
+		}
+		fmt.Printf("suite written to %s\n", *out)
+	}
+	if *asmDir != "" {
+		if err := suite.WriteASM(*asmDir, template.DefaultLayout); err != nil {
+			fatalf("exporting ASM: %v", err)
+		}
+		fmt.Printf("assembler sources written to %s\n", *asmDir)
+	}
+}
+
+func runFig4(execs uint64, dur time.Duration, seed int64) {
+	results, err := rvnegtest.GrowthExperiment(execs, dur, seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Println("# Fig. 4: number of generated test cases vs fuzzer executions")
+	for _, r := range results {
+		fmt.Printf("# %s: number test-cases=%d (execs=%d, %.0f exec/s, %d cov points)\n",
+			r.Name, r.Stats.TestCases, r.Stats.Execs, r.Stats.ExecsPerSec, r.Stats.CovPoints)
+	}
+	fmt.Println("# columns: config execs testcases")
+	for _, r := range results {
+		for _, p := range r.Stats.Trace {
+			fmt.Printf("%s %d %d\n", r.Name, p.Execs, p.TestCases)
+		}
+	}
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rvfuzz: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Coveragecampaign reproduces the shape of the paper's Fig. 4 at laptop
+// scale: the four coverage configurations v0..v3 fuzz with an identical
+// execution budget, and the test-case growth curves are printed as an
+// ASCII chart (note the logarithmic execution axis, as in the paper).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"rvnegtest"
+)
+
+const budget = 150000
+
+func main() {
+	results, err := rvnegtest.GrowthExperiment(budget, 0, 2020)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Fuzzer execution information for different settings (%d executions)\n\n", budget)
+	maxCases := 0
+	for _, r := range results {
+		if r.Stats.TestCases > maxCases {
+			maxCases = r.Stats.TestCases
+		}
+	}
+
+	// Sample each curve on a logarithmic execution grid.
+	const cols = 64
+	grid := make([]uint64, cols)
+	for i := range grid {
+		grid[i] = uint64(math.Pow(float64(budget), float64(i+1)/cols))
+	}
+	for ri := len(results) - 1; ri >= 0; ri-- {
+		r := results[ri]
+		fmt.Printf("%s: number test-cases=%d (%.0f exec/s, %d coverage points)\n",
+			r.Name, r.Stats.TestCases, r.Stats.ExecsPerSec, r.Stats.CovPoints)
+	}
+	fmt.Println("\ntest cases vs executions (log scale on x):")
+	const rows = 16
+	chart := make([][]byte, rows)
+	for i := range chart {
+		chart[i] = []byte(strings.Repeat(" ", cols))
+	}
+	for ri, r := range results {
+		mark := byte('0' + ri) // '0' for v0 ... '3' for v3
+		ci := 0
+		cases := 0
+		for _, p := range r.Stats.Trace {
+			for ci < cols && grid[ci] < p.Execs {
+				plot(chart, ci, cases, maxCases, rows, mark)
+				ci++
+			}
+			cases = p.TestCases
+		}
+		for ; ci < cols; ci++ {
+			plot(chart, ci, cases, maxCases, rows, mark)
+		}
+	}
+	for i := rows - 1; i >= 0; i-- {
+		label := ""
+		if i == rows-1 {
+			label = fmt.Sprintf("%6d", maxCases)
+		} else if i == 0 {
+			label = fmt.Sprintf("%6d", 0)
+		} else {
+			label = strings.Repeat(" ", 6)
+		}
+		fmt.Printf("%s |%s\n", label, chart[i])
+	}
+	fmt.Printf("%s +%s\n", strings.Repeat(" ", 6), strings.Repeat("-", cols))
+	fmt.Printf("%s  1%sexecutions (log)%s%d\n", strings.Repeat(" ", 6),
+		strings.Repeat(" ", cols/2-10), strings.Repeat(" ", cols/2-12), budget)
+	fmt.Println("\ncurves: 0=v0 (code cov)  1=v1 (+rules)  2=v2 (+hash 4096)  3=v3 (+hash 16384)")
+}
+
+func plot(chart [][]byte, col, cases, maxCases, rows int, mark byte) {
+	if maxCases == 0 {
+		return
+	}
+	row := cases * (rows - 1) / maxCases
+	chart[row][col] = mark
+}

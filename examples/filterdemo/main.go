@@ -1,0 +1,71 @@
+// Filterdemo walks the exact example of the paper's Fig. 2 through the
+// static-analysis filter: an 8-instruction bytestream whose three
+// control-flow paths are all accepted, although it contains a forbidden
+// WFI and an instruction dirtying x30 — both unreachable. It then shows
+// nearby variants that the filter rejects, with the drop reason.
+package main
+
+import (
+	"fmt"
+
+	"rvnegtest/internal/filter"
+	"rvnegtest/internal/isa"
+)
+
+func words(ws ...uint32) []byte {
+	var out []byte
+	for _, w := range ws {
+		out = append(out, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	return out
+}
+
+func enc(i isa.Inst) uint32 { return isa.MustEncode(i) }
+
+func show(f *filter.Filter, name string, bs []byte) {
+	fmt.Printf("== %s ==\n", name)
+	for pc := 0; pc+4 <= len(bs); pc += 4 {
+		w := uint32(bs[pc]) | uint32(bs[pc+1])<<8 | uint32(bs[pc+2])<<16 | uint32(bs[pc+3])<<24
+		fmt.Printf("  %2d: %s\n", pc, isa.Disasm(isa.Ref.Decode32(w)))
+	}
+	fmt.Printf("  -> %v\n\n", f.Check(bs))
+}
+
+func main() {
+	f := &filter.Filter{}
+
+	fig2 := words(
+		enc(isa.Inst{Op: isa.OpADD, Rd: 31, Rs1: 2, Rs2: 3}),    //  0: marks x31 dirty
+		enc(isa.Inst{Op: isa.OpJAL, Rd: 2, Imm: 20}),            //  4: to 24; marks x2 dirty
+		enc(isa.Inst{Op: isa.OpWFI}),                            //  8: forbidden, but unreachable
+		enc(isa.Inst{Op: isa.OpADD, Rd: 30, Rs1: 2, Rs2: 3}),    // 12: would dirty x30; unreachable
+		enc(isa.Inst{Op: isa.OpBLT, Rs1: 30, Rs2: 31, Imm: 12}), // 16: fork to 28 and 20
+		0xffffffff, // 20: illegal -> path accepted
+		enc(isa.Inst{Op: isa.OpBEQ, Rs1: 1, Rs2: 2, Imm: -8}), // 24: fork to 16 and 28
+		enc(isa.Inst{Op: isa.OpLW, Rd: 5, Rs1: 30, Imm: -16}), // 28: needs x30 clean
+	)
+	show(f, "Fig. 2 program (accepted, 3 paths)", fig2)
+
+	// Variant 1: make the WFI reachable by removing the jump.
+	v1 := append([]byte(nil), fig2...)
+	copy(v1[4:], words(enc(isa.Inst{Op: isa.OpADDI, Rd: 2, Imm: 1})))
+	show(f, "variant: WFI reachable", v1)
+
+	// Variant 2: make the x30-dirtying ADD reachable before the LW.
+	v2 := words(
+		enc(isa.Inst{Op: isa.OpADD, Rd: 30, Rs1: 2, Rs2: 3}),
+		enc(isa.Inst{Op: isa.OpLW, Rd: 5, Rs1: 30, Imm: -16}),
+	)
+	show(f, "variant: dirty address register", v2)
+
+	// Variant 3: a backward branch that can loop.
+	v3 := words(
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Rs1: 1, Imm: 1}),
+		enc(isa.Inst{Op: isa.OpBEQ, Rs1: 0, Rs2: 0, Imm: -4}),
+	)
+	show(f, "variant: potential loop", v3)
+
+	// Variant 4: an unaligned load immediate.
+	v4 := words(enc(isa.Inst{Op: isa.OpLW, Rd: 5, Rs1: 30, Imm: 2}))
+	show(f, "variant: unaligned immediate", v4)
+}

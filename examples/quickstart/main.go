@@ -1,0 +1,34 @@
+// Quickstart: generate a small negative-testing compliance suite with the
+// coverage-guided fuzzer and run it across the modelled RISC-V simulators,
+// printing a Table-I style mismatch summary.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rvnegtest"
+)
+
+func main() {
+	// Phase A: fuzz a test suite (v3 coverage configuration, 100k
+	// executions — a laptop-scale version of the paper's 30-minute run).
+	cfg := rvnegtest.DefaultFuzzConfig()
+	cfg.Seed = 42
+	suite, stats, err := rvnegtest.GenerateSuite(cfg, 100000, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Phase A: %d executions (%.0f/s), %d dropped by the filter, %d test cases collected\n\n",
+		stats.Execs, stats.ExecsPerSec, stats.Dropped, stats.TestCases)
+
+	// Phase B: run the suite on every simulator under test, comparing
+	// signatures against the riscvOVPsim reference.
+	report, err := rvnegtest.RunCompliance(suite, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.Render())
+	fmt.Println("\nFindings by mismatch category:")
+	fmt.Print(report.BugFindings())
+}

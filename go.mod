@@ -1,0 +1,3 @@
+module rvnegtest
+
+go 1.22

@@ -1,0 +1,223 @@
+// Package asm implements a two-pass assembler for RV32GC assembly sources.
+// It plays the role of the GCC cross toolchain in the paper's compliance
+// flow: generated test cases are platform-independent assembler source
+// files that are assembled per target configuration, with conditional
+// assembly (.ifdef) standing in for compiler command-line defines such as
+// __riscv_fdiv.
+//
+// Supported syntax: labels, the full RV32GC mnemonic set (32-bit
+// encodings), common pseudo-instructions (li, la, mv, j, ret, csrr, ...),
+// data directives (.word/.half/.byte/.dword/.zero/.fill/.ascii/.asciz),
+// section control (.text/.data/.section), .align/.balign, .equ/.set,
+// conditionals (.ifdef/.ifndef/.else/.endif) and the %hi()/%lo()
+// relocation operators.
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Options configures one assembly run (one "platform").
+type Options struct {
+	// TextBase and DataBase are the load addresses of the two sections
+	// (the linker-script part of the compliance flow).
+	TextBase uint32
+	DataBase uint32
+	// Defines are the symbols visible to .ifdef, mirroring -D compiler
+	// flags. Values are usable in expressions.
+	Defines map[string]int64
+}
+
+// Section is a contiguous output region.
+type Section struct {
+	Name string
+	Addr uint32
+	Data []byte
+}
+
+// Program is the result of assembling a source file.
+type Program struct {
+	Text    Section
+	Data    Section
+	Symbols map[string]uint32
+	Entry   uint32
+}
+
+// Symbol returns a defined symbol's address.
+func (p *Program) Symbol(name string) (uint32, bool) {
+	v, ok := p.Symbols[name]
+	return v, ok
+}
+
+// Error is an assembly diagnostic with a source line number.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+// macro is a user-defined assembler macro (.macro/.endm).
+type macro struct {
+	name   string
+	params []string
+	body   []string
+}
+
+// assembler carries the state of one run.
+type assembler struct {
+	opts    Options
+	symbols map[string]int64 // labels and .equ values
+	defined map[string]bool
+
+	pass        int // 1 = sizing/labels, 2 = emission
+	sect        int // 0 = text, 1 = data
+	loc         [2]uint32
+	out         [2][]byte
+	condStk     []bool // .ifdef nesting; false = skipping
+	line        int
+	err         *Error
+	macros      map[string]*macro
+	collecting  *macro // non-nil while between .macro and .endm
+	expandDepth int
+}
+
+const (
+	sectText = 0
+	sectData = 1
+)
+
+// Assemble runs both passes over the source.
+func Assemble(src string, opts Options) (*Program, error) {
+	a := &assembler{opts: opts, symbols: map[string]int64{}, defined: map[string]bool{}}
+	for k, v := range opts.Defines {
+		a.symbols[k] = v
+		a.defined[k] = true
+	}
+	for pass := 1; pass <= 2; pass++ {
+		a.pass = pass
+		a.sect = sectText
+		a.loc = [2]uint32{opts.TextBase, opts.DataBase}
+		a.out = [2][]byte{}
+		a.condStk = a.condStk[:0]
+		a.macros = map[string]*macro{}
+		a.collecting = nil
+		lines := strings.Split(src, "\n")
+		for i, line := range lines {
+			a.line = i + 1
+			a.statement(line)
+			if a.err != nil {
+				return nil, a.err
+			}
+		}
+		if len(a.condStk) != 0 {
+			return nil, &Error{a.line, "unterminated .ifdef"}
+		}
+		if a.collecting != nil {
+			return nil, &Error{a.line, "unterminated .macro " + a.collecting.name}
+		}
+	}
+	p := &Program{
+		Text:    Section{Name: ".text", Addr: opts.TextBase, Data: a.out[sectText]},
+		Data:    Section{Name: ".data", Addr: opts.DataBase, Data: a.out[sectData]},
+		Symbols: map[string]uint32{},
+		Entry:   opts.TextBase,
+	}
+	for k, v := range a.symbols {
+		p.Symbols[k] = uint32(v)
+	}
+	if start, ok := a.symbols["_start"]; ok {
+		p.Entry = uint32(start)
+	}
+	return p, nil
+}
+
+func (a *assembler) fail(format string, args ...any) {
+	if a.err == nil {
+		a.err = &Error{a.line, fmt.Sprintf(format, args...)}
+	}
+}
+
+// skipping reports whether the current conditional block is inactive.
+func (a *assembler) skipping() bool {
+	for _, on := range a.condStk {
+		if !on {
+			return true
+		}
+	}
+	return false
+}
+
+// emit appends bytes to the current section.
+func (a *assembler) emit(b ...byte) {
+	if a.pass == 2 {
+		a.out[a.sect] = append(a.out[a.sect], b...)
+	}
+	a.loc[a.sect] += uint32(len(b))
+}
+
+func (a *assembler) emit32(w uint32) {
+	a.emit(byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+}
+
+// statement processes one source line.
+func (a *assembler) statement(line string) {
+	// Macro collection intercepts raw lines (parameters substitute
+	// textually on expansion, GNU-as style).
+	if a.collecting != nil {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == ".endm" || trimmed == ".endmacro" {
+			a.macros[a.collecting.name] = a.collecting
+			a.collecting = nil
+			return
+		}
+		a.collecting.body = append(a.collecting.body, line)
+		return
+	}
+	toks, err := tokenize(line)
+	if err != nil {
+		a.fail("%v", err)
+		return
+	}
+	// Labels.
+	for len(toks) >= 2 && toks[0].kind == tokIdent && toks[1].is(":") {
+		if !a.skipping() {
+			a.defineLabel(toks[0].text)
+		}
+		toks = toks[2:]
+	}
+	if len(toks) == 0 {
+		return
+	}
+	name := toks[0]
+	if name.kind != tokIdent {
+		a.fail("expected mnemonic or directive, got %q", name.text)
+		return
+	}
+	rest := toks[1:]
+	if strings.HasPrefix(name.text, ".") {
+		a.directive(name.text, rest)
+		return
+	}
+	if a.skipping() {
+		return
+	}
+	a.instruction(name.text, rest)
+}
+
+func (a *assembler) defineLabel(name string) {
+	addr := int64(a.loc[a.sect])
+	if a.pass == 1 {
+		if _, dup := a.symbols[name]; dup {
+			a.fail("duplicate label %q", name)
+			return
+		}
+		a.symbols[name] = addr
+		return
+	}
+	// Pass 2 validates label convergence.
+	if a.symbols[name] != addr {
+		a.fail("label %q moved between passes (%#x -> %#x)", name, a.symbols[name], addr)
+	}
+}

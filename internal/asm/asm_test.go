@@ -1,0 +1,481 @@
+package asm
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"rvnegtest/internal/isa"
+)
+
+var defaultOpts = Options{TextBase: 0, DataBase: 0x4000}
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src, defaultOpts)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func words(sec Section) []uint32 {
+	out := make([]uint32, len(sec.Data)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(sec.Data[i*4:])
+	}
+	return out
+}
+
+// disasmText decodes every text word for semantic checks.
+func disasmText(p *Program) []isa.Inst {
+	var out []isa.Inst
+	for _, w := range words(p.Text) {
+		out = append(out, isa.Ref.Decode32(w))
+	}
+	return out
+}
+
+func TestBasicInstructions(t *testing.T) {
+	p := mustAssemble(t, `
+	addi x1, x2, 3
+	add  a0, a1, a2
+	sub  t0, t1, t2
+	lw   x5, -4(x6)
+	sw   x7, 8(x8)
+	lui  x9, 0xfffff
+	auipc x10, 1
+	and  x1, x2, x3
+	slli x4, x5, 31
+	sltiu x6, x7, 2047
+`)
+	insts := disasmText(p)
+	want := []struct {
+		op  isa.Op
+		imm int32
+	}{
+		{isa.OpADDI, 3}, {isa.OpADD, 0}, {isa.OpSUB, 0},
+		{isa.OpLW, -4}, {isa.OpSW, 8}, {isa.OpLUI, int32(0xfffff000 - 1<<32)},
+		{isa.OpAUIPC, 4096}, {isa.OpAND, 0}, {isa.OpSLLI, 31}, {isa.OpSLTIU, 2047},
+	}
+	if len(insts) != len(want) {
+		t.Fatalf("got %d instructions", len(insts))
+	}
+	for i, w := range want {
+		if insts[i].Op != w.op || insts[i].Imm != w.imm {
+			t.Errorf("inst %d = %v imm=%d, want %v imm=%d", i, insts[i].Op, insts[i].Imm, w.op, w.imm)
+		}
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p := mustAssemble(t, `
+start:
+	addi x1, x0, 1
+loop:
+	addi x1, x1, -1
+	bnez x1, loop
+	beq  x0, x0, end
+	addi x2, x0, 99
+end:
+	j start
+`)
+	insts := disasmText(p)
+	// bnez at address 8 targets loop (4): offset -4.
+	if insts[2].Op != isa.OpBNE || insts[2].Imm != -4 {
+		t.Errorf("bnez: %v imm=%d", insts[2].Op, insts[2].Imm)
+	}
+	// beq at 12 targets end (20): offset 8.
+	if insts[3].Op != isa.OpBEQ || insts[3].Imm != 8 {
+		t.Errorf("beq: %v imm=%d", insts[3].Op, insts[3].Imm)
+	}
+	// j at 20 targets start (0): offset -20.
+	if insts[5].Op != isa.OpJAL || insts[5].Imm != -20 || insts[5].Rd != 0 {
+		t.Errorf("j: %+v", insts[5])
+	}
+	if p.Symbols["loop"] != 4 || p.Symbols["end"] != 20 {
+		t.Errorf("symbols: %v", p.Symbols)
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	p := mustAssemble(t, `
+	nop
+	li  t0, 0x12345678
+	li  t1, -1
+	mv  a0, a1
+	not a2, a3
+	neg a4, a5
+	seqz a6, a7
+	snez s2, s3
+	ret
+	jr  t2
+	csrr  t3, mscratch
+	csrw  mtvec, t4
+	csrwi mscratch, 5
+	fmv.s  ft0, ft1
+	fneg.d fa0, fa1
+`)
+	insts := disasmText(p)
+	i := 0
+	expect := func(op isa.Op, check func(isa.Inst) bool) {
+		t.Helper()
+		if insts[i].Op != op || (check != nil && !check(insts[i])) {
+			t.Errorf("inst %d: %s (%+v), want %v", i, isa.Disasm(insts[i]), insts[i], op)
+		}
+		i++
+	}
+	expect(isa.OpADDI, func(x isa.Inst) bool { return x.Rd == 0 && x.Imm == 0 })
+	expect(isa.OpLUI, func(x isa.Inst) bool { return x.Rd == 5 })
+	expect(isa.OpADDI, func(x isa.Inst) bool { return x.Rd == 5 && x.Rs1 == 5 })
+	expect(isa.OpLUI, func(x isa.Inst) bool { return x.Rd == 6 && x.Imm == 0 })
+	expect(isa.OpADDI, func(x isa.Inst) bool { return x.Imm == -1 })
+	expect(isa.OpADDI, func(x isa.Inst) bool { return x.Rd == 10 && x.Rs1 == 11 })
+	expect(isa.OpXORI, func(x isa.Inst) bool { return x.Imm == -1 })
+	expect(isa.OpSUB, func(x isa.Inst) bool { return x.Rs1 == 0 && x.Rs2 == 15 })
+	expect(isa.OpSLTIU, func(x isa.Inst) bool { return x.Imm == 1 })
+	expect(isa.OpSLTU, func(x isa.Inst) bool { return x.Rs1 == 0 })
+	expect(isa.OpJALR, func(x isa.Inst) bool { return x.Rd == 0 && x.Rs1 == isa.RegRA })
+	expect(isa.OpJALR, func(x isa.Inst) bool { return x.Rd == 0 && x.Rs1 == 7 })
+	expect(isa.OpCSRRS, func(x isa.Inst) bool { return x.Rd == 28 && x.CSR == 0x340 && x.Rs1 == 0 })
+	expect(isa.OpCSRRW, func(x isa.Inst) bool { return x.Rd == 0 && x.CSR == 0x305 })
+	expect(isa.OpCSRRWI, func(x isa.Inst) bool { return x.CSR == 0x340 && x.Imm == 5 })
+	expect(isa.OpFSGNJS, func(x isa.Inst) bool { return x.Rs1 == x.Rs2 })
+	expect(isa.OpFSGNJND, func(x isa.Inst) bool { return x.Rd == 10 })
+}
+
+// TestLiRoundtrip verifies li materializes arbitrary constants exactly, by
+// simulating the lui+addi pair.
+func TestLiRoundtrip(t *testing.T) {
+	for _, v := range []uint32{0, 1, 0x7ff, 0x800, 0xfff, 0x1000, 0x7fffffff,
+		0x80000000, 0xffffffff, 0xfffff800, 0x12345678, 0xdeadbeef} {
+		p, err := Assemble("li t0, "+itoa(v), defaultOpts)
+		if err != nil {
+			t.Fatalf("li %#x: %v", v, err)
+		}
+		insts := disasmText(p)
+		if len(insts) != 2 {
+			t.Fatalf("li %#x: %d instructions", v, len(insts))
+		}
+		got := uint32(insts[0].Imm) + uint32(insts[1].Imm)
+		if got != v {
+			t.Errorf("li %#x materializes %#x", v, got)
+		}
+	}
+}
+
+func itoa(v uint32) string {
+	const hex = "0123456789abcdef"
+	s := make([]byte, 0, 10)
+	for i := 28; i >= 0; i -= 4 {
+		s = append(s, hex[v>>uint(i)&0xf])
+	}
+	return "0x" + string(s)
+}
+
+func TestHiLoRelocation(t *testing.T) {
+	p := mustAssemble(t, `
+	lui  x1, %hi(target)
+	addi x1, x1, %lo(target)
+	lw   x2, %lo(target)(x1)
+	.data
+	.align 4
+target:
+	.word 42
+`)
+	insts := disasmText(p)
+	addr := p.Symbols["target"]
+	got := uint32(insts[0].Imm) + uint32(insts[1].Imm)
+	if got != addr {
+		t.Errorf("%%hi+%%lo = %#x, want %#x", got, addr)
+	}
+	if uint32(insts[2].Imm)&0xfff != addr&0xfff {
+		t.Errorf("lw %%lo = %d", insts[2].Imm)
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	p := mustAssemble(t, `
+	.data
+	.byte 1, 2, 0xff
+	.half 0x1234
+	.align 2
+	.word 0xdeadbeef, 42
+	.dword 0x1122334455667788
+	.zero 3
+	.byte 7
+	.ascii "ab"
+	.asciz "c"
+	.fill 2, 2, 0xbeef
+`)
+	want := []byte{
+		1, 2, 0xff,
+		0x34, 0x12,
+		0, 0, 0, // align padding to 8
+		0xef, 0xbe, 0xad, 0xde, 42, 0, 0, 0,
+		0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,
+		0, 0, 0,
+		7,
+		'a', 'b',
+		'c', 0,
+		0xef, 0xbe, 0xef, 0xbe,
+	}
+	if string(p.Data.Data) != string(want) {
+		t.Errorf("data = % x\nwant  % x", p.Data.Data, want)
+	}
+}
+
+func TestEquAndExpressions(t *testing.T) {
+	p := mustAssemble(t, `
+	.equ BASE, 0x100
+	.equ SIZE, 8*4
+	addi x1, x0, BASE+SIZE
+	addi x2, x0, (1 << 4) | 3
+	addi x3, x0, ~0 & 0xff
+	addi x4, x0, -((2+3)*4)
+	.data
+	.word BASE - SIZE, BASE / SIZE
+`)
+	insts := disasmText(p)
+	if insts[0].Imm != 0x120 || insts[1].Imm != 0x13 || insts[2].Imm != 0xff || insts[3].Imm != -20 {
+		t.Errorf("exprs: %d %d %d %d", insts[0].Imm, insts[1].Imm, insts[2].Imm, insts[3].Imm)
+	}
+	w := words(p.Data)
+	if w[0] != 0x100-32 || w[1] != 0x100/32 {
+		t.Errorf("data exprs: %v", w)
+	}
+}
+
+func TestIfdefConditionals(t *testing.T) {
+	src := `
+	.ifdef FP
+	addi x1, x0, 1
+	.else
+	addi x1, x0, 2
+	.endif
+	.ifndef FP
+	addi x2, x0, 3
+	.endif
+`
+	p1, err := Assemble(src, Options{DataBase: 0x4000, Defines: map[string]int64{"FP": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i1 := disasmText(p1)
+	if len(i1) != 1 || i1[0].Imm != 1 {
+		t.Errorf("with FP: %+v", i1)
+	}
+	p2 := mustAssemble(t, src)
+	i2 := disasmText(p2)
+	if len(i2) != 2 || i2[0].Imm != 2 || i2[1].Imm != 3 {
+		t.Errorf("without FP: %+v", i2)
+	}
+}
+
+func TestNestedIfdef(t *testing.T) {
+	p, err := Assemble(`
+	.ifdef A
+	.ifdef B
+	addi x1, x0, 1
+	.endif
+	addi x2, x0, 2
+	.endif
+	addi x3, x0, 3
+`, Options{DataBase: 0x4000, Defines: map[string]int64{"A": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := disasmText(p)
+	if len(insts) != 2 || insts[0].Rd != 2 || insts[1].Rd != 3 {
+		t.Errorf("nested ifdef: %+v", insts)
+	}
+}
+
+func TestAMOOperands(t *testing.T) {
+	p := mustAssemble(t, `
+	lr.w      t0, (a0)
+	sc.w      t1, t2, (a0)
+	amoswap.w t3, t4, (a1)
+	amoadd.w  x0, x1, (x2)
+`)
+	insts := disasmText(p)
+	if insts[0].Op != isa.OpLRW || insts[0].Rd != 5 || insts[0].Rs1 != 10 {
+		t.Errorf("lr.w: %+v", insts[0])
+	}
+	if insts[1].Op != isa.OpSCW || insts[1].Rs2 != 7 {
+		t.Errorf("sc.w: %+v", insts[1])
+	}
+	if insts[2].Op != isa.OpAMOSWAPW || insts[2].Rs1 != 11 {
+		t.Errorf("amoswap: %+v", insts[2])
+	}
+}
+
+func TestFPOperandsAndRoundingModes(t *testing.T) {
+	p := mustAssemble(t, `
+	flw    ft0, 0(a0)
+	fsd    fa1, 8(sp)
+	fadd.s ft1, ft2, ft3
+	fadd.d ft1, ft2, ft3, rtz
+	fmadd.s ft4, ft5, ft6, ft7, rup
+	fsqrt.d  fa0, fa1, rne
+	fcvt.w.s a0, fa0, rtz
+	fcvt.d.w fa2, a3
+	feq.s    a4, fa5, fa6
+	fclass.d a5, fa7
+`)
+	insts := disasmText(p)
+	if insts[0].Op != isa.OpFLW || insts[1].Op != isa.OpFSD {
+		t.Fatalf("fp load/store: %v %v", insts[0].Op, insts[1].Op)
+	}
+	if insts[2].RM != 7 { // default dynamic
+		t.Errorf("default rm = %d", insts[2].RM)
+	}
+	if insts[3].RM != 1 || insts[4].RM != 3 || insts[5].RM != 0 || insts[6].RM != 1 {
+		t.Errorf("rms: %d %d %d %d", insts[3].RM, insts[4].RM, insts[5].RM, insts[6].RM)
+	}
+	if insts[4].Rs3 != 7 {
+		t.Errorf("fmadd rs3 = %d", insts[4].Rs3)
+	}
+	if insts[8].Op != isa.OpFEQS || insts[8].Rd != 14 {
+		t.Errorf("feq: %+v", insts[8])
+	}
+}
+
+func TestSectionsAndEntry(t *testing.T) {
+	p := mustAssemble(t, `
+	.text
+	nop
+_start:
+	nop
+	.data
+d1:
+	.word 1
+	.text
+	nop
+`)
+	if p.Entry != 4 {
+		t.Errorf("entry = %#x", p.Entry)
+	}
+	if p.Symbols["d1"] != 0x4000 {
+		t.Errorf("data symbol = %#x", p.Symbols["d1"])
+	}
+	if len(p.Text.Data) != 12 || len(p.Data.Data) != 4 {
+		t.Errorf("sizes: %d %d", len(p.Text.Data), len(p.Data.Data))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad mnemonic":       "frobnicate x1, x2",
+		"bad register":       "addi q1, x0, 0",
+		"imm out of range":   "addi x1, x0, 5000",
+		"dup label":          "a:\na:\n nop",
+		"undefined symbol":   "j nowhere",
+		"unterminated ifdef": ".ifdef X\nnop",
+		"stray endif":        ".endif",
+		"bad directive":      ".frob 1",
+		"trailing operand":   "nop nop",
+		"unknown csr range":  "csrr x1, 0x1000",
+		"bad shift":          "slli x1, x2, 32",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src, defaultOpts); err == nil {
+			t.Errorf("%s: expected error for %q", name, src)
+		} else if !strings.Contains(err.Error(), "line") {
+			t.Errorf("%s: error lacks line info: %v", name, err)
+		}
+	}
+}
+
+func TestCurrentLocationSymbol(t *testing.T) {
+	p := mustAssemble(t, `
+	nop
+	j .
+`)
+	insts := disasmText(p)
+	if insts[1].Op != isa.OpJAL || insts[1].Imm != 0 {
+		t.Errorf("j . : %+v", insts[1])
+	}
+}
+
+func TestCommentsAndFormatting(t *testing.T) {
+	p := mustAssemble(t, `
+	# full line comment
+	nop          # trailing
+	addi x1, x0, 1 // c++ style
+lbl:  addi x2, x0, 2   # label and inst on one line
+`)
+	insts := disasmText(p)
+	if len(insts) != 3 {
+		t.Fatalf("%d instructions", len(insts))
+	}
+	if p.Symbols["lbl"] != 8 {
+		t.Errorf("lbl = %#x", p.Symbols["lbl"])
+	}
+}
+
+func TestMacros(t *testing.T) {
+	p := mustAssemble(t, `
+.macro HALT
+	li   t0, 0x7ff0
+	sw   x0, 0(t0)
+.endm
+.macro LOAD3 rd, base, off
+	lw   \rd, \off(\base)
+.endm
+	LOAD3 t1, t5, -16
+	LOAD3 t2, t6, 8
+	HALT
+`)
+	insts := disasmText(p)
+	if len(insts) != 5 { // 2x LOAD3 + HALT (li expands to lui+addi, then sw)
+		t.Fatalf("%d instructions", len(insts))
+	}
+	if insts[0].Op != isa.OpLW || insts[0].Rd != 6 || insts[0].Rs1 != 30 || insts[0].Imm != -16 {
+		t.Errorf("macro arg substitution: %+v", insts[0])
+	}
+	if insts[1].Imm != 8 || insts[1].Rs1 != 31 {
+		t.Errorf("second expansion: %+v", insts[1])
+	}
+	if insts[2].Op != isa.OpLUI || insts[4].Op != isa.OpSW {
+		t.Errorf("parameterless macro: %v %v", insts[2].Op, insts[4].Op)
+	}
+}
+
+func TestMacroWithLabelsAndConditionals(t *testing.T) {
+	p := mustAssemble(t, `
+.macro INIT
+	.ifdef FP
+	addi x1, x0, 1
+	.else
+	addi x1, x0, 2
+	.endif
+.endm
+	INIT
+`)
+	insts := disasmText(p)
+	if len(insts) != 1 || insts[0].Imm != 2 {
+		t.Errorf("conditional in macro: %+v", insts)
+	}
+}
+
+func TestMacroErrors(t *testing.T) {
+	cases := map[string]string{
+		"unterminated":  ".macro FOO\nnop",
+		"stray endm":    ".endm",
+		"too many args": ".macro M a\nnop\n.endm\nM 1, 2",
+		"recursive":     ".macro R\nR\n.endm\nR",
+		"nameless":      ".macro",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src, defaultOpts); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// Redefinition overrides (GNU-as allows purge/redefine; we take last).
+	p := mustAssemble(t, ".macro M\nnop\n.endm\n.macro M\naddi x1, x0, 7\n.endm\nM")
+	insts := disasmText(p)
+	if len(insts) != 1 || insts[0].Imm != 7 {
+		t.Errorf("redefinition: %+v", insts)
+	}
+}

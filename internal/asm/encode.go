@@ -1,0 +1,652 @@
+package asm
+
+import (
+	"strings"
+
+	"rvnegtest/internal/isa"
+)
+
+// directive handles one dot-directive. Conditional directives are processed
+// even inside skipped regions (they control the skipping).
+func (a *assembler) directive(name string, toks []token) {
+	c := &cursor{a: a, toks: toks}
+	switch name {
+	case ".ifdef", ".ifndef":
+		t, ok := c.next()
+		if !ok || t.kind != tokIdent {
+			a.fail("%s needs a symbol", name)
+			return
+		}
+		on := a.defined[t.text]
+		if name == ".ifndef" {
+			on = !on
+		}
+		a.condStk = append(a.condStk, on)
+		return
+	case ".else":
+		if len(a.condStk) == 0 {
+			a.fail(".else without .ifdef")
+			return
+		}
+		a.condStk[len(a.condStk)-1] = !a.condStk[len(a.condStk)-1]
+		return
+	case ".endif":
+		if len(a.condStk) == 0 {
+			a.fail(".endif without .ifdef")
+			return
+		}
+		a.condStk = a.condStk[:len(a.condStk)-1]
+		return
+	}
+	if a.skipping() {
+		return
+	}
+
+	switch name {
+	case ".text":
+		a.sect = sectText
+	case ".data", ".rodata", ".bss":
+		a.sect = sectData
+	case ".section":
+		t, ok := c.next()
+		if !ok {
+			a.fail(".section needs a name")
+			return
+		}
+		if t.text == ".text" {
+			a.sect = sectText
+		} else {
+			a.sect = sectData
+		}
+		// Flags/attributes after the name are ignored.
+	case ".globl", ".global", ".option", ".attribute", ".file", ".size", ".type", ".weak":
+		// Accepted and ignored (they do not affect the image).
+	case ".align", ".p2align":
+		n := c.expr()
+		if n < 0 || n > 16 {
+			a.fail("bad alignment %d", n)
+			return
+		}
+		a.alignTo(uint32(1) << uint(n))
+		c.end()
+	case ".balign":
+		n := c.expr()
+		if n <= 0 || n&(n-1) != 0 {
+			a.fail("bad byte alignment %d", n)
+			return
+		}
+		a.alignTo(uint32(n))
+		c.end()
+	case ".word", ".long":
+		a.dataList(c, 4)
+	case ".half", ".hword", ".short":
+		a.dataList(c, 2)
+	case ".byte":
+		a.dataList(c, 1)
+	case ".dword", ".quad":
+		a.dataList(c, 8)
+	case ".zero", ".skip", ".space":
+		n := c.expr()
+		if n < 0 || n > 1<<20 {
+			a.fail("bad size %d", n)
+			return
+		}
+		a.emit(make([]byte, n)...)
+		c.end()
+	case ".fill":
+		repeat := c.expr()
+		size, value := int64(1), int64(0)
+		if c.accept(",") {
+			size = c.expr()
+			if c.accept(",") {
+				value = c.expr()
+			}
+		}
+		if repeat < 0 || repeat > 1<<20 || size < 1 || size > 8 {
+			a.fail("bad .fill")
+			return
+		}
+		for i := int64(0); i < repeat; i++ {
+			a.emitN(uint64(value), int(size))
+		}
+		c.end()
+	case ".ascii", ".asciz", ".string":
+		t, ok := c.next()
+		if !ok || t.kind != tokStr {
+			a.fail("%s needs a string", name)
+			return
+		}
+		a.emit([]byte(t.text)...)
+		if name != ".ascii" {
+			a.emit(0)
+		}
+		c.end()
+	case ".macro":
+		t, ok := c.next()
+		if !ok || t.kind != tokIdent {
+			a.fail(".macro needs a name")
+			return
+		}
+		def := &macro{name: t.text}
+		for {
+			p, ok := c.peek()
+			if !ok {
+				break
+			}
+			if p.is(",") {
+				c.pos++
+				continue
+			}
+			if p.kind != tokIdent {
+				a.fail("bad macro parameter %q", p.text)
+				return
+			}
+			c.pos++
+			def.params = append(def.params, p.text)
+		}
+		a.collecting = def
+	case ".endm", ".endmacro":
+		a.fail(".endm without .macro")
+	case ".equ", ".set":
+		t, ok := c.next()
+		if !ok || t.kind != tokIdent || !c.expect(",") {
+			a.fail("%s needs name, value", name)
+			return
+		}
+		v := c.expr()
+		a.symbols[t.text] = v
+		a.defined[t.text] = true
+		c.end()
+	default:
+		a.fail("unknown directive %s", name)
+	}
+}
+
+func (a *assembler) alignTo(n uint32) {
+	for a.loc[a.sect]%n != 0 {
+		a.emit(0)
+	}
+}
+
+func (a *assembler) emitN(v uint64, size int) {
+	for i := 0; i < size; i++ {
+		a.emit(byte(v >> (8 * i)))
+	}
+}
+
+func (a *assembler) dataList(c *cursor, size int) {
+	for {
+		v := c.expr()
+		a.emitN(uint64(v), size)
+		if !c.accept(",") {
+			break
+		}
+	}
+	c.end()
+}
+
+// reg parses an integer register operand.
+func (c *cursor) reg() isa.Reg {
+	t, ok := c.next()
+	if !ok || t.kind != tokIdent {
+		c.a.fail("expected register")
+		return 0
+	}
+	r, ok := isa.ParseReg(t.text)
+	if !ok {
+		c.a.fail("bad register %q", t.text)
+	}
+	return r
+}
+
+// freg parses a floating-point register operand.
+func (c *cursor) freg() isa.Reg {
+	t, ok := c.next()
+	if !ok || t.kind != tokIdent {
+		c.a.fail("expected FP register")
+		return 0
+	}
+	r, ok := isa.ParseFReg(t.text)
+	if !ok {
+		c.a.fail("bad FP register %q", t.text)
+	}
+	return r
+}
+
+// regFor picks integer or FP register parsing based on an operand flag.
+func (c *cursor) regFor(fp bool) isa.Reg {
+	if fp {
+		return c.freg()
+	}
+	return c.reg()
+}
+
+// rm parses an optional rounding-mode operand (defaults to dynamic).
+func (c *cursor) rm() uint8 {
+	if c.accept(",") {
+		t, ok := c.next()
+		if !ok || t.kind != tokIdent {
+			c.a.fail("expected rounding mode")
+			return 7
+		}
+		switch strings.ToLower(t.text) {
+		case "rne":
+			return 0
+		case "rtz":
+			return 1
+		case "rdn":
+			return 2
+		case "rup":
+			return 3
+		case "rmm":
+			return 4
+		case "dyn":
+			return 7
+		}
+		c.a.fail("bad rounding mode %q", t.text)
+		return 7
+	}
+	return 7
+}
+
+// memOperand parses "imm(reg)" (imm may be empty).
+func (c *cursor) memOperand() (int32, isa.Reg) {
+	var imm int64
+	if t, ok := c.peek(); ok && !t.is("(") {
+		imm = c.expr()
+	}
+	c.expect("(")
+	r := c.reg()
+	c.expect(")")
+	return int32(imm), r
+}
+
+// csr parses a CSR operand: a known name or an expression.
+func (c *cursor) csr() uint16 {
+	if t, ok := c.peek(); ok && t.kind == tokIdent {
+		if addr, found := isa.LookupCSRName(t.text); found {
+			c.pos++
+			return addr
+		}
+	}
+	v := c.expr()
+	if v < 0 || v > 0xfff {
+		c.a.fail("CSR address %d out of range", v)
+	}
+	return uint16(v)
+}
+
+// target parses a branch/jump target and returns the PC-relative offset.
+func (c *cursor) target() int32 {
+	v := c.expr()
+	return int32(v - int64(c.a.loc[c.a.sect]))
+}
+
+// emitInst validates and emits one machine instruction.
+func (a *assembler) emitInst(inst isa.Inst) {
+	if a.err != nil {
+		return
+	}
+	if a.pass == 1 {
+		a.loc[a.sect] += 4
+		return
+	}
+	w, err := isa.Encode(inst)
+	if err != nil {
+		a.fail("%v", err)
+		return
+	}
+	a.emit32(w)
+}
+
+// expand substitutes arguments into a macro body and assembles it.
+func (a *assembler) expand(m *macro, args []string) {
+	if a.expandDepth >= 16 {
+		a.fail("macro expansion too deep (recursive macro %q?)", m.name)
+		return
+	}
+	if len(args) > len(m.params) {
+		a.fail("macro %q: %d arguments for %d parameters", m.name, len(args), len(m.params))
+		return
+	}
+	a.expandDepth++
+	defer func() { a.expandDepth-- }()
+	for _, raw := range m.body {
+		line := raw
+		for i, p := range m.params {
+			arg := ""
+			if i < len(args) {
+				arg = args[i]
+			}
+			line = strings.ReplaceAll(line, `\`+p, arg)
+		}
+		a.statement(line)
+		if a.err != nil {
+			return
+		}
+	}
+}
+
+// macroArgs splits an invocation's tokens at top-level commas and renders
+// each group back to text for substitution.
+func macroArgs(toks []token) []string {
+	var args []string
+	var cur []string
+	flush := func() {
+		if len(cur) > 0 {
+			args = append(args, strings.Join(cur, " "))
+			cur = nil
+		}
+	}
+	for _, t := range toks {
+		if t.is(",") {
+			flush()
+			continue
+		}
+		cur = append(cur, t.text)
+	}
+	flush()
+	return args
+}
+
+// instruction assembles one mnemonic.
+func (a *assembler) instruction(name string, toks []token) {
+	if m, ok := a.macros[name]; ok {
+		a.expand(m, macroArgs(toks))
+		return
+	}
+	c := &cursor{a: a, toks: toks}
+	if a.pseudo(name, c) {
+		return
+	}
+	in := isa.LookupName(name)
+	if in == nil {
+		a.fail("unknown mnemonic %q", name)
+		return
+	}
+	inst := isa.Inst{Op: in.Op}
+	fl := in.Flags
+	switch in.Fmt {
+	case isa.FmtNone:
+		// no operands
+	case isa.FmtFence:
+		// Optional ordering operands are ignored.
+		c.pos = len(c.toks)
+	case isa.FmtR:
+		inst.Rd = c.regFor(fl.Is(isa.FlagFPRd))
+		c.expect(",")
+		inst.Rs1 = c.regFor(fl.Is(isa.FlagFPRs1))
+		c.expect(",")
+		inst.Rs2 = c.regFor(fl.Is(isa.FlagFPRs2))
+		if in.Op == isa.OpSFENCEVMA {
+			inst.Rd = 0
+		}
+	case isa.FmtR4:
+		inst.Rd = c.freg()
+		c.expect(",")
+		inst.Rs1 = c.freg()
+		c.expect(",")
+		inst.Rs2 = c.freg()
+		c.expect(",")
+		inst.Rs3 = c.freg()
+		inst.RM = c.rm()
+	case isa.FmtRrm:
+		inst.Rd = c.regFor(fl.Is(isa.FlagFPRd))
+		c.expect(",")
+		inst.Rs1 = c.regFor(fl.Is(isa.FlagFPRs1))
+		c.expect(",")
+		inst.Rs2 = c.regFor(fl.Is(isa.FlagFPRs2))
+		inst.RM = c.rm()
+	case isa.FmtR2rm:
+		inst.Rd = c.regFor(fl.Is(isa.FlagFPRd))
+		c.expect(",")
+		inst.Rs1 = c.regFor(fl.Is(isa.FlagFPRs1))
+		inst.RM = c.rm()
+	case isa.FmtR2:
+		inst.Rd = c.regFor(fl.Is(isa.FlagFPRd))
+		c.expect(",")
+		inst.Rs1 = c.regFor(fl.Is(isa.FlagFPRs1))
+	case isa.FmtI:
+		inst.Rd = c.regFor(fl.Is(isa.FlagFPRd))
+		c.expect(",")
+		if fl.Is(isa.FlagLoad) {
+			inst.Imm, inst.Rs1 = c.memOperand()
+		} else if in.Op == isa.OpJALR {
+			// jalr rd, rs1, imm | jalr rd, imm(rs1)
+			save := c.pos
+			r, ok1 := func() (isa.Reg, bool) {
+				t, ok := c.peek()
+				if !ok || t.kind != tokIdent {
+					return 0, false
+				}
+				r, ok := isa.ParseReg(t.text)
+				return r, ok
+			}()
+			if ok1 {
+				c.pos++
+				inst.Rs1 = r
+				if c.accept(",") {
+					inst.Imm = int32(c.expr())
+				}
+			} else {
+				c.pos = save
+				inst.Imm, inst.Rs1 = c.memOperand()
+			}
+		} else {
+			inst.Rs1 = c.reg()
+			c.expect(",")
+			inst.Imm = int32(c.expr())
+		}
+	case isa.FmtIShift:
+		inst.Rd = c.reg()
+		c.expect(",")
+		inst.Rs1 = c.reg()
+		c.expect(",")
+		inst.Imm = int32(c.expr())
+	case isa.FmtS:
+		inst.Rs2 = c.regFor(fl.Is(isa.FlagFPRs2))
+		c.expect(",")
+		inst.Imm, inst.Rs1 = c.memOperand()
+	case isa.FmtB:
+		inst.Rs1 = c.reg()
+		c.expect(",")
+		inst.Rs2 = c.reg()
+		c.expect(",")
+		inst.Imm = c.target()
+	case isa.FmtU:
+		inst.Rd = c.reg()
+		c.expect(",")
+		inst.Imm = int32(c.expr()) << 12
+	case isa.FmtJ:
+		inst.Rd = c.reg()
+		c.expect(",")
+		inst.Imm = c.target()
+	case isa.FmtCSR:
+		inst.Rd = c.reg()
+		c.expect(",")
+		inst.CSR = c.csr()
+		c.expect(",")
+		inst.Rs1 = c.reg()
+	case isa.FmtCSRI:
+		inst.Rd = c.reg()
+		c.expect(",")
+		inst.CSR = c.csr()
+		c.expect(",")
+		inst.Imm = int32(c.expr())
+	case isa.FmtAMO:
+		inst.Rd = c.reg()
+		c.expect(",")
+		if in.Op == isa.OpLRW {
+			c.expect("(")
+			inst.Rs1 = c.reg()
+			c.expect(")")
+		} else {
+			inst.Rs2 = c.reg()
+			c.expect(",")
+			c.expect("(")
+			inst.Rs1 = c.reg()
+			c.expect(")")
+		}
+	}
+	c.end()
+	a.emitInst(inst)
+}
+
+// pseudo expands pseudo-instructions; returns false if name is not one.
+func (a *assembler) pseudo(name string, c *cursor) bool {
+	ei := a.emitInst
+	switch name {
+	case "nop":
+		c.end()
+		ei(isa.Inst{Op: isa.OpADDI})
+	case "li", "la":
+		rd := c.reg()
+		c.expect(",")
+		v := int32(c.expr())
+		c.end()
+		// Always a lui+addi pair so both passes agree on size.
+		hi := (v + 0x800) &^ 0xfff
+		lo := v - hi
+		ei(isa.Inst{Op: isa.OpLUI, Rd: rd, Imm: hi})
+		ei(isa.Inst{Op: isa.OpADDI, Rd: rd, Rs1: rd, Imm: lo})
+	case "mv":
+		rd := c.reg()
+		c.expect(",")
+		rs := c.reg()
+		c.end()
+		ei(isa.Inst{Op: isa.OpADDI, Rd: rd, Rs1: rs})
+	case "not":
+		rd := c.reg()
+		c.expect(",")
+		rs := c.reg()
+		c.end()
+		ei(isa.Inst{Op: isa.OpXORI, Rd: rd, Rs1: rs, Imm: -1})
+	case "neg":
+		rd := c.reg()
+		c.expect(",")
+		rs := c.reg()
+		c.end()
+		ei(isa.Inst{Op: isa.OpSUB, Rd: rd, Rs2: rs})
+	case "seqz":
+		rd := c.reg()
+		c.expect(",")
+		rs := c.reg()
+		c.end()
+		ei(isa.Inst{Op: isa.OpSLTIU, Rd: rd, Rs1: rs, Imm: 1})
+	case "snez":
+		rd := c.reg()
+		c.expect(",")
+		rs := c.reg()
+		c.end()
+		ei(isa.Inst{Op: isa.OpSLTU, Rd: rd, Rs2: rs})
+	case "beqz", "bnez", "blez", "bgez", "bltz", "bgtz":
+		rs := c.reg()
+		c.expect(",")
+		off := c.target()
+		c.end()
+		switch name {
+		case "beqz":
+			ei(isa.Inst{Op: isa.OpBEQ, Rs1: rs, Imm: off})
+		case "bnez":
+			ei(isa.Inst{Op: isa.OpBNE, Rs1: rs, Imm: off})
+		case "blez":
+			ei(isa.Inst{Op: isa.OpBGE, Rs2: rs, Imm: off})
+		case "bgez":
+			ei(isa.Inst{Op: isa.OpBGE, Rs1: rs, Imm: off})
+		case "bltz":
+			ei(isa.Inst{Op: isa.OpBLT, Rs1: rs, Imm: off})
+		default:
+			ei(isa.Inst{Op: isa.OpBLT, Rs2: rs, Imm: off})
+		}
+	case "bgt", "ble", "bgtu", "bleu":
+		rs := c.reg()
+		c.expect(",")
+		rt := c.reg()
+		c.expect(",")
+		off := c.target()
+		c.end()
+		switch name {
+		case "bgt":
+			ei(isa.Inst{Op: isa.OpBLT, Rs1: rt, Rs2: rs, Imm: off})
+		case "ble":
+			ei(isa.Inst{Op: isa.OpBGE, Rs1: rt, Rs2: rs, Imm: off})
+		case "bgtu":
+			ei(isa.Inst{Op: isa.OpBLTU, Rs1: rt, Rs2: rs, Imm: off})
+		default:
+			ei(isa.Inst{Op: isa.OpBGEU, Rs1: rt, Rs2: rs, Imm: off})
+		}
+	case "j":
+		off := c.target()
+		c.end()
+		ei(isa.Inst{Op: isa.OpJAL, Imm: off})
+	case "call":
+		off := c.target()
+		c.end()
+		ei(isa.Inst{Op: isa.OpJAL, Rd: isa.RegRA, Imm: off})
+	case "tail":
+		off := c.target()
+		c.end()
+		ei(isa.Inst{Op: isa.OpJAL, Imm: off})
+	case "jr":
+		rs := c.reg()
+		c.end()
+		ei(isa.Inst{Op: isa.OpJALR, Rs1: rs})
+	case "ret":
+		c.end()
+		ei(isa.Inst{Op: isa.OpJALR, Rs1: isa.RegRA})
+	case "csrr":
+		rd := c.reg()
+		c.expect(",")
+		csr := c.csr()
+		c.end()
+		ei(isa.Inst{Op: isa.OpCSRRS, Rd: rd, CSR: csr})
+	case "csrw":
+		csr := c.csr()
+		c.expect(",")
+		rs := c.reg()
+		c.end()
+		ei(isa.Inst{Op: isa.OpCSRRW, CSR: csr, Rs1: rs})
+	case "csrs":
+		csr := c.csr()
+		c.expect(",")
+		rs := c.reg()
+		c.end()
+		ei(isa.Inst{Op: isa.OpCSRRS, CSR: csr, Rs1: rs})
+	case "csrc":
+		csr := c.csr()
+		c.expect(",")
+		rs := c.reg()
+		c.end()
+		ei(isa.Inst{Op: isa.OpCSRRC, CSR: csr, Rs1: rs})
+	case "csrwi":
+		csr := c.csr()
+		c.expect(",")
+		v := c.expr()
+		c.end()
+		ei(isa.Inst{Op: isa.OpCSRRWI, CSR: csr, Imm: int32(v)})
+	case "fmv.s", "fabs.s", "fneg.s", "fmv.d", "fabs.d", "fneg.d":
+		rd := c.freg()
+		c.expect(",")
+		rs := c.freg()
+		c.end()
+		var op isa.Op
+		switch name {
+		case "fmv.s":
+			op = isa.OpFSGNJS
+		case "fabs.s":
+			op = isa.OpFSGNJXS
+		case "fneg.s":
+			op = isa.OpFSGNJNS
+		case "fmv.d":
+			op = isa.OpFSGNJD
+		case "fabs.d":
+			op = isa.OpFSGNJXD
+		default:
+			op = isa.OpFSGNJND
+		}
+		ei(isa.Inst{Op: op, Rd: rd, Rs1: rs, Rs2: rs})
+	default:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,175 @@
+package asm
+
+// cursor walks a token slice during operand and expression parsing.
+type cursor struct {
+	a    *assembler
+	toks []token
+	pos  int
+}
+
+func (c *cursor) peek() (token, bool) {
+	if c.pos < len(c.toks) {
+		return c.toks[c.pos], true
+	}
+	return token{}, false
+}
+
+func (c *cursor) next() (token, bool) {
+	t, ok := c.peek()
+	if ok {
+		c.pos++
+	}
+	return t, ok
+}
+
+func (c *cursor) accept(s string) bool {
+	if t, ok := c.peek(); ok && t.is(s) {
+		c.pos++
+		return true
+	}
+	return false
+}
+
+func (c *cursor) expect(s string) bool {
+	if !c.accept(s) {
+		c.a.fail("expected %q", s)
+		return false
+	}
+	return true
+}
+
+func (c *cursor) done() bool { return c.pos >= len(c.toks) }
+
+func (c *cursor) end() {
+	if !c.done() && c.a.err == nil {
+		t, _ := c.peek()
+		c.a.fail("trailing operand %q", t.text)
+	}
+}
+
+// expr evaluates a full expression with C-like precedence.
+func (c *cursor) expr() int64 { return c.orExpr() }
+
+func (c *cursor) orExpr() int64 {
+	v := c.xorExpr()
+	for c.accept("|") {
+		v |= c.xorExpr()
+	}
+	return v
+}
+
+func (c *cursor) xorExpr() int64 {
+	v := c.andExpr()
+	for c.accept("^") {
+		v ^= c.andExpr()
+	}
+	return v
+}
+
+func (c *cursor) andExpr() int64 {
+	v := c.shiftExpr()
+	for c.accept("&") {
+		v &= c.shiftExpr()
+	}
+	return v
+}
+
+func (c *cursor) shiftExpr() int64 {
+	v := c.addExpr()
+	for {
+		switch {
+		case c.accept("<<"):
+			v <<= uint64(c.addExpr()) & 63
+		case c.accept(">>"):
+			v >>= uint64(c.addExpr()) & 63
+		default:
+			return v
+		}
+	}
+}
+
+func (c *cursor) addExpr() int64 {
+	v := c.mulExpr()
+	for {
+		switch {
+		case c.accept("+"):
+			v += c.mulExpr()
+		case c.accept("-"):
+			v -= c.mulExpr()
+		default:
+			return v
+		}
+	}
+}
+
+func (c *cursor) mulExpr() int64 {
+	v := c.unary()
+	for {
+		switch {
+		case c.accept("*"):
+			v *= c.unary()
+		case c.accept("/"):
+			d := c.unary()
+			if d == 0 {
+				c.a.fail("division by zero in expression")
+				return 0
+			}
+			v /= d
+		default:
+			return v
+		}
+	}
+}
+
+func (c *cursor) unary() int64 {
+	switch {
+	case c.accept("-"):
+		return -c.unary()
+	case c.accept("~"):
+		return ^c.unary()
+	case c.accept("+"):
+		return c.unary()
+	}
+	return c.primary()
+}
+
+func (c *cursor) primary() int64 {
+	t, ok := c.next()
+	if !ok {
+		c.a.fail("expected expression")
+		return 0
+	}
+	switch {
+	case t.kind == tokNum:
+		return t.num
+	case t.is("("):
+		v := c.expr()
+		c.expect(")")
+		return v
+	case t.kind == tokIdent && (t.text == "%hi" || t.text == "%lo"):
+		c.expect("(")
+		v := c.expr()
+		c.expect(")")
+		if t.text == "%hi" {
+			// Compensated high part: %hi + sign-extended %lo reconstructs
+			// the value.
+			return (v + 0x800) >> 12 & 0xfffff
+		}
+		return int64(int32(v<<20) >> 20)
+	case t.kind == tokIdent:
+		if t.text == "." {
+			return int64(c.a.loc[c.a.sect])
+		}
+		if v, ok := c.a.symbols[t.text]; ok {
+			return v
+		}
+		if c.a.pass == 1 {
+			// Forward reference: the value does not affect sizing.
+			return 0
+		}
+		c.a.fail("undefined symbol %q", t.text)
+		return 0
+	}
+	c.a.fail("unexpected token %q in expression", t.text)
+	return 0
+}

@@ -1,0 +1,163 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind uint8
+
+const (
+	tokIdent tokKind = iota // identifiers, mnemonics, directives, %ops
+	tokNum                  // numeric literal
+	tokPunct                // ( ) , : + - * / << >> ~ etc.
+	tokStr                  // quoted string
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+}
+
+func (t token) is(s string) bool { return t.kind == tokPunct && t.text == s }
+
+// tokenize splits one logical source line into tokens, dropping comments
+// (# and // to end of line).
+func tokenize(line string) ([]token, error) {
+	var toks []token
+	i, n := 0, len(line)
+	for i < n {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			return toks, nil
+		case c == '/' && i+1 < n && line[i+1] == '/':
+			return toks, nil
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < n && line[j] != '"' {
+				if line[j] == '\\' && j+1 < n {
+					j++
+					switch line[j] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case '0':
+						sb.WriteByte(0)
+					default:
+						sb.WriteByte(line[j])
+					}
+				} else {
+					sb.WriteByte(line[j])
+				}
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("unterminated string")
+			}
+			toks = append(toks, token{kind: tokStr, text: sb.String()})
+			i = j + 1
+		case c == '\'':
+			if i+2 < n && line[i+2] == '\'' {
+				toks = append(toks, token{kind: tokNum, num: int64(line[i+1])})
+				i += 3
+			} else {
+				return nil, fmt.Errorf("bad character literal")
+			}
+		case isDigit(c):
+			j := i
+			for j < n && (isAlnum(line[j]) || line[j] == 'x' || line[j] == 'X') {
+				j++
+			}
+			v, err := parseNum(line[i:j])
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokNum, num: v, text: line[i:j]})
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < n && isIdentChar(line[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: line[i:j]})
+			i = j
+		case c == '%':
+			// %hi / %lo relocation operators.
+			j := i + 1
+			for j < n && isAlnum(line[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: line[i:j]})
+			i = j
+		case c == '<' && i+1 < n && line[i+1] == '<':
+			toks = append(toks, token{kind: tokPunct, text: "<<"})
+			i += 2
+		case c == '>' && i+1 < n && line[i+1] == '>':
+			toks = append(toks, token{kind: tokPunct, text: ">>"})
+			i += 2
+		case strings.IndexByte("(),:+-*/~&|^", c) >= 0:
+			toks = append(toks, token{kind: tokPunct, text: string(c)})
+			i++
+		default:
+			return nil, fmt.Errorf("unexpected character %q", c)
+		}
+	}
+	return toks, nil
+}
+
+func parseNum(s string) (int64, error) {
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	base := 10
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		base = 16
+		s = s[2:]
+	} else if strings.HasPrefix(s, "0b") || strings.HasPrefix(s, "0B") {
+		base = 2
+		s = s[2:]
+	}
+	if s == "" {
+		return 0, fmt.Errorf("bad number")
+	}
+	var v uint64
+	for _, c := range s {
+		var d int
+		switch {
+		case c >= '0' && c <= '9':
+			d = int(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = int(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = int(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("bad digit %q in number", c)
+		}
+		if d >= base {
+			return 0, fmt.Errorf("digit %q out of range for base %d", c, base)
+		}
+		v = v*uint64(base) + uint64(d)
+	}
+	r := int64(v)
+	if neg {
+		r = -r
+	}
+	return r, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlnum(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentStart(c byte) bool {
+	return c == '.' || c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentChar(c byte) bool { return isIdentStart(c) || isDigit(c) }

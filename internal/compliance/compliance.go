@@ -1,0 +1,292 @@
+// Package compliance implements Phase B of the paper: running a generated
+// test suite on simulators under test, comparing their signatures against
+// the reference simulator's (riscvOVPsim in the paper), and aggregating
+// the per-ISA-configuration mismatch counts of Table I.
+//
+// A single generated suite serves every ISA configuration: test cases are
+// platform-independent sources, and instructions outside a configuration
+// must raise an illegal-instruction exception, which the signature
+// captures.
+package compliance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rvnegtest/internal/isa"
+	"rvnegtest/internal/sig"
+	"rvnegtest/internal/sim"
+	"rvnegtest/internal/template"
+)
+
+// Suite is a generated compliance test suite.
+type Suite struct {
+	// Cases are the raw bytestreams, in generation order.
+	Cases [][]byte
+	// Origin documents how the suite was generated.
+	Origin string
+}
+
+// Category classifies one signature mismatch by its observable pattern,
+// mirroring the discussion of findings in section V-B.
+type Category uint8
+
+const (
+	// CatCompletionMarker: the x26 completion marker differs (e.g. the
+	// Spike ECALL signature corruption).
+	CatCompletionMarker Category = iota
+	// CatTrapCause: the recorded trap cause differs (decoder accepts an
+	// invalid encoding, or takes the wrong exception).
+	CatTrapCause
+	// CatRegisterValue: a general-purpose register value differs (wrong
+	// execution semantics or illegal side effects, e.g. GRIFT's link
+	// write).
+	CatRegisterValue
+	// CatFPValue: a floating-point signature word differs.
+	CatFPValue
+	// CatCrash: the simulator under test crashed.
+	CatCrash
+	// CatTimeout: the simulator under test did not terminate.
+	CatTimeout
+	// CatMissing: the simulator produced no/short signature.
+	CatMissing
+	catCount
+)
+
+var catNames = [catCount]string{
+	"completion-marker", "trap-cause", "register-value", "fp-value",
+	"crash", "timeout", "missing-signature",
+}
+
+func (c Category) String() string {
+	if int(c) < len(catNames) {
+		return catNames[c]
+	}
+	return "unknown"
+}
+
+// Classify determines the dominant mismatch category between a reference
+// signature and a test output.
+func Classify(ref, got []uint32) Category {
+	if len(got) < len(ref) {
+		return CatMissing
+	}
+	diffs := sig.Diff(sig.Signature(ref), sig.Signature(got))
+	hasCause, hasX26, hasReg, hasFP := false, false, false, false
+	for _, d := range diffs {
+		switch {
+		case d == 30:
+			hasCause = true
+		case d == 26:
+			hasX26 = true
+		case d < 30:
+			hasReg = true
+		case d >= 32:
+			hasFP = true
+		}
+	}
+	switch {
+	case hasCause:
+		return CatTrapCause
+	case hasX26 && !hasReg:
+		return CatCompletionMarker
+	case hasReg:
+		return CatRegisterValue
+	case hasFP:
+		return CatFPValue
+	}
+	return CatRegisterValue
+}
+
+// Cell is one (simulator, ISA configuration) result of Table I.
+type Cell struct {
+	Supported  bool
+	Mismatches int
+	Crashes    int
+	Timeouts   int
+	// Categories histogram over mismatching cases.
+	Categories [catCount]int
+	// Examples lists up to a few mismatching case indexes for triage.
+	Examples []int
+}
+
+// String renders the cell the way Table I does: "/" for unsupported
+// configurations, "crash" when the simulator crashed during the run.
+func (c Cell) String() string {
+	switch {
+	case !c.Supported:
+		return "/"
+	case c.Crashes > 0:
+		return "crash"
+	default:
+		return fmt.Sprint(c.Mismatches)
+	}
+}
+
+// Report aggregates a full Table I run.
+type Report struct {
+	RefName string
+	Sims    []string
+	Configs []isa.Config
+	// Cells[i][j] is configuration i on simulator j.
+	Cells [][]Cell
+	Cases int
+}
+
+// Render prints the report in the layout of Table I.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Number of signature mismatches against %s (%d test cases)\n", r.RefName, r.Cases)
+	fmt.Fprintf(&b, "%-10s", "RISC-V ISA")
+	for _, s := range r.Sims {
+		fmt.Fprintf(&b, " %12s", s)
+	}
+	b.WriteByte('\n')
+	for i, cfg := range r.Configs {
+		fmt.Fprintf(&b, "%-10s", cfg)
+		for j := range r.Sims {
+			fmt.Fprintf(&b, " %12s", r.Cells[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Runner executes compliance testing for a suite.
+type Runner struct {
+	// Ref generates the reference signatures (riscvOVPsim per the
+	// compliance convention, including its own seeded defect — a
+	// reference simulator can itself be wrong, which the paper found).
+	Ref *sim.Variant
+	// SUTs are the simulators under test.
+	SUTs []*sim.Variant
+	// Configs are the ISA configurations to test (Table I rows).
+	Configs []isa.Config
+	// DontCare optionally relaxes the comparison (the section VI
+	// extension); usually nil for the register-only signature.
+	DontCare *sig.DontCare
+	// MaxExamples bounds the per-cell example list.
+	MaxExamples int
+}
+
+// DefaultRunner reproduces the paper's Table I setup.
+func DefaultRunner() *Runner {
+	return &Runner{
+		Ref:         sim.OVPSim,
+		SUTs:        append([]*sim.Variant(nil), sim.UnderTest...),
+		Configs:     []isa.Config{isa.RV32I, isa.RV32IMC, isa.RV32GC},
+		MaxExamples: 10,
+	}
+}
+
+// Run executes the whole suite on every (configuration, simulator) pair.
+func (r *Runner) Run(suite *Suite) (*Report, error) {
+	rep := &Report{RefName: r.Ref.Name, Configs: r.Configs, Cases: len(suite.Cases)}
+	for _, v := range r.SUTs {
+		rep.Sims = append(rep.Sims, v.Name)
+	}
+	maxEx := r.MaxExamples
+	if maxEx <= 0 {
+		maxEx = 10
+	}
+	for _, cfg := range r.Configs {
+		p := template.Platform{Layout: template.DefaultLayout, Cfg: cfg}
+		refSim, err := sim.New(r.Ref, p)
+		if err != nil {
+			return nil, fmt.Errorf("compliance: reference %s on %v: %w", r.Ref.Name, cfg, err)
+		}
+		// Reference signatures are generated once per configuration
+		// (the paper's "separate set of reference outputs per ISA
+		// config").
+		refOuts := make([]sim.Outcome, len(suite.Cases))
+		for i, bs := range suite.Cases {
+			refOuts[i] = refSim.Run(bs)
+		}
+
+		row := make([]Cell, len(r.SUTs))
+		for j, v := range r.SUTs {
+			cell := &row[j]
+			if !v.Supports(cfg) {
+				continue
+			}
+			cell.Supported = true
+			sut, err := sim.New(v, p)
+			if err != nil {
+				return nil, fmt.Errorf("compliance: %s on %v: %w", v.Name, cfg, err)
+			}
+			for i, bs := range suite.Cases {
+				ref := refOuts[i]
+				if ref.Crashed || ref.TimedOut {
+					// A reference failure makes the case unusable for
+					// signature comparison; skip it (none occur with the
+					// modelled reference defects).
+					continue
+				}
+				out := sut.Run(bs)
+				var cat Category
+				switch {
+				case out.Crashed:
+					cell.Crashes++
+					cat = CatCrash
+				case out.TimedOut:
+					cell.Timeouts++
+					cat = CatTimeout
+				default:
+					if len(sig.Compare(sig.Signature(ref.Signature), sig.Signature(out.Signature), r.DontCare)) == 0 {
+						continue
+					}
+					cat = Classify(ref.Signature, out.Signature)
+				}
+				cell.Mismatches++
+				cell.Categories[cat]++
+				if len(cell.Examples) < maxEx {
+					cell.Examples = append(cell.Examples, i)
+				}
+			}
+		}
+		rep.Cells = append(rep.Cells, row)
+	}
+	return rep, nil
+}
+
+// BugFindings renders the per-simulator mismatch-category breakdown, the
+// analysis counterpart of the paper's section V-B bullet list.
+func (r *Report) BugFindings() string {
+	var b strings.Builder
+	for j, name := range r.Sims {
+		var total int
+		var hist [catCount]int
+		for i := range r.Configs {
+			c := r.Cells[i][j]
+			total += c.Mismatches
+			for k, n := range c.Categories {
+				hist[k] += n
+			}
+		}
+		fmt.Fprintf(&b, "%s: %d mismatching cases", name, total)
+		if total == 0 {
+			b.WriteString("\n")
+			continue
+		}
+		b.WriteString(" (")
+		var parts []string
+		type kv struct {
+			k int
+			n int
+		}
+		var ks []kv
+		for k, n := range hist {
+			if n > 0 {
+				ks = append(ks, kv{k, n})
+			}
+		}
+		sort.Slice(ks, func(a, b int) bool { return ks[a].n > ks[b].n })
+		for _, e := range ks {
+			parts = append(parts, fmt.Sprintf("%s: %d", Category(e.k), e.n))
+		}
+		b.WriteString(strings.Join(parts, ", "))
+		b.WriteString(")\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,342 @@
+package compliance
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rvnegtest/internal/isa"
+	"rvnegtest/internal/sig"
+	"rvnegtest/internal/sim"
+	"rvnegtest/internal/template"
+)
+
+func enc(inst isa.Inst) uint32 { return isa.MustEncode(inst) }
+
+func stream(words ...uint32) []byte {
+	var out []byte
+	for _, w := range words {
+		out = append(out, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	return out
+}
+
+// handSuite contains one trigger per seeded defect plus clean cases.
+func handSuite() *Suite {
+	return &Suite{
+		Origin: "hand-written bug triggers",
+		Cases: [][]byte{
+			stream(enc(isa.Inst{Op: isa.OpADD, Rd: 5, Rs1: 1, Rs2: 2})), // clean
+			stream(0x00000073),        // ECALL (Spike)
+			stream(0x00000073 | 5<<7), // loose ECALL mask (VP)
+			{0x02, 0x40, 0, 0},        // c.lwsp x0 (VP/GRIFT, C configs)
+			stream(enc(isa.Inst{Op: isa.OpJAL, Rd: 1, Imm: 6})),                    // misaligned jump (GRIFT, no-C configs)
+			stream(enc(isa.Inst{Op: isa.OpFADDS, Rd: 1, Rs1: 2, Rs2: 3, RM: 0})),   // F on IMC (GRIFT)
+			stream(enc(isa.Inst{Op: isa.OpSCW, Rd: 5, Rs1: 30, Rs2: 1})),           // SC.W (GRIFT, GC)
+			stream(enc(isa.Inst{Op: isa.OpADD, Rd: 5, Rs1: 1, Rs2: 2}) | 0x13<<25), // loose funct7 (sail)
+			{0x00, 0x84, 0, 0}, // sail crash pattern (C configs)
+			stream(0x0000505b), // sail 32-bit crash pattern (all configs)
+			stream(0x0000400b), // custom-0 (OVPSim reference defect)
+			stream(0xffffffff), // plain illegal: everyone agrees
+		},
+	}
+}
+
+func TestTableIShape(t *testing.T) {
+	rep, err := DefaultRunner().Run(handSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := func(cfg isa.Config, name string) Cell {
+		for i, c := range rep.Configs {
+			if c == cfg {
+				for j, s := range rep.Sims {
+					if s == name {
+						return rep.Cells[i][j]
+					}
+				}
+			}
+		}
+		t.Fatalf("cell %v/%s missing", cfg, name)
+		return Cell{}
+	}
+
+	// "/" cells: VP and sail do not support RV32GC.
+	if cell(isa.RV32GC, "VP").Supported || cell(isa.RV32GC, "sail-riscv").Supported {
+		t.Error("VP/sail must be unsupported on RV32GC")
+	}
+	if cell(isa.RV32GC, "VP").String() != "/" {
+		t.Errorf("unsupported cell renders %q", cell(isa.RV32GC, "VP").String())
+	}
+
+	// Every supported simulator shows mismatches on every configuration
+	// (the custom-opcode defect of the reference alone guarantees that).
+	for i, cfg := range rep.Configs {
+		for j, name := range rep.Sims {
+			c := rep.Cells[i][j]
+			if !c.Supported {
+				continue
+			}
+			if c.Mismatches == 0 {
+				t.Errorf("%v/%s: no mismatches", cfg, name)
+			}
+		}
+	}
+
+	// sail crashes on C configurations.
+	if cell(isa.RV32IMC, "sail-riscv").Crashes == 0 {
+		t.Error("sail must crash on RV32IMC")
+	}
+	if cell(isa.RV32IMC, "sail-riscv").String() != "crash" {
+		t.Errorf("sail cell renders %q", cell(isa.RV32IMC, "sail-riscv").String())
+	}
+	// ...and on RV32I via the 32-bit malformed pattern (Table I reports
+	// "crash" for both rows).
+	if cell(isa.RV32I, "sail-riscv").Crashes == 0 {
+		t.Error("sail must crash on RV32I too")
+	}
+
+	// GRIFT's IMC misconfiguration makes IMC counts exceed I counts.
+	if !(cell(isa.RV32IMC, "GRIFT").Mismatches > cell(isa.RV32I, "GRIFT").Mismatches) {
+		t.Errorf("GRIFT: IMC=%d I=%d, want IMC > I",
+			cell(isa.RV32IMC, "GRIFT").Mismatches, cell(isa.RV32I, "GRIFT").Mismatches)
+	}
+
+	// The render contains the header and a "/" and a "crash".
+	text := rep.Render()
+	for _, want := range []string{"riscvOVPsim", "RV32I", "RV32IMC", "RV32GC", "/", "crash"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render lacks %q:\n%s", want, text)
+		}
+	}
+	if findings := rep.BugFindings(); !strings.Contains(findings, "GRIFT") {
+		t.Errorf("findings lack GRIFT:\n%s", findings)
+	}
+}
+
+func TestCleanSimulatorHasOnlyReferenceDefectMismatches(t *testing.T) {
+	// Running the *reference model* as a SUT against the OVPSim reference:
+	// every mismatch is the reference's own custom-opcode defect.
+	r := DefaultRunner()
+	r.SUTs = []*sim.Variant{sim.Reference}
+	suite := handSuite()
+	rep, err := r.Run(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Configs {
+		c := rep.Cells[i][0]
+		if c.Mismatches != 1 {
+			t.Errorf("%v: reference-vs-ovpsim mismatches = %d, want exactly the custom-opcode case", rep.Configs[i], c.Mismatches)
+		}
+		if c.Categories[CatTrapCause] != 1 {
+			t.Errorf("%v: category histogram %v", rep.Configs[i], c.Categories)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	ref := make([]uint32, 96)
+	got := make([]uint32, 96)
+	copy(got, ref)
+	got[30] = 11
+	if c := Classify(ref, got); c != CatTrapCause {
+		t.Errorf("trap cause: %v", c)
+	}
+	got = make([]uint32, 96)
+	got[26] = 1
+	if c := Classify(ref, got); c != CatCompletionMarker {
+		t.Errorf("completion marker: %v", c)
+	}
+	got = make([]uint32, 96)
+	got[1] = 5
+	if c := Classify(ref, got); c != CatRegisterValue {
+		t.Errorf("register value: %v", c)
+	}
+	got = make([]uint32, 96)
+	got[40] = 5
+	if c := Classify(ref, got); c != CatFPValue {
+		t.Errorf("fp value: %v", c)
+	}
+	if c := Classify(ref, ref[:10]); c != CatMissing {
+		t.Errorf("missing: %v", c)
+	}
+}
+
+func TestSuiteSerialization(t *testing.T) {
+	s := handSuite()
+	text := s.Format()
+	back, err := ParseSuite(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cases) != len(s.Cases) || back.Origin != s.Origin {
+		t.Fatalf("roundtrip: %d cases, origin %q", len(back.Cases), back.Origin)
+	}
+	for i := range s.Cases {
+		if string(back.Cases[i]) != string(s.Cases[i]) {
+			t.Errorf("case %d differs", i)
+		}
+	}
+	if _, err := ParseSuite("zz not hex"); err == nil {
+		t.Error("bad hex must fail")
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "suite.txt")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSuite(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Cases) != len(s.Cases) {
+		t.Errorf("loaded %d cases", len(loaded.Cases))
+	}
+}
+
+func TestWriteASM(t *testing.T) {
+	s := &Suite{Cases: [][]byte{stream(0xffffffff), stream(0x00000073)}}
+	dir := t.TempDir()
+	if err := s.WriteASM(dir, template.DefaultLayout); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "test_00000.S"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), ".word 0xffffffff") {
+		t.Error("exported ASM lacks the bytestream word")
+	}
+	if !strings.Contains(string(b), "trap_handler:") {
+		t.Error("exported ASM lacks the template")
+	}
+}
+
+func TestDontCareComparison(t *testing.T) {
+	// The section VI extension: a don't-care rule suppresses a mismatch.
+	r := DefaultRunner()
+	r.SUTs = []*sim.Variant{sim.Spike}
+	r.Configs = []isa.Config{isa.RV32I}
+	suite := &Suite{Cases: [][]byte{stream(0x00000073)}}
+	rep, err := r.Run(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cells[0][0].Mismatches != 1 {
+		t.Fatalf("spike ecall mismatch missing: %+v", rep.Cells[0][0])
+	}
+	// Masking out the completion marker hides the defect.
+	r.DontCare = &sig.DontCare{Rules: []sig.Rule{{Word: 26, Kind: sig.CondAlways}}}
+	rep, err = r.Run(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cells[0][0].Mismatches != 0 {
+		t.Errorf("don't-care did not suppress: %+v", rep.Cells[0][0])
+	}
+}
+
+// TestRunnerDeterministic: the same suite always yields the identical
+// report (crash capture and counters have no hidden state).
+func TestRunnerDeterministic(t *testing.T) {
+	suite := handSuite()
+	a, err := DefaultRunner().Run(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DefaultRunner().Run(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Cells {
+		for j := range a.Cells[i] {
+			ca, cb := a.Cells[i][j], b.Cells[i][j]
+			if ca.Mismatches != cb.Mismatches || ca.Crashes != cb.Crashes || ca.Timeouts != cb.Timeouts {
+				t.Errorf("cell %d/%d differs between runs: %+v vs %+v", i, j, ca, cb)
+			}
+		}
+	}
+}
+
+func TestAnalyzeSuite(t *testing.T) {
+	s := &Suite{Cases: [][]byte{
+		stream(enc(isa.Inst{Op: isa.OpADD, Rd: 5, Rs1: 1, Rs2: 2})), // valid I
+		stream(0xffffffff), // illegal
+		stream(enc(isa.Inst{Op: isa.OpMUL, Rd: 5, Rs1: 1, Rs2: 2}), 0xffffffff), // M + illegal
+		{0x7d, 0x15, 0, 0}, // c.addi (compressed) + zero halfword (illegal)
+		stream(enc(isa.Inst{Op: isa.OpFADDD, Rd: 1, Rs1: 2, Rs2: 3, RM: 0})),
+	}}
+	st := AnalyzeSuite(s)
+	if st.Cases != 5 {
+		t.Fatalf("cases = %d", st.Cases)
+	}
+	if st.CasesWithIllegal != 3 {
+		t.Errorf("cases with illegal = %d, want 3", st.CasesWithIllegal)
+	}
+	if st.CasesWithExt[isa.ExtM] != 1 || st.CasesWithExt[isa.ExtD] != 1 {
+		t.Errorf("extension census: %v", st.CasesWithExt)
+	}
+	if st.CompressedWords < 2 {
+		t.Errorf("compressed words = %d", st.CompressedWords)
+	}
+	if st.OpsCovered < 3 || st.OpsCovered > 6 {
+		t.Errorf("ops covered = %d", st.OpsCovered)
+	}
+	out := st.String()
+	for _, want := range []string{"5 cases", "illegal", "instructions covered"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks %q:\n%s", want, out)
+		}
+	}
+	// The official positive suite has zero negative payload; a fuzzer
+	// suite has plenty (checked in the fuzz package's stats usage).
+	pos := AnalyzeSuite(OfficialStyleSuite(isa.RV32GC))
+	if pos.IllegalWords != 0 || pos.CasesWithIllegal != 0 {
+		t.Errorf("positive suite has negative payload: %+v", pos)
+	}
+	if pos.OpsCovered < 100 {
+		t.Errorf("positive suite covers only %d ops", pos.OpsCovered)
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	rep, err := DefaultRunner().Run(handSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		Reference string `json:"reference"`
+		Cases     int    `json:"cases"`
+		Rows      []struct {
+			ISA   string `json:"isa"`
+			Cells []struct {
+				Simulator  string `json:"simulator"`
+				Supported  bool   `json:"supported"`
+				Mismatches int    `json:"mismatches"`
+				Crashes    int    `json:"crashes"`
+			} `json:"cells"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, raw)
+	}
+	if back.Reference != "riscvOVPsim" || len(back.Rows) != 3 {
+		t.Fatalf("structure: %+v", back)
+	}
+	for i, row := range back.Rows {
+		for j, cell := range row.Cells {
+			want := rep.Cells[i][j]
+			if cell.Mismatches != want.Mismatches || cell.Crashes != want.Crashes || cell.Supported != want.Supported {
+				t.Errorf("%s/%s: JSON %+v != report %+v", row.ISA, cell.Simulator, cell, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package compliance
+
+import "encoding/json"
+
+// jsonCell is the machine-readable form of one Table I cell.
+type jsonCell struct {
+	Simulator  string         `json:"simulator"`
+	Supported  bool           `json:"supported"`
+	Mismatches int            `json:"mismatches"`
+	Crashes    int            `json:"crashes,omitempty"`
+	Timeouts   int            `json:"timeouts,omitempty"`
+	Categories map[string]int `json:"categories,omitempty"`
+	Examples   []int          `json:"examples,omitempty"`
+}
+
+type jsonRow struct {
+	ISA   string     `json:"isa"`
+	Cells []jsonCell `json:"cells"`
+}
+
+type jsonReport struct {
+	Reference string    `json:"reference"`
+	Cases     int       `json:"cases"`
+	Rows      []jsonRow `json:"rows"`
+}
+
+// JSON serializes the report for CI pipelines and dashboards.
+func (r *Report) JSON() ([]byte, error) {
+	out := jsonReport{Reference: r.RefName, Cases: r.Cases}
+	for i, cfg := range r.Configs {
+		row := jsonRow{ISA: cfg.String()}
+		for j, name := range r.Sims {
+			c := r.Cells[i][j]
+			jc := jsonCell{
+				Simulator:  name,
+				Supported:  c.Supported,
+				Mismatches: c.Mismatches,
+				Crashes:    c.Crashes,
+				Timeouts:   c.Timeouts,
+				Examples:   c.Examples,
+			}
+			for k, n := range c.Categories {
+				if n > 0 {
+					if jc.Categories == nil {
+						jc.Categories = map[string]int{}
+					}
+					jc.Categories[Category(k).String()] = n
+				}
+			}
+			row.Cells = append(row.Cells, jc)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

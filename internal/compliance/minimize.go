@@ -1,0 +1,80 @@
+package compliance
+
+import (
+	"rvnegtest/internal/sig"
+	"rvnegtest/internal/sim"
+)
+
+// failureKind captures what kind of divergence a case produces, so
+// minimization preserves the same failure class.
+type failureKind uint8
+
+const (
+	failNone failureKind = iota
+	failMismatch
+	failCrash
+	failTimeout
+)
+
+func classifyRun(ref, sut *sim.Simulator, bs []byte, dc *sig.DontCare) failureKind {
+	r := ref.Run(bs)
+	if r.Crashed || r.TimedOut {
+		return failNone // unusable as a reference
+	}
+	o := sut.Run(bs)
+	switch {
+	case o.Crashed:
+		return failCrash
+	case o.TimedOut:
+		return failTimeout
+	case len(sig.Compare(sig.Signature(r.Signature), sig.Signature(o.Signature), dc)) != 0:
+		return failMismatch
+	}
+	return failNone
+}
+
+// MinimizeCase shrinks a mismatching test case while preserving its
+// failure class against the given simulators — the triage helper for
+// turning a fuzzer finding into the minimal reproducer (delta debugging
+// at 32-bit-word granularity: word removal, tail truncation, then
+// overwriting words with NOPs).
+func MinimizeCase(bs []byte, ref, sut *sim.Simulator, dc *sig.DontCare) []byte {
+	kind := classifyRun(ref, sut, bs, dc)
+	if kind == failNone {
+		return bs
+	}
+	cur := append([]byte(nil), bs...)
+	still := func(cand []byte) bool { return classifyRun(ref, sut, cand, dc) == kind }
+
+	// Tail truncation first (cheap, often large wins).
+	for len(cur) > 4 {
+		cand := cur[:len(cur)-4]
+		if !still(cand) {
+			break
+		}
+		cur = cand
+	}
+	// Word removal to a fixed point.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i+4 <= len(cur); i += 4 {
+			cand := append(append([]byte(nil), cur[:i]...), cur[i+4:]...)
+			if len(cand) > 0 && still(cand) {
+				cur = cand
+				changed = true
+				break
+			}
+		}
+	}
+	// NOP substitution for words that must remain for layout reasons
+	// (e.g. branch distance) but whose content is irrelevant.
+	const nop = 0x00000013
+	for i := 0; i+4 <= len(cur); i += 4 {
+		cand := append([]byte(nil), cur...)
+		cand[i], cand[i+1], cand[i+2], cand[i+3] = byte(nop), byte(nop>>8), byte(nop>>16), byte(nop>>24)
+		if string(cand) != string(cur) && still(cand) {
+			cur = cand
+		}
+	}
+	return cur
+}

@@ -1,0 +1,83 @@
+package compliance
+
+import (
+	"testing"
+
+	"rvnegtest/internal/filter"
+	"rvnegtest/internal/isa"
+)
+
+func TestOfficialStyleSuiteWellFormed(t *testing.T) {
+	for _, cfg := range []isa.Config{isa.RV32I, isa.RV32IMC, isa.RV32GC} {
+		suite := OfficialStyleSuite(cfg)
+		if len(suite.Cases) < 100 {
+			t.Fatalf("%v: only %d directed cases", cfg, len(suite.Cases))
+		}
+		flt := &filter.Filter{}
+		covered := map[isa.Op]bool{}
+		for ci, bs := range suite.Cases {
+			if res := flt.Check(bs); !res.Accepted {
+				t.Fatalf("%v case %d rejected: %v (%x)", cfg, ci, res, bs)
+			}
+			for pc := 0; pc < len(bs); pc += 4 {
+				w := uint32(bs[pc]) | uint32(bs[pc+1])<<8 | uint32(bs[pc+2])<<16 | uint32(bs[pc+3])<<24
+				inst := isa.Ref.Decode32(w)
+				if inst.Op == isa.OpIllegal {
+					t.Fatalf("%v case %d: illegal word %#08x", cfg, ci, w)
+				}
+				if !cfg.Has(inst.Info().Ext) {
+					t.Fatalf("%v case %d: out-of-config %v", cfg, ci, inst.Op)
+				}
+				covered[inst.Op] = true
+			}
+		}
+		// Positive coverage: every non-forbidden, non-trapping instruction
+		// of the configuration appears somewhere in its suite.
+		for i := range isa.Instructions {
+			in := &isa.Instructions[i]
+			if !cfg.Has(in.Ext) || in.Flags.Any(isa.FlagForbidden|isa.FlagTrap) {
+				continue
+			}
+			if !covered[in.Op] {
+				t.Errorf("%v: instruction %s not covered by the directed suite", cfg, in.Name)
+			}
+		}
+	}
+}
+
+// TestOfficialSuiteFindsOnlySCW reproduces the paper's observation about
+// the official hand-written compliance suite: across all simulators and
+// configurations it finds exactly one defect — GRIFT's SC.W performing the
+// store without a pending reservation.
+func TestOfficialSuiteFindsOnlySCW(t *testing.T) {
+	type key struct {
+		cfg isa.Config
+		sut string
+	}
+	found := map[key]int{}
+	for _, cfg := range []isa.Config{isa.RV32I, isa.RV32IMC, isa.RV32GC} {
+		suite := OfficialStyleSuite(cfg)
+		r := DefaultRunner()
+		r.Configs = []isa.Config{cfg}
+		rep, err := r.Run(suite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, name := range rep.Sims {
+			c := rep.Cells[0][j]
+			if c.Crashes > 0 || c.Timeouts > 0 {
+				t.Errorf("%v/%s: positive suite caused %d crashes, %d timeouts", cfg, name, c.Crashes, c.Timeouts)
+			}
+			found[key{cfg, name}] = c.Mismatches
+		}
+	}
+	for k, n := range found {
+		want := 0
+		if k.sut == "GRIFT" && k.cfg.Has(isa.ExtA) {
+			want = 1 // the unpaired-SC.W directed case
+		}
+		if n != want {
+			t.Errorf("%v/%s: %d mismatches, want %d", k.cfg, k.sut, n, want)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package compliance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rvnegtest/internal/isa"
+)
+
+// SuiteStats summarizes the composition of a test suite: how many cases
+// touch each extension, how much of the instruction set is covered, and
+// the valid/illegal word mix — the numbers behind "how negative is this
+// suite".
+type SuiteStats struct {
+	Cases int
+	// Words partitions every 32-bit-aligned word of the suite.
+	ValidWords      int
+	IllegalWords    int
+	CompressedWords int // halfword pairs decoding as compressed
+	// OpsCovered counts distinct operations appearing (statically) in the
+	// suite, against the RV32GC total.
+	OpsCovered int
+	OpsTotal   int
+	// CasesWithExt counts cases containing at least one instruction of
+	// the extension.
+	CasesWithExt map[isa.Ext]int
+	// CasesWithIllegal counts cases containing at least one
+	// statically-illegal encoding (the negative-testing payload).
+	CasesWithIllegal int
+}
+
+// AnalyzeSuite computes composition statistics by statically decoding the
+// suite's bytestreams (linear scan; control flow is not followed).
+func AnalyzeSuite(s *Suite) SuiteStats {
+	st := SuiteStats{
+		Cases:        len(s.Cases),
+		CasesWithExt: map[isa.Ext]int{},
+	}
+	seen := map[isa.Op]bool{}
+	for _, bs := range s.Cases {
+		exts := map[isa.Ext]bool{}
+		hasIllegal := false
+		for pc := 0; pc+2 <= len(bs); {
+			lo := uint16(bs[pc]) | uint16(bs[pc+1])<<8
+			var inst isa.Inst
+			if lo&3 == 3 {
+				if pc+4 > len(bs) {
+					break
+				}
+				w := uint32(lo) | uint32(bs[pc+2])<<16 | uint32(bs[pc+3])<<24
+				inst = isa.Ref.Decode32(w)
+			} else {
+				inst = isa.Ref.DecodeC(lo)
+				st.CompressedWords++
+			}
+			if inst.Op == isa.OpIllegal {
+				st.IllegalWords++
+				hasIllegal = true
+				pc += int(inst.Size)
+				continue
+			}
+			st.ValidWords++
+			seen[inst.Op] = true
+			exts[inst.Info().Ext] = true
+			pc += int(inst.Size)
+		}
+		for e := range exts {
+			st.CasesWithExt[e]++
+		}
+		if hasIllegal {
+			st.CasesWithIllegal++
+		}
+	}
+	st.OpsCovered = len(seen)
+	st.OpsTotal = len(isa.Instructions)
+	return st
+}
+
+// String renders a human-readable composition report.
+func (st SuiteStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "suite composition: %d cases\n", st.Cases)
+	total := st.ValidWords + st.IllegalWords
+	if total > 0 {
+		fmt.Fprintf(&b, "  words: %d valid, %d illegal (%.1f%% negative payload), %d compressed\n",
+			st.ValidWords, st.IllegalWords, 100*float64(st.IllegalWords)/float64(total), st.CompressedWords)
+	}
+	if st.Cases > 0 {
+		fmt.Fprintf(&b, "  cases with an illegal encoding: %d (%.1f%%)\n",
+			st.CasesWithIllegal, 100*float64(st.CasesWithIllegal)/float64(st.Cases))
+	}
+	fmt.Fprintf(&b, "  instructions covered: %d/%d\n", st.OpsCovered, st.OpsTotal)
+	names := map[isa.Ext]string{
+		isa.ExtI: "I", isa.ExtM: "M", isa.ExtA: "A",
+		isa.ExtF: "F", isa.ExtD: "D", isa.ExtZicsr: "Zicsr", isa.ExtPriv: "priv",
+	}
+	var exts []isa.Ext
+	for e := range st.CasesWithExt {
+		exts = append(exts, e)
+	}
+	sort.Slice(exts, func(i, j int) bool { return exts[i] < exts[j] })
+	for _, e := range exts {
+		n := names[e]
+		if n == "" {
+			n = fmt.Sprintf("%#x", uint32(e))
+		}
+		fmt.Fprintf(&b, "  cases with %s instructions: %d\n", n, st.CasesWithExt[e])
+	}
+	return b.String()
+}

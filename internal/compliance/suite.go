@@ -1,0 +1,79 @@
+package compliance
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rvnegtest/internal/template"
+)
+
+// Format serializes the suite: a comment header followed by one
+// hex-encoded bytestream per line.
+func (s *Suite) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# rvnegtest suite: %d cases\n", len(s.Cases))
+	if s.Origin != "" {
+		fmt.Fprintf(&b, "# origin: %s\n", s.Origin)
+	}
+	for _, c := range s.Cases {
+		b.WriteString(hex.EncodeToString(c))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ParseSuite reads the Format serialization.
+func ParseSuite(text string) (*Suite, error) {
+	s := &Suite{}
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if rest, ok := strings.CutPrefix(line, "# origin: "); ok {
+				s.Origin = rest
+			}
+			continue
+		}
+		bs, err := hex.DecodeString(line)
+		if err != nil {
+			return nil, fmt.Errorf("compliance: suite line %d: %v", i+1, err)
+		}
+		s.Cases = append(s.Cases, bs)
+	}
+	return s, nil
+}
+
+// Save writes the suite to a file.
+func (s *Suite) Save(path string) error {
+	return os.WriteFile(path, []byte(s.Format()), 0o644)
+}
+
+// LoadSuite reads a suite file.
+func LoadSuite(path string) (*Suite, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseSuite(string(b))
+}
+
+// WriteASM exports every test case as a standalone assembler source file
+// in the compliance format (the distributable form of the suite: each file
+// assembles for any supported platform).
+func (s *Suite) WriteASM(dir string, l template.Layout) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, bs := range s.Cases {
+		name := filepath.Join(dir, fmt.Sprintf("test_%05d.S", i))
+		if err := os.WriteFile(name, []byte(template.Source(bs, l)), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"encoding/hex"
+	"fmt"
+	"math"
+
+	"rvnegtest/internal/compliance"
+	"rvnegtest/internal/fuzz"
+)
+
+// RoundResult summarizes one round of continuous testing.
+type RoundResult struct {
+	Seed      int64
+	TestCases int
+	// NewFindings is the number of previously unseen (simulator,
+	// configuration, bytestream) mismatch triples this round discovered.
+	NewFindings int
+}
+
+// ContinuousResult aggregates a continuous negative-testing campaign.
+type ContinuousResult struct {
+	Rounds []RoundResult
+	// Distinct is the total number of distinct findings across rounds.
+	Distinct int
+	// Last is the final round's full report.
+	Last *compliance.Report
+}
+
+// Continuous implements the paper's continuous testing mode: the
+// generate-and-compare pipeline is repeated with fresh fuzzer seeds, and
+// the randomness of each round keeps contributing previously unseen
+// mismatching test cases ("we consider this randomness actually a
+// strength of our approach").
+func Continuous(cfg fuzz.Config, rounds int, execsPerRound uint64, runner *compliance.Runner) (*ContinuousResult, error) {
+	if runner == nil {
+		runner = compliance.DefaultRunner()
+	}
+	runner.MaxExamples = math.MaxInt // track every mismatching case
+	seen := map[string]bool{}
+	res := &ContinuousResult{}
+	baseSeed := cfg.Seed
+	for round := 0; round < rounds; round++ {
+		cfg.Seed = baseSeed + int64(round)
+		suite, st, err := GenerateSuite(cfg, execsPerRound, 0)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := runner.Run(suite)
+		if err != nil {
+			return nil, err
+		}
+		rr := RoundResult{Seed: cfg.Seed, TestCases: st.TestCases}
+		for i, cfgRow := range rep.Configs {
+			for j, simName := range rep.Sims {
+				for _, idx := range rep.Cells[i][j].Examples {
+					key := fmt.Sprintf("%s|%v|%s", simName, cfgRow, hex.EncodeToString(suite.Cases[idx]))
+					if !seen[key] {
+						seen[key] = true
+						rr.NewFindings++
+					}
+				}
+			}
+		}
+		res.Rounds = append(res.Rounds, rr)
+		res.Last = rep
+	}
+	res.Distinct = len(seen)
+	return res, nil
+}

@@ -1,0 +1,75 @@
+// Package core orchestrates the paper's two-phase pipeline: Phase A
+// generates a compliance test suite with the coverage-guided fuzzer, and
+// Phase B runs it across simulators, comparing signatures against the
+// reference. It also provides the drivers for the paper's experiments
+// (Fig. 4 growth curves and Table I).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"rvnegtest/internal/compliance"
+	"rvnegtest/internal/coverage"
+	"rvnegtest/internal/fuzz"
+)
+
+// GenerateSuite runs Phase A: a fuzzing campaign bounded by execution
+// count and/or wall time, returning the collected test suite.
+func GenerateSuite(cfg fuzz.Config, maxExecs uint64, maxDur time.Duration) (*compliance.Suite, fuzz.Stats, error) {
+	f, err := fuzz.New(cfg)
+	if err != nil {
+		return nil, fuzz.Stats{}, err
+	}
+	f.Run(maxExecs, maxDur)
+	st := f.Stats()
+	suite := &compliance.Suite{
+		Cases: f.Corpus(),
+		Origin: fmt.Sprintf("fuzzer seed=%d isa=%v execs=%d cov-points=%d",
+			cfg.Seed, cfg.ISA, st.Execs, st.CovPoints),
+	}
+	return suite, st, nil
+}
+
+// GrowthResult is one configuration's outcome in the Fig. 4 experiment.
+type GrowthResult struct {
+	Name  string
+	Stats fuzz.Stats
+}
+
+// GrowthExperiment reproduces Fig. 4: the v0..v3 coverage configurations
+// fuzzing with the same budget; the trace in each result is the
+// test-cases-vs-executions curve.
+func GrowthExperiment(maxExecs uint64, maxDur time.Duration, seed int64) ([]GrowthResult, error) {
+	var out []GrowthResult
+	for _, name := range []string{"v0", "v1", "v2", "v3"} {
+		opts, _ := coverage.ByName(name)
+		cfg := fuzz.DefaultConfig()
+		cfg.Coverage = opts
+		cfg.Seed = seed
+		suiteless, err := fuzz.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		suiteless.Run(maxExecs, maxDur)
+		out = append(out, GrowthResult{Name: name, Stats: suiteless.Stats()})
+	}
+	return out, nil
+}
+
+// Pipeline runs both phases: suite generation with the given fuzzing
+// configuration and budget, then compliance testing with the runner.
+func Pipeline(cfg fuzz.Config, maxExecs uint64, maxDur time.Duration, runner *compliance.Runner) (*compliance.Suite, *compliance.Report, fuzz.Stats, error) {
+	suite, st, err := GenerateSuite(cfg, maxExecs, maxDur)
+	if err != nil {
+		return nil, nil, st, err
+	}
+	if runner == nil {
+		runner = compliance.DefaultRunner()
+	}
+	rep, err := runner.Run(suite)
+	if err != nil {
+		return suite, nil, st, err
+	}
+	return suite, rep, st, nil
+}

@@ -1,0 +1,130 @@
+// Package coverage implements the three coverage signals that guide the
+// fuzzer (paper sections III-B and IV-E):
+//
+//   - simulator code coverage: the semantic (operation, outcome) edges the
+//     executor emits, bucketized AFL/libFuzzer-style so different hit
+//     counts of the same edge count as new coverage;
+//   - hash coverage: a hash of every fetched instruction word modulo a
+//     configurable number N of coverage points — cheap, generic variance;
+//   - custom rule coverage: structural and value predicates per
+//     instruction (RD=x0, RD=RS1, Reg[RS1] OP Reg[RS2] against corner
+//     values, immediate rules), compiled from a small specification.
+package coverage
+
+// Map is a bucketized hit-count coverage map. Per-run counts are folded
+// into a persistent bucket bitmap; an input is interesting if it sets a
+// bucket bit that no earlier input set (the libFuzzer/AFL notion of new
+// coverage).
+type Map struct {
+	counts  []uint32
+	global  []uint8
+	touched []uint32
+	bits    int
+}
+
+// NewMap allocates a map with the given number of coverage points.
+func NewMap(size int) *Map {
+	return &Map{counts: make([]uint32, size), global: make([]uint8, size)}
+}
+
+// Size returns the number of coverage points.
+func (m *Map) Size() int { return len(m.counts) }
+
+// Hit records one hit of a coverage point for the current run.
+func (m *Map) Hit(id uint32) {
+	if int(id) >= len(m.counts) {
+		return
+	}
+	if m.counts[id] == 0 {
+		m.touched = append(m.touched, id)
+	}
+	m.counts[id]++
+}
+
+// bucketBit maps a hit count to its libFuzzer-style bucket bit.
+func bucketBit(n uint32) uint8 {
+	switch {
+	case n == 0:
+		return 0
+	case n == 1:
+		return 1 << 0
+	case n == 2:
+		return 1 << 1
+	case n == 3:
+		return 1 << 2
+	case n <= 7:
+		return 1 << 3
+	case n <= 15:
+		return 1 << 4
+	case n <= 31:
+		return 1 << 5
+	case n <= 127:
+		return 1 << 6
+	}
+	return 1 << 7
+}
+
+// MergeNew folds the current run's counts into the persistent map and
+// resets them, reporting whether any new bucket bit appeared.
+func (m *Map) MergeNew() bool {
+	novel := false
+	for _, id := range m.touched {
+		b := bucketBit(m.counts[id])
+		if m.global[id]&b == 0 {
+			m.global[id] |= b
+			m.bits++
+			novel = true
+		}
+		m.counts[id] = 0
+	}
+	m.touched = m.touched[:0]
+	return novel
+}
+
+// DiscardRun drops the current run's counts without merging.
+func (m *Map) DiscardRun() {
+	for _, id := range m.touched {
+		m.counts[id] = 0
+	}
+	m.touched = m.touched[:0]
+}
+
+// BucketBits returns the total number of bucket bits set so far (the
+// fuzzer's coverage progress measure).
+func (m *Map) BucketBits() int { return m.bits }
+
+// PointsCovered returns how many coverage points have been hit at least
+// once.
+func (m *Map) PointsCovered() int {
+	n := 0
+	for _, g := range m.global {
+		if g != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset clears all persistent coverage.
+func (m *Map) Reset() {
+	for i := range m.global {
+		m.global[i] = 0
+	}
+	for _, id := range m.touched {
+		m.counts[id] = 0
+	}
+	m.touched = m.touched[:0]
+	m.bits = 0
+}
+
+// fnv1a32 hashes an instruction word (the paper uses std::hash<uint32_t>;
+// any well-mixed hash serves).
+func fnv1a32(w uint32) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < 4; i++ {
+		h ^= w & 0xff
+		h *= 16777619
+		w >>= 8
+	}
+	return h
+}

@@ -1,0 +1,347 @@
+package coverage
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rvnegtest/internal/hart"
+	"rvnegtest/internal/isa"
+)
+
+// RuleConfig selects which rule families the specification enables. The
+// paper provides the custom coverage "through an external specification
+// file"; ParseSpec reads the textual form below, and DefaultSpec
+// reproduces the paper's rule set (section IV-E).
+type RuleConfig struct {
+	RDZero    bool    // RD == x0 / RD != x0
+	RDRS1     bool    // RD == RS1 / RD != RS1
+	Regs3     bool    // three-register relations (all equal / all different / two equal)
+	Rel       bool    // Reg[RS1] OP Reg[RS2] for OP in {==, !=, <, >}
+	Values    []int64 // corner values for Reg[RS*] (the paper: MIN, MAX, -1, 0, 1)
+	ImmRel    bool    // imm OP Reg[RS1]
+	ImmValues []int64 // corner values for immediates
+}
+
+// DefaultSpec is the specification used for the paper's v1..v3
+// configurations.
+const DefaultSpec = `# custom coverage specification (paper section IV-E)
+rd:        zero nonzero
+rdrs1:     eq ne
+regs3:     alleq allne someeq
+rel:       eq ne lt gt
+values:    min max -1 0 1
+immrel:    eq ne lt gt
+immvalues: min max -1 0 1
+`
+
+// ParseSpec reads a rule specification.
+func ParseSpec(src string) (RuleConfig, error) {
+	var cfg RuleConfig
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		key, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return cfg, fmt.Errorf("coverage: spec line %d: missing ':'", lineNo+1)
+		}
+		fields := strings.Fields(rest)
+		switch strings.TrimSpace(key) {
+		case "rd":
+			cfg.RDZero = contains(fields, "zero") || contains(fields, "nonzero")
+		case "rdrs1":
+			cfg.RDRS1 = contains(fields, "eq") || contains(fields, "ne")
+		case "regs3":
+			cfg.Regs3 = len(fields) > 0
+		case "rel":
+			cfg.Rel = len(fields) > 0
+		case "values":
+			vs, err := parseValues(fields)
+			if err != nil {
+				return cfg, fmt.Errorf("coverage: spec line %d: %v", lineNo+1, err)
+			}
+			cfg.Values = vs
+		case "immrel":
+			cfg.ImmRel = len(fields) > 0
+		case "immvalues":
+			vs, err := parseValues(fields)
+			if err != nil {
+				return cfg, fmt.Errorf("coverage: spec line %d: %v", lineNo+1, err)
+			}
+			cfg.ImmValues = vs
+		default:
+			return cfg, fmt.Errorf("coverage: spec line %d: unknown family %q", lineNo+1, key)
+		}
+	}
+	return cfg, nil
+}
+
+func contains(fields []string, s string) bool {
+	for _, f := range fields {
+		if f == s {
+			return true
+		}
+	}
+	return false
+}
+
+func parseValues(fields []string) ([]int64, error) {
+	var out []int64
+	for _, f := range fields {
+		switch f {
+		case "min":
+			out = append(out, int64(-1)<<31)
+		case "max":
+			out = append(out, 1<<31-1)
+		default:
+			v, err := strconv.ParseInt(f, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q", f)
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// rule kinds evaluated per instruction.
+const (
+	ruleRDZero uint8 = iota
+	ruleRDNonzero
+	ruleRDEqRS1
+	ruleRDNeRS1
+	rule3AllEq
+	rule3AllNe
+	rule3SomeEq
+	rule3RDEqRS2
+	rule3RS1EqRS2
+	ruleRelEq
+	ruleRelNe
+	ruleRelLt
+	ruleRelGt
+	ruleRS1Val // arg = value index
+	ruleRS2Val
+	ruleImmVal
+	ruleImmRelEq
+	ruleImmRelNe
+	ruleImmRelLt
+	ruleImmRelGt
+)
+
+type rulePoint struct {
+	kind uint8
+	arg  uint8
+}
+
+// RuleSet is the compiled coverage specification: per operation, the list
+// of applicable coverage points with globally unique IDs.
+type RuleSet struct {
+	cfg    RuleConfig
+	points [][]rulePoint // indexed by Op, parallel ids
+	ids    [][]uint32
+	total  int
+}
+
+// NewRuleSet compiles a configuration against the instruction database.
+func NewRuleSet(cfg RuleConfig) *RuleSet {
+	rs := &RuleSet{cfg: cfg}
+	n := isa.NumOps()
+	rs.points = make([][]rulePoint, n)
+	rs.ids = make([][]uint32, n)
+	next := uint32(0)
+	add := func(op isa.Op, kind, arg uint8) {
+		rs.points[op] = append(rs.points[op], rulePoint{kind, arg})
+		rs.ids[op] = append(rs.ids[op], next)
+		next++
+	}
+	for i := range isa.Instructions {
+		in := &isa.Instructions[i]
+		fl := in.Flags
+		intRD := fl.Is(isa.FlagWritesRD)
+		hasRD := intRD || fl.Is(isa.FlagFPRd)
+		hasRS1 := fl.Is(isa.FlagReadsRS1) || fl.Is(isa.FlagFPRs1)
+		hasRS2 := fl.Is(isa.FlagReadsRS2) || fl.Is(isa.FlagFPRs2)
+		intRS1 := fl.Is(isa.FlagReadsRS1)
+		intRS2 := fl.Is(isa.FlagReadsRS2)
+		hasImm := in.Fmt == isa.FmtI || in.Fmt == isa.FmtIShift || in.Fmt == isa.FmtS ||
+			in.Fmt == isa.FmtB || in.Fmt == isa.FmtU || in.Fmt == isa.FmtJ
+
+		if cfg.RDZero && intRD {
+			add(in.Op, ruleRDZero, 0)
+			add(in.Op, ruleRDNonzero, 0)
+		}
+		if cfg.RDRS1 && intRD && hasRS1 && !fl.Is(isa.FlagFPRs1) {
+			add(in.Op, ruleRDEqRS1, 0)
+			add(in.Op, ruleRDNeRS1, 0)
+		}
+		if cfg.Regs3 && hasRD && hasRS1 && hasRS2 {
+			add(in.Op, rule3AllEq, 0)
+			add(in.Op, rule3AllNe, 0)
+			add(in.Op, rule3SomeEq, 0)
+			add(in.Op, rule3RDEqRS2, 0)
+			add(in.Op, rule3RS1EqRS2, 0)
+		}
+		if cfg.Rel && intRS1 && intRS2 {
+			add(in.Op, ruleRelEq, 0)
+			add(in.Op, ruleRelNe, 0)
+			add(in.Op, ruleRelLt, 0)
+			add(in.Op, ruleRelGt, 0)
+		}
+		if intRS1 {
+			for vi := range cfg.Values {
+				add(in.Op, ruleRS1Val, uint8(vi))
+			}
+		}
+		if intRS2 {
+			for vi := range cfg.Values {
+				add(in.Op, ruleRS2Val, uint8(vi))
+			}
+		}
+		if hasImm {
+			for vi := range cfg.ImmValues {
+				add(in.Op, ruleImmVal, uint8(vi))
+			}
+			if cfg.ImmRel && intRS1 {
+				add(in.Op, ruleImmRelEq, 0)
+				add(in.Op, ruleImmRelNe, 0)
+				add(in.Op, ruleImmRelLt, 0)
+				add(in.Op, ruleImmRelGt, 0)
+			}
+		}
+	}
+	rs.total = int(next)
+	return rs
+}
+
+// NumPoints returns the total number of coverage points the specification
+// defines (the paper reports 2281 for its rule set).
+func (rs *RuleSet) NumPoints() int { return rs.total }
+
+// immCorner maps a configured corner value onto the immediate's own range
+// (MIN/MAX refer to the format's extremes; the paper uses "similar rules
+// for immediates").
+func immCorner(v int64, fmtKind isa.Format) int32 {
+	const i32min = -1 << 31
+	const i32max = 1<<31 - 1
+	switch fmtKind {
+	case isa.FmtI, isa.FmtS:
+		if v == i32min {
+			return -2048
+		}
+		if v == i32max {
+			return 2047
+		}
+	case isa.FmtIShift:
+		if v == i32min {
+			return 0
+		}
+		if v == i32max {
+			return 31
+		}
+	case isa.FmtB:
+		if v == i32min {
+			return -4096
+		}
+		if v == i32max {
+			return 4094
+		}
+	case isa.FmtU:
+		if v == i32min {
+			return int32(-1) << 31
+		}
+		if v == i32max {
+			return int32(0x7ffff000)
+		}
+	case isa.FmtJ:
+		if v == i32min {
+			return -1 << 20
+		}
+		if v == i32max {
+			return 1<<20 - 2
+		}
+	}
+	return int32(v)
+}
+
+// Eval reports the rule points the instruction hits, invoking hit for each.
+func (rs *RuleSet) Eval(inst *isa.Inst, h *hart.Hart, hit func(uint32)) {
+	pts := rs.points[inst.Op]
+	if len(pts) == 0 {
+		return
+	}
+	ids := rs.ids[inst.Op]
+	info := inst.Info()
+	var rv1, rv2 int32
+	if info.Flags.Is(isa.FlagReadsRS1) {
+		rv1 = int32(h.ReadX(inst.Rs1))
+	}
+	if info.Flags.Is(isa.FlagReadsRS2) {
+		rv2 = int32(h.ReadX(inst.Rs2))
+	}
+	for i, p := range pts {
+		ok := false
+		switch p.kind {
+		case ruleRDZero:
+			ok = inst.Rd == 0
+		case ruleRDNonzero:
+			ok = inst.Rd != 0
+		case ruleRDEqRS1:
+			ok = inst.Rd == inst.Rs1
+		case ruleRDNeRS1:
+			ok = inst.Rd != inst.Rs1
+		case rule3AllEq:
+			ok = inst.Rd == inst.Rs1 && inst.Rs1 == inst.Rs2
+		case rule3AllNe:
+			ok = inst.Rd != inst.Rs1 && inst.Rs1 != inst.Rs2 && inst.Rd != inst.Rs2
+		case rule3RDEqRS2:
+			ok = inst.Rd == inst.Rs2
+		case rule3RS1EqRS2:
+			ok = inst.Rs1 == inst.Rs2
+		case rule3SomeEq:
+			eq := 0
+			if inst.Rd == inst.Rs1 {
+				eq++
+			}
+			if inst.Rs1 == inst.Rs2 {
+				eq++
+			}
+			if inst.Rd == inst.Rs2 {
+				eq++
+			}
+			ok = eq == 1
+		case ruleRelEq:
+			ok = rv1 == rv2
+		case ruleRelNe:
+			ok = rv1 != rv2
+		case ruleRelLt:
+			ok = rv1 < rv2
+		case ruleRelGt:
+			ok = rv1 > rv2
+		case ruleRS1Val:
+			ok = int64(rv1) == corner32(rs.cfg.Values[p.arg])
+		case ruleRS2Val:
+			ok = int64(rv2) == corner32(rs.cfg.Values[p.arg])
+		case ruleImmVal:
+			ok = inst.Imm == immCorner(rs.cfg.ImmValues[p.arg], info.Fmt)
+		case ruleImmRelEq:
+			ok = inst.Imm == rv1
+		case ruleImmRelNe:
+			ok = inst.Imm != rv1
+		case ruleImmRelLt:
+			ok = inst.Imm < rv1
+		case ruleImmRelGt:
+			ok = inst.Imm > rv1
+		}
+		if ok {
+			hit(ids[i])
+		}
+	}
+}
+
+// corner32 interprets a configured corner value as a signed 32-bit value.
+func corner32(v int64) int64 { return int64(int32(v)) }

@@ -1,0 +1,484 @@
+// Package csrtest implements the paper's section VI proposal for closing
+// the remaining compliance gap — the privileged architecture's CSRs:
+//
+//  1. very fine-grained tests per CSR, selected dynamically for each
+//     tested platform based on its declared capabilities (a test that
+//     assumes a working instruction counter is simply not run on a
+//     platform that legally hardwires the counter to zero);
+//  2. a coverage metric quantifying the CSR testing effort (which CSR ×
+//     access-kind pairs the selected tests exercise);
+//  3. don't-care companions to the reference signatures for the words that
+//     remain conditionally architecture-specific.
+//
+// Tests are bytestreams in the regular compliance template (the body may
+// use CSR instructions here: these are directed tests, not fuzzer output,
+// so the bytestream filter — which exists to keep *random* inputs platform
+// independent — does not apply).
+package csrtest
+
+import (
+	"fmt"
+
+	"rvnegtest/internal/hart"
+	"rvnegtest/internal/isa"
+	"rvnegtest/internal/sig"
+	"rvnegtest/internal/sim"
+	"rvnegtest/internal/template"
+)
+
+// Capability describes optional platform features a CSR test may depend
+// on. A test runs only if the platform declares every capability the test
+// requires — the "select them dynamically for each tested platform" of
+// section VI.
+type Capability uint32
+
+const (
+	// CapCounters: mcycle/minstret actually count (not hardwired to 0).
+	CapCounters Capability = 1 << iota
+	// CapFPU: floating-point CSRs exist (F or D configured).
+	CapFPU
+)
+
+// Caps returns the capabilities of a platform under this repository's
+// models.
+func Caps(p template.Platform) Capability {
+	var c Capability
+	if !p.CountersHardwired {
+		c |= CapCounters
+	}
+	if p.Cfg.HasFP() {
+		c |= CapFPU
+	}
+	return c
+}
+
+// Test is one fine-grained CSR test.
+type Test struct {
+	Name     string
+	CSR      uint16
+	Requires Capability
+	Stream   []byte
+	// DontCare marks the signature words that remain architecture
+	// specific even within the selected capability set.
+	DontCare *sig.DontCare
+}
+
+// enc appends an instruction to a bytestream.
+func bs(insts ...isa.Inst) []byte {
+	var out []byte
+	for _, inst := range insts {
+		w := isa.MustEncode(inst)
+		out = append(out, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	return out
+}
+
+// Suite builds the fine-grained machine-mode CSR tests applicable to an
+// ISA configuration.
+func Suite(cfg isa.Config) []Test {
+	var tests []Test
+	add := func(t Test) { tests = append(tests, t) }
+
+	// mscratch: full 32-bit read/write roundtrip through all three access
+	// forms. mscratch "can be used by the implementation at will" between
+	// tests, but within one test the written value must read back.
+	add(Test{
+		Name: "mscratch-roundtrip", CSR: hart.CSRMscratch,
+		Stream: bs(
+			isa.Inst{Op: isa.OpCSRRW, Rd: 5, Rs1: 16, CSR: hart.CSRMscratch}, // write x16 pattern
+			isa.Inst{Op: isa.OpCSRRS, Rd: 6, Rs1: 0, CSR: hart.CSRMscratch},  // read back
+			isa.Inst{Op: isa.OpCSRRC, Rd: 7, Rs1: 10, CSR: hart.CSRMscratch}, // clear bits
+			isa.Inst{Op: isa.OpCSRRS, Rd: 8, Rs1: 0, CSR: hart.CSRMscratch},
+		),
+		// The initial mscratch value (read into x5) is architecture
+		// specific.
+		DontCare: &sig.DontCare{Rules: []sig.Rule{{Word: 5, Kind: sig.CondAlways}}},
+	})
+
+	// mepc: the specification requires bit 0 to read as zero.
+	add(Test{
+		Name: "mepc-bit0-masked", CSR: hart.CSRMepc,
+		Stream: bs(
+			isa.Inst{Op: isa.OpCSRRW, Rd: 0, Rs1: 12, CSR: hart.CSRMepc}, // x12 = 3 (odd)
+			isa.Inst{Op: isa.OpCSRRS, Rd: 5, Rs1: 0, CSR: hart.CSRMepc},
+		),
+	})
+
+	// mtvec: the base must be write/readable; mtvec MAY be hardwired, so
+	// the read-back word carries an if-zero... a hardwired mtvec reads as
+	// the platform's value; compare only the low mode bits via a mask
+	// rule (mode bit 1 is reserved and must read zero).
+	add(Test{
+		Name: "mtvec-mode-bits", CSR: hart.CSRMtvec,
+		Stream: bs(
+			isa.Inst{Op: isa.OpCSRRS, Rd: 5, Rs1: 0, CSR: hart.CSRMtvec},
+		),
+		// The handler address is platform specific; only bit 1 (reserved,
+		// reads zero) is checked.
+		DontCare: &sig.DontCare{Rules: []sig.Rule{{Word: 5, Kind: sig.CondMask, Mask: 0x2}}},
+	})
+
+	// misa: only MXL (RV32) is demanded; the extension bits are the
+	// platform's own truth and excluded via mask.
+	add(Test{
+		Name: "misa-mxl", CSR: hart.CSRMisa,
+		Stream: bs(
+			isa.Inst{Op: isa.OpCSRRS, Rd: 5, Rs1: 0, CSR: hart.CSRMisa},
+		),
+		DontCare: &sig.DontCare{Rules: []sig.Rule{{Word: 5, Kind: sig.CondMask, Mask: 0xc0000000}}},
+	})
+
+	// mcause/mtval after a provoked illegal instruction: mcause must hold
+	// the supported code; mtval may legally be zero (the paper's example
+	// for conditional don't-care).
+	add(Test{
+		Name: "mcause-mtval-illegal", CSR: hart.CSRMcause,
+		Stream: bs(
+			// Provoke the trap by writing a read-only CSR; the trap
+			// handler records mcause into the signature. (The template's
+			// handler path bypasses the rest of the body.)
+			isa.Inst{Op: isa.OpCSRRW, Rd: 0, Rs1: 5, CSR: hart.CSRMhartid},
+		),
+	})
+
+	// minstret: the paper's own example of a specialized test — "check
+	// that the counter increments when enabled but not care about the
+	// exact architecture specific counter value". Two back-to-back reads;
+	// the difference is the semantic payload, the absolute values are
+	// don't-care.
+	add(Test{
+		Name: "minstret-increments", CSR: hart.CSRMinstret, Requires: CapCounters,
+		Stream: bs(
+			isa.Inst{Op: isa.OpCSRRS, Rd: 5, Rs1: 0, CSR: hart.CSRMinstret},
+			isa.Inst{Op: isa.OpCSRRS, Rd: 6, Rs1: 0, CSR: hart.CSRMinstret},
+			isa.Inst{Op: isa.OpSUB, Rd: 7, Rs1: 6, Rs2: 5}, // must be 1
+		),
+		DontCare: &sig.DontCare{Rules: []sig.Rule{
+			{Word: 5, Kind: sig.CondAlways},
+			{Word: 6, Kind: sig.CondAlways},
+		}},
+	})
+	add(Test{
+		Name: "mcycle-advances", CSR: hart.CSRMcycle, Requires: CapCounters,
+		Stream: bs(
+			isa.Inst{Op: isa.OpCSRRS, Rd: 5, Rs1: 0, CSR: hart.CSRMcycle},
+			isa.Inst{Op: isa.OpCSRRS, Rd: 6, Rs1: 0, CSR: hart.CSRMcycle},
+			isa.Inst{Op: isa.OpSLTU, Rd: 7, Rs1: 5, Rs2: 6}, // strictly increasing
+		),
+		DontCare: &sig.DontCare{Rules: []sig.Rule{
+			{Word: 5, Kind: sig.CondAlways},
+			{Word: 6, Kind: sig.CondAlways},
+		}},
+	})
+	// Counter write access (the full-width counters are writable CSRs).
+	add(Test{
+		Name: "minstret-writable", CSR: hart.CSRMinstret, Requires: CapCounters,
+		Stream: bs(
+			isa.Inst{Op: isa.OpCSRRW, Rd: 0, Rs1: 1, CSR: hart.CSRMinstret}, // minstret = 1
+			isa.Inst{Op: isa.OpCSRRS, Rd: 5, Rs1: 0, CSR: hart.CSRMinstret},
+			isa.Inst{Op: isa.OpSLTIU, Rd: 6, Rs1: 5, Imm: 16}, // small again
+		),
+		DontCare: &sig.DontCare{Rules: []sig.Rule{{Word: 5, Kind: sig.CondAlways}}},
+	})
+
+	// mstatus: MIE set/clear roundtrip through the immediate forms.
+	add(Test{
+		Name: "mstatus-mie-toggle", CSR: hart.CSRMstatus,
+		Stream: bs(
+			isa.Inst{Op: isa.OpCSRRSI, Rd: 5, Imm: 8, CSR: hart.CSRMstatus}, // set MIE
+			isa.Inst{Op: isa.OpCSRRS, Rd: 6, Rs1: 0, CSR: hart.CSRMstatus},
+			isa.Inst{Op: isa.OpCSRRCI, Rd: 0, Imm: 8, CSR: hart.CSRMstatus}, // clear MIE
+			isa.Inst{Op: isa.OpCSRRS, Rd: 7, Rs1: 0, CSR: hart.CSRMstatus},
+		),
+		// Other mstatus fields (FS, MPP defaults) are platform facts;
+		// compare only the MIE bit.
+		DontCare: &sig.DontCare{Rules: []sig.Rule{
+			{Word: 5, Kind: sig.CondMask, Mask: 0x8},
+			{Word: 6, Kind: sig.CondMask, Mask: 0x8},
+			{Word: 7, Kind: sig.CondMask, Mask: 0x8},
+		}},
+	})
+
+	// mie: set/clear of the machine interrupt enables; bits for absent
+	// interrupt sources may legally be hardwired to zero (the paper's MIE
+	// example), so compare under an if-zero rule.
+	add(Test{
+		Name: "mie-write-warl", CSR: hart.CSRMie,
+		Stream: bs(
+			isa.Inst{Op: isa.OpCSRRW, Rd: 0, Rs1: 2, CSR: hart.CSRMie}, // write all ones
+			isa.Inst{Op: isa.OpCSRRS, Rd: 5, Rs1: 0, CSR: hart.CSRMie},
+			isa.Inst{Op: isa.OpCSRRC, Rd: 0, Rs1: 2, CSR: hart.CSRMie}, // clear all
+			isa.Inst{Op: isa.OpCSRRS, Rd: 6, Rs1: 0, CSR: hart.CSRMie},
+		),
+		// Which enable bits stick is platform specific; after clearing,
+		// zero is demanded.
+		DontCare: &sig.DontCare{Rules: []sig.Rule{{Word: 5, Kind: sig.CondAlways}}},
+	})
+
+	// mtval: writable scratch until the next trap; "it is also legal
+	// behavior to simply set MTVAL to zero" — the paper's if-zero example.
+	add(Test{
+		Name: "mtval-write-ifzero", CSR: hart.CSRMtval,
+		Stream: bs(
+			isa.Inst{Op: isa.OpCSRRW, Rd: 0, Rs1: 15, CSR: hart.CSRMtval},
+			isa.Inst{Op: isa.OpCSRRS, Rd: 5, Rs1: 0, CSR: hart.CSRMtval},
+		),
+		DontCare: &sig.DontCare{Rules: []sig.Rule{{Word: 5, Kind: sig.CondIfZero}}},
+	})
+
+	// mcause: holds written values between traps.
+	add(Test{
+		Name: "mcause-write", CSR: hart.CSRMcause,
+		Stream: bs(
+			isa.Inst{Op: isa.OpCSRRW, Rd: 0, Rs1: 26, CSR: hart.CSRMcause},
+			isa.Inst{Op: isa.OpCSRRS, Rd: 5, Rs1: 0, CSR: hart.CSRMcause},
+			isa.Inst{Op: isa.OpCSRRC, Rd: 0, Rs1: 26, CSR: hart.CSRMcause},
+			isa.Inst{Op: isa.OpCSRRS, Rd: 6, Rs1: 0, CSR: hart.CSRMcause},
+		),
+	})
+
+	// mepc set/clear forms complete its access-kind coverage.
+	add(Test{
+		Name: "mepc-set-clear", CSR: hart.CSRMepc,
+		Stream: bs(
+			isa.Inst{Op: isa.OpCSRRW, Rd: 0, Rs1: 0, CSR: hart.CSRMepc},
+			isa.Inst{Op: isa.OpCSRRS, Rd: 0, Rs1: 14, CSR: hart.CSRMepc}, // set 0x20
+			isa.Inst{Op: isa.OpCSRRS, Rd: 5, Rs1: 0, CSR: hart.CSRMepc},
+			isa.Inst{Op: isa.OpCSRRC, Rd: 0, Rs1: 14, CSR: hart.CSRMepc},
+			isa.Inst{Op: isa.OpCSRRS, Rd: 6, Rs1: 0, CSR: hart.CSRMepc},
+		),
+	})
+
+	// mip: the pending bits are read-only views of interrupt sources;
+	// reading must be legal, the value is the platform's.
+	add(Test{
+		Name: "mip-read", CSR: hart.CSRMip,
+		Stream: bs(
+			isa.Inst{Op: isa.OpCSRRS, Rd: 5, Rs1: 0, CSR: hart.CSRMip},
+		),
+		DontCare: &sig.DontCare{Rules: []sig.Rule{{Word: 5, Kind: sig.CondAlways}}},
+	})
+
+	// Identification CSRs: reads must succeed; values are by definition
+	// architecture specific.
+	for _, id := range []struct {
+		name string
+		addr uint16
+	}{
+		{"mvendorid-read", hart.CSRMvendorid},
+		{"marchid-read", hart.CSRMarchid},
+		{"mimpid-read", hart.CSRMimpid},
+		{"mhartid-read", hart.CSRMhartid},
+	} {
+		add(Test{
+			Name: id.name, CSR: id.addr,
+			Stream: bs(
+				isa.Inst{Op: isa.OpCSRRS, Rd: 5, Rs1: 0, CSR: id.addr},
+			),
+			DontCare: &sig.DontCare{Rules: []sig.Rule{{Word: 5, Kind: sig.CondAlways}}},
+		})
+	}
+
+	// mstatus write form (csrrw) restoring the previous value afterwards.
+	add(Test{
+		Name: "mstatus-write-restore", CSR: hart.CSRMstatus,
+		Stream: bs(
+			isa.Inst{Op: isa.OpCSRRS, Rd: 5, Rs1: 0, CSR: hart.CSRMstatus}, // save
+			isa.Inst{Op: isa.OpCSRRW, Rd: 6, Rs1: 5, CSR: hart.CSRMstatus}, // rewrite same
+			isa.Inst{Op: isa.OpCSRRS, Rd: 7, Rs1: 0, CSR: hart.CSRMstatus}, // must equal x5
+			isa.Inst{Op: isa.OpSUB, Rd: 8, Rs1: 7, Rs2: 5},                 // semantic: 0
+		),
+		DontCare: &sig.DontCare{Rules: []sig.Rule{
+			{Word: 5, Kind: sig.CondAlways},
+			{Word: 6, Kind: sig.CondAlways},
+			{Word: 7, Kind: sig.CondAlways},
+		}},
+	})
+
+	// mcycle write access (full-width counters are writable).
+	add(Test{
+		Name: "mcycle-writable", CSR: hart.CSRMcycle, Requires: CapCounters,
+		Stream: bs(
+			isa.Inst{Op: isa.OpCSRRW, Rd: 0, Rs1: 1, CSR: hart.CSRMcycle},
+			isa.Inst{Op: isa.OpCSRRS, Rd: 5, Rs1: 0, CSR: hart.CSRMcycle},
+			isa.Inst{Op: isa.OpSLTIU, Rd: 6, Rs1: 5, Imm: 64},
+		),
+		DontCare: &sig.DontCare{Rules: []sig.Rule{{Word: 5, Kind: sig.CondAlways}}},
+	})
+
+	// misa write-ignored (WARL): writing garbage must not corrupt MXL.
+	add(Test{
+		Name: "misa-warl-write", CSR: hart.CSRMisa,
+		Stream: bs(
+			isa.Inst{Op: isa.OpCSRRW, Rd: 0, Rs1: 16, CSR: hart.CSRMisa},
+			isa.Inst{Op: isa.OpCSRRS, Rd: 5, Rs1: 0, CSR: hart.CSRMisa},
+		),
+		DontCare: &sig.DontCare{Rules: []sig.Rule{{Word: 5, Kind: sig.CondMask, Mask: 0xc0000000}}},
+	})
+
+	if cfg.HasFP() {
+		// fcsr decomposes into frm/fflags; roundtrips through all views.
+		add(Test{
+			Name: "fcsr-decompose", CSR: hart.CSRFcsr, Requires: CapFPU,
+			Stream: bs(
+				isa.Inst{Op: isa.OpCSRRWI, Rd: 0, Imm: 0x1f, CSR: hart.CSRFcsr}, // fflags all set... zimm is 5 bits
+				isa.Inst{Op: isa.OpCSRRS, Rd: 5, Rs1: 0, CSR: 0x001},            // fflags
+				isa.Inst{Op: isa.OpCSRRWI, Rd: 0, Imm: 3, CSR: 0x002},           // frm = 3
+				isa.Inst{Op: isa.OpCSRRS, Rd: 6, Rs1: 0, CSR: hart.CSRFcsr},     // fcsr = 3<<5 | 0x1f
+			),
+		})
+		add(Test{
+			Name: "fflags-accrual", CSR: 0x001, Requires: CapFPU,
+			Stream: bs(
+				isa.Inst{Op: isa.OpCSRRWI, Rd: 0, Imm: 0, CSR: hart.CSRFcsr},
+				// 1.0 / 0.0 -> +inf, DZ flag.
+				isa.Inst{Op: isa.OpFDIVS, Rd: 2, Rs1: 1, Rs2: 0, RM: 0},
+				isa.Inst{Op: isa.OpCSRRS, Rd: 5, Rs1: 0, CSR: 0x001},
+			),
+		})
+	}
+	return tests
+}
+
+// Select filters a suite to the tests a platform's capabilities support —
+// section VI direction 1.
+func Select(tests []Test, caps Capability) []Test {
+	var out []Test
+	for _, t := range tests {
+		if t.Requires&^caps == 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// AccessKind classifies CSR accesses for the coverage metric.
+type AccessKind uint8
+
+const (
+	AccessRead AccessKind = iota
+	AccessWrite
+	AccessSet
+	AccessClear
+	accessKinds
+)
+
+// Coverage computes the CSR coverage metric of section VI direction 2:
+// which (CSR, access kind) pairs the given tests exercise, out of the
+// machine-mode CSR surface of the configuration.
+func Coverage(tests []Test, cfg isa.Config) (covered, total int, detail map[string]bool) {
+	// The CSR surface under test: machine-mode CSRs plus FP CSRs when
+	// configured. Read-only CSRs count only their read point.
+	type csrDesc struct {
+		addr     uint16
+		readOnly bool
+	}
+	surface := []csrDesc{
+		{hart.CSRMstatus, false}, {hart.CSRMisa, false}, {hart.CSRMie, false},
+		{hart.CSRMtvec, false}, {hart.CSRMscratch, false}, {hart.CSRMepc, false},
+		{hart.CSRMcause, false}, {hart.CSRMtval, false}, {hart.CSRMip, false},
+		{hart.CSRMcycle, false}, {hart.CSRMinstret, false},
+		{hart.CSRMvendorid, true}, {hart.CSRMarchid, true}, {hart.CSRMimpid, true},
+		{hart.CSRMhartid, true},
+	}
+	if cfg.HasFP() {
+		surface = append(surface, csrDesc{0x001, false}, csrDesc{0x002, false}, csrDesc{hart.CSRFcsr, false})
+	}
+	for _, d := range surface {
+		if d.readOnly {
+			total++
+		} else {
+			total += int(accessKinds)
+		}
+	}
+
+	detail = map[string]bool{}
+	mark := func(addr uint16, k AccessKind) {
+		key := fmt.Sprintf("%s/%s", isa.CSRName(addr), [...]string{"read", "write", "set", "clear"}[k])
+		if !detail[key] {
+			detail[key] = true
+		}
+	}
+	for _, t := range tests {
+		for pc := 0; pc+4 <= len(t.Stream); pc += 4 {
+			w := uint32(t.Stream[pc]) | uint32(t.Stream[pc+1])<<8 | uint32(t.Stream[pc+2])<<16 | uint32(t.Stream[pc+3])<<24
+			inst := isa.Ref.Decode32(w)
+			if !inst.Op.Flags().Is(isa.FlagCSR) {
+				continue
+			}
+			if inst.Rd != 0 {
+				mark(inst.CSR, AccessRead)
+			}
+			switch inst.Op {
+			case isa.OpCSRRW, isa.OpCSRRWI:
+				mark(inst.CSR, AccessWrite)
+				if inst.Rd != 0 {
+					mark(inst.CSR, AccessRead)
+				}
+			case isa.OpCSRRS, isa.OpCSRRSI:
+				mark(inst.CSR, AccessRead)
+				if inst.Rs1 != 0 || (inst.Op == isa.OpCSRRSI && inst.Imm != 0) {
+					mark(inst.CSR, AccessSet)
+				}
+			case isa.OpCSRRC, isa.OpCSRRCI:
+				mark(inst.CSR, AccessRead)
+				if inst.Rs1 != 0 || (inst.Op == isa.OpCSRRCI && inst.Imm != 0) {
+					mark(inst.CSR, AccessClear)
+				}
+			}
+		}
+	}
+	// Count only points that belong to the declared surface.
+	for _, d := range surface {
+		name := isa.CSRName(d.addr)
+		kinds := []string{"read"}
+		if !d.readOnly {
+			kinds = []string{"read", "write", "set", "clear"}
+		}
+		for _, k := range kinds {
+			if detail[name+"/"+k] {
+				covered++
+			}
+		}
+	}
+	return covered, total, detail
+}
+
+// Result is one CSR test outcome on one simulator.
+type Result struct {
+	Test     string
+	Skipped  bool // platform lacks a required capability
+	Mismatch []int
+	Crashed  bool
+	TimedOut bool
+}
+
+// Run executes the capability-selected tests on a simulator-under-test,
+// comparing against the reference model on the same platform with the
+// per-test don't-care rules applied.
+func Run(v *sim.Variant, p template.Platform, tests []Test) ([]Result, error) {
+	caps := Caps(p)
+	refSim, err := sim.New(sim.Reference, p)
+	if err != nil {
+		return nil, err
+	}
+	sut, err := sim.New(v, p)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	for _, t := range tests {
+		if t.Requires&^caps != 0 {
+			out = append(out, Result{Test: t.Name, Skipped: true})
+			continue
+		}
+		ref := refSim.Run(t.Stream)
+		got := sut.Run(t.Stream)
+		r := Result{Test: t.Name, Crashed: got.Crashed, TimedOut: got.TimedOut}
+		if !got.Crashed && !got.TimedOut && !ref.Crashed && !ref.TimedOut {
+			r.Mismatch = sig.Compare(ref.Signature, got.Signature, t.DontCare)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

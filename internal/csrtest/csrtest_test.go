@@ -1,0 +1,214 @@
+package csrtest
+
+import (
+	"testing"
+
+	"rvnegtest/internal/isa"
+	"rvnegtest/internal/sim"
+	"rvnegtest/internal/template"
+)
+
+func plat(cfg isa.Config) template.Platform {
+	return template.Platform{Layout: template.DefaultLayout, Cfg: cfg}
+}
+
+func TestSuiteComposition(t *testing.T) {
+	s := Suite(isa.RV32I)
+	if len(s) < 7 {
+		t.Fatalf("RV32I CSR suite: %d tests", len(s))
+	}
+	for _, tc := range s {
+		if tc.Requires&CapFPU != 0 {
+			t.Errorf("%s: FPU test in an RV32I suite", tc.Name)
+		}
+	}
+	g := Suite(isa.RV32GC)
+	if len(g) <= len(s) {
+		t.Errorf("GC suite (%d) must extend the I suite (%d) with FP CSR tests", len(g), len(s))
+	}
+}
+
+func TestCapabilitySelection(t *testing.T) {
+	full := plat(isa.RV32GC)
+	if Caps(full) != CapCounters|CapFPU {
+		t.Errorf("full caps = %b", Caps(full))
+	}
+	hardwired := full
+	hardwired.CountersHardwired = true
+	if Caps(hardwired)&CapCounters != 0 {
+		t.Error("hardwired platform must lack CapCounters")
+	}
+	tests := Suite(isa.RV32GC)
+	sel := Select(tests, Caps(hardwired))
+	if len(sel) >= len(tests) {
+		t.Error("selection must drop counter tests")
+	}
+	for _, tc := range sel {
+		if tc.Requires&CapCounters != 0 {
+			t.Errorf("%s selected despite missing capability", tc.Name)
+		}
+	}
+}
+
+// TestAllPassOnFaithfulPlatform: on a platform with all capabilities,
+// every CSR test passes against the reference for every simulator model
+// (no CSR defects are seeded; the framework must not report phantom
+// ones).
+func TestAllPassOnFaithfulPlatform(t *testing.T) {
+	tests := Suite(isa.RV32GC)
+	for _, v := range sim.All {
+		if !v.Supports(isa.RV32GC) {
+			continue
+		}
+		results, err := Run(v, plat(isa.RV32GC), tests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Skipped {
+				t.Errorf("%s/%s skipped on a full-capability platform", v.Name, r.Test)
+			}
+			if r.Crashed || r.TimedOut || len(r.Mismatch) != 0 {
+				t.Errorf("%s/%s: %+v", v.Name, r.Test, r)
+			}
+		}
+	}
+}
+
+// TestSelectionPreventsSpuriousMismatches is the point of section VI
+// direction 1: on a platform that legally hardwires its counters, the
+// counter tests are skipped by selection — running them anyway (a
+// selection-free harness) would report spurious mismatches.
+func TestSelectionPreventsSpuriousMismatches(t *testing.T) {
+	hardwired := plat(isa.RV32GC)
+	hardwired.CountersHardwired = true
+	tests := Suite(isa.RV32GC)
+
+	// Proper flow: Run applies selection internally.
+	results, err := Run(sim.Reference, hardwired, tests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipped := 0
+	for _, r := range results {
+		if r.Skipped {
+			skipped++
+			continue
+		}
+		if len(r.Mismatch) != 0 || r.Crashed || r.TimedOut {
+			t.Errorf("selected test %s failed on the hardwired platform: %+v", r.Test, r)
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("no tests were skipped; selection inactive")
+	}
+
+	// Forcing the counter tests onto the hardwired platform produces the
+	// spurious failures the selection exists to avoid. The comparison is
+	// reference-on-full-platform vs reference-on-hardwired-platform —
+	// both specification-compliant.
+	refFull, err := sim.New(sim.Reference, plat(isa.RV32GC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refHard, err := sim.New(sim.Reference, hardwired)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spurious := 0
+	for _, tc := range tests {
+		if tc.Requires&CapCounters == 0 {
+			continue
+		}
+		a, b := refFull.Run(tc.Stream), refHard.Run(tc.Stream)
+		for i := range a.Signature {
+			if a.Signature[i] != b.Signature[i] {
+				spurious++
+				break
+			}
+		}
+	}
+	if spurious == 0 {
+		t.Error("expected spurious mismatches when ignoring capabilities")
+	}
+}
+
+func TestMinstretSemantics(t *testing.T) {
+	// The increments test's semantic payload: x7 = minstret delta = 1.
+	tests := Select(Suite(isa.RV32I), CapCounters)
+	var incr *Test
+	for i := range tests {
+		if tests[i].Name == "minstret-increments" {
+			incr = &tests[i]
+		}
+	}
+	if incr == nil {
+		t.Fatal("minstret-increments missing")
+	}
+	s, err := sim.New(sim.Reference, plat(isa.RV32I))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Run(incr.Stream)
+	if out.Signature[7] != 1 {
+		t.Errorf("minstret delta = %d, want 1", out.Signature[7])
+	}
+	// On the hardwired platform the delta is 0 — legal, which is exactly
+	// why the test carries the capability requirement.
+	hp := plat(isa.RV32I)
+	hp.CountersHardwired = true
+	hs, err := sim.New(sim.Reference, hp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hout := hs.Run(incr.Stream)
+	if hout.Signature[7] != 0 {
+		t.Errorf("hardwired delta = %d, want 0", hout.Signature[7])
+	}
+}
+
+func TestCoverageMetric(t *testing.T) {
+	tests := Suite(isa.RV32GC)
+	covered, total, detail := Coverage(tests, isa.RV32GC)
+	if covered == 0 || total == 0 || covered > total {
+		t.Fatalf("coverage %d/%d", covered, total)
+	}
+	for _, want := range []string{"mscratch/write", "mscratch/read", "mscratch/clear",
+		"mepc/write", "minstret/read", "fcsr/write"} {
+		if !detail[want] {
+			t.Errorf("coverage point %s not exercised (have %v)", want, detail)
+		}
+	}
+	// The I-configuration surface is smaller (no FP CSRs).
+	_, totalI, _ := Coverage(Suite(isa.RV32I), isa.RV32I)
+	if totalI >= total {
+		t.Errorf("I surface (%d) must be smaller than GC surface (%d)", totalI, total)
+	}
+	t.Logf("CSR coverage: %d/%d points", covered, total)
+}
+
+func TestMcauseProvocation(t *testing.T) {
+	// The mcause test provokes an illegal CSR write; the handler records
+	// cause 2 in the signature.
+	var mc *Test
+	tests := Suite(isa.RV32I)
+	for i := range tests {
+		if tests[i].Name == "mcause-mtval-illegal" {
+			mc = &tests[i]
+		}
+	}
+	if mc == nil {
+		t.Fatal("test missing")
+	}
+	s, err := sim.New(sim.Reference, plat(isa.RV32I))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Run(mc.Stream)
+	if out.Signature[30] != 2 {
+		t.Errorf("mcause = %d, want 2", out.Signature[30])
+	}
+	if out.Signature[26] != template.XInit[26] {
+		t.Error("trap path must bypass the completion marker")
+	}
+}

@@ -1,0 +1,152 @@
+// Package elf provides a minimal ELF32 (RISC-V, little-endian) executable
+// writer and loader: just enough of the format for the compliance flow to
+// pre-compile the test-case template into an ELF, load it into simulator
+// memory and exchange test binaries between tools, mirroring how the
+// paper's setup compiles each test case per platform.
+package elf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"rvnegtest/internal/asm"
+	"rvnegtest/internal/mem"
+)
+
+const (
+	headerSize = 52
+	phentSize  = 32
+
+	machineRISCV = 243
+	typeExec     = 2
+	ptLoad       = 1
+)
+
+// Segment is one loadable region of an executable image.
+type Segment struct {
+	Addr  uint32
+	Data  []byte
+	Flags uint32 // PF_X|PF_W|PF_R bits
+}
+
+// Image is a parsed (or to-be-written) executable.
+type Image struct {
+	Entry    uint32
+	Segments []Segment
+}
+
+// FromProgram converts an assembled program into an image with an
+// executable text segment and a writable data segment.
+func FromProgram(p *asm.Program) *Image {
+	img := &Image{Entry: p.Entry}
+	if len(p.Text.Data) > 0 {
+		img.Segments = append(img.Segments, Segment{Addr: p.Text.Addr, Data: p.Text.Data, Flags: 0x5})
+	}
+	if len(p.Data.Data) > 0 {
+		img.Segments = append(img.Segments, Segment{Addr: p.Data.Addr, Data: p.Data.Data, Flags: 0x6})
+	}
+	return img
+}
+
+// Write serializes the image as an ELF32 executable.
+func (img *Image) Write() []byte {
+	n := len(img.Segments)
+	phoff := uint32(headerSize)
+	dataOff := phoff + uint32(n*phentSize)
+
+	var buf []byte
+	le := binary.LittleEndian
+	w32 := func(v uint32) { buf = le.AppendUint32(buf, v) }
+	w16 := func(v uint16) { buf = le.AppendUint16(buf, v) }
+
+	// e_ident
+	buf = append(buf, 0x7f, 'E', 'L', 'F', 1 /*ELFCLASS32*/, 1 /*ELFDATA2LSB*/, 1 /*EV_CURRENT*/)
+	buf = append(buf, make([]byte, 9)...)
+	w16(typeExec)
+	w16(machineRISCV)
+	w32(1) // e_version
+	w32(img.Entry)
+	w32(phoff)
+	w32(0) // e_shoff
+	w32(1) // e_flags: EF_RISCV_RVC
+	w16(headerSize)
+	w16(phentSize)
+	w16(uint16(n))
+	w16(40) // e_shentsize
+	w16(0)  // e_shnum
+	w16(0)  // e_shstrndx
+
+	off := dataOff
+	for _, s := range img.Segments {
+		w32(ptLoad)
+		w32(off)
+		w32(s.Addr) // vaddr
+		w32(s.Addr) // paddr
+		w32(uint32(len(s.Data)))
+		w32(uint32(len(s.Data)))
+		w32(s.Flags)
+		w32(4) // align
+		off += uint32(len(s.Data))
+	}
+	for _, s := range img.Segments {
+		buf = append(buf, s.Data...)
+	}
+	return buf
+}
+
+// ErrBadELF reports a malformed or unsupported ELF file.
+var ErrBadELF = errors.New("elf: malformed or unsupported file")
+
+// Parse reads an ELF32 executable produced by Write (or a compatible
+// RISC-V ELF32 with simple PT_LOAD segments).
+func Parse(b []byte) (*Image, error) {
+	if len(b) < headerSize || b[0] != 0x7f || b[1] != 'E' || b[2] != 'L' || b[3] != 'F' {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadELF)
+	}
+	if b[4] != 1 || b[5] != 1 {
+		return nil, fmt.Errorf("%w: not ELF32 little-endian", ErrBadELF)
+	}
+	le := binary.LittleEndian
+	if le.Uint16(b[18:]) != machineRISCV {
+		return nil, fmt.Errorf("%w: not a RISC-V binary", ErrBadELF)
+	}
+	img := &Image{Entry: le.Uint32(b[24:])}
+	phoff := le.Uint32(b[28:])
+	phentsize := le.Uint16(b[42:])
+	phnum := le.Uint16(b[44:])
+	if phentsize < phentSize {
+		return nil, fmt.Errorf("%w: bad phentsize", ErrBadELF)
+	}
+	for i := 0; i < int(phnum); i++ {
+		off := int(phoff) + i*int(phentsize)
+		if off+phentSize > len(b) {
+			return nil, fmt.Errorf("%w: program header out of range", ErrBadELF)
+		}
+		ph := b[off:]
+		if le.Uint32(ph) != ptLoad {
+			continue
+		}
+		fileOff := le.Uint32(ph[4:])
+		vaddr := le.Uint32(ph[8:])
+		filesz := le.Uint32(ph[16:])
+		flags := le.Uint32(ph[24:])
+		if int(fileOff)+int(filesz) > len(b) {
+			return nil, fmt.Errorf("%w: segment data out of range", ErrBadELF)
+		}
+		data := make([]byte, filesz)
+		copy(data, b[fileOff:fileOff+filesz])
+		img.Segments = append(img.Segments, Segment{Addr: vaddr, Data: data, Flags: flags})
+	}
+	return img, nil
+}
+
+// LoadInto copies all segments into memory and returns the entry point.
+func (img *Image) LoadInto(m *mem.Memory) (uint32, error) {
+	for _, s := range img.Segments {
+		if err := m.LoadImage(s.Addr, s.Data); err != nil {
+			return 0, fmt.Errorf("elf: segment at %#x: %w", s.Addr, err)
+		}
+	}
+	return img.Entry, nil
+}

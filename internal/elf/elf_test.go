@@ -1,0 +1,117 @@
+package elf
+
+import (
+	"testing"
+
+	"rvnegtest/internal/asm"
+	"rvnegtest/internal/mem"
+)
+
+func testImage() *Image {
+	return &Image{
+		Entry: 0x40,
+		Segments: []Segment{
+			{Addr: 0x0, Data: []byte{1, 2, 3, 4, 5}, Flags: 0x5},
+			{Addr: 0x4000, Data: []byte{9, 8, 7}, Flags: 0x6},
+		},
+	}
+}
+
+func TestWriteParseRoundtrip(t *testing.T) {
+	img := testImage()
+	raw := img.Write()
+	back, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Entry != img.Entry || len(back.Segments) != 2 {
+		t.Fatalf("roundtrip: entry=%#x segments=%d", back.Entry, len(back.Segments))
+	}
+	for i, s := range back.Segments {
+		want := img.Segments[i]
+		if s.Addr != want.Addr || s.Flags != want.Flags || string(s.Data) != string(want.Data) {
+			t.Errorf("segment %d: %+v, want %+v", i, s, want)
+		}
+	}
+}
+
+func TestHeaderFields(t *testing.T) {
+	raw := testImage().Write()
+	if raw[0] != 0x7f || raw[1] != 'E' || raw[2] != 'L' || raw[3] != 'F' {
+		t.Error("bad magic")
+	}
+	if raw[4] != 1 || raw[5] != 1 {
+		t.Error("not ELF32 LE")
+	}
+	if raw[18] != 243 { // EM_RISCV low byte
+		t.Errorf("machine = %d", raw[18])
+	}
+	if raw[16] != 2 { // ET_EXEC
+		t.Errorf("type = %d", raw[16])
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, bad := range [][]byte{
+		nil,
+		[]byte("hello"),
+		make([]byte, 100), // zero magic
+		append([]byte{0x7f, 'E', 'L', 'F', 2, 1, 1}, make([]byte, 60)...), // ELF64
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%d bytes) must fail", len(bad))
+		}
+	}
+	// Corrupt machine field.
+	raw := testImage().Write()
+	raw[18] = 0x3e // EM_X86_64
+	if _, err := Parse(raw); err == nil {
+		t.Error("wrong machine must fail")
+	}
+	// Truncated segment data.
+	raw = testImage().Write()
+	if _, err := Parse(raw[:len(raw)-3]); err == nil {
+		t.Error("truncated file must fail")
+	}
+}
+
+func TestLoadInto(t *testing.T) {
+	m := mem.New(0, 0x8000)
+	entry, err := testImage().LoadInto(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry != 0x40 {
+		t.Errorf("entry = %#x", entry)
+	}
+	if b, _ := m.Read8(0); b != 1 {
+		t.Error("text not loaded")
+	}
+	if b, _ := m.Read8(0x4002); b != 7 {
+		t.Error("data not loaded")
+	}
+	// Out-of-range segment fails cleanly.
+	bad := &Image{Segments: []Segment{{Addr: 0x7fff, Data: []byte{1, 2, 3}}}}
+	if _, err := bad.LoadInto(m); err == nil {
+		t.Error("out-of-range segment must fail")
+	}
+}
+
+func TestFromProgram(t *testing.T) {
+	p, err := asm.Assemble("nop\n.data\n.word 7\n", asm.Options{TextBase: 0, DataBase: 0x4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := FromProgram(p)
+	if len(img.Segments) != 2 {
+		t.Fatalf("segments = %d", len(img.Segments))
+	}
+	if img.Segments[0].Flags != 0x5 || img.Segments[1].Flags != 0x6 {
+		t.Error("segment flags wrong")
+	}
+	// Empty data section is omitted.
+	p2, _ := asm.Assemble("nop\n", asm.Options{DataBase: 0x4000})
+	if len(FromProgram(p2).Segments) != 1 {
+		t.Error("empty section must be omitted")
+	}
+}

@@ -1,0 +1,74 @@
+package exec
+
+import (
+	"testing"
+
+	"rvnegtest/internal/hart"
+	"rvnegtest/internal/isa"
+	"rvnegtest/internal/mem"
+)
+
+// BenchmarkStepALU measures raw interpreter speed on a straight-line ALU
+// loop body (the dominant cost of a fuzzer execution).
+func BenchmarkStepALU(b *testing.B) {
+	prog := []uint32{
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Rs1: 1, Imm: 1}),
+		enc(isa.Inst{Op: isa.OpXOR, Rd: 2, Rs1: 1, Rs2: 2}),
+		enc(isa.Inst{Op: isa.OpSLL, Rd: 3, Rs1: 2, Rs2: 1}),
+		enc(isa.Inst{Op: isa.OpJAL, Rd: 0, Imm: -12}),
+	}
+	e := newExec(isa.RV32I, prog...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkStepMemory measures load/store throughput.
+func BenchmarkStepMemory(b *testing.B) {
+	prog := []uint32{
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Imm: 0x200}),
+		enc(isa.Inst{Op: isa.OpSW, Rs1: 1, Rs2: 2, Imm: 0}),
+		enc(isa.Inst{Op: isa.OpLW, Rd: 3, Rs1: 1, Imm: 0}),
+		enc(isa.Inst{Op: isa.OpJAL, Rd: 0, Imm: -8}),
+	}
+	e := newExec(isa.RV32I, prog...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkStepFP measures floating-point instruction throughput through
+// the softfloat core.
+func BenchmarkStepFP(b *testing.B) {
+	prog := []uint32{
+		enc(isa.Inst{Op: isa.OpFADDD, Rd: 1, Rs1: 2, Rs2: 3, RM: 0}),
+		enc(isa.Inst{Op: isa.OpFMULD, Rd: 4, Rs1: 1, Rs2: 2, RM: 0}),
+		enc(isa.Inst{Op: isa.OpJAL, Rd: 0, Imm: -8}),
+	}
+	e := newExec(isa.RV32GC, prog...)
+	e.CPU.F[2] = 0x3ff0000000000000
+	e.CPU.F[3] = 0x4000000000000000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkTrapRoundtrip measures the illegal-instruction trap path (the
+// most common event in negative-testing workloads).
+func BenchmarkTrapRoundtrip(b *testing.B) {
+	m := mem.New(0, 0x8000)
+	_ = m.Write32(0, 0xffffffff) // illegal
+	// Handler: mret back (mepc stays 0 -> infinite trap loop).
+	_ = m.Write32(testHandler, enc(isa.Inst{Op: isa.OpMRET}))
+	cpu := hart.New(isa.RV32I)
+	cpu.Mtvec = testHandler
+	e := New(cpu, m, isa.Ref)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

@@ -1,0 +1,695 @@
+// Package exec implements the instruction-set simulator core: a
+// fetch-decode-execute loop with full RV32GC semantics over the hart and
+// memory models. It is the foundation every simulator variant in this
+// repository shares (the paper's counterpart is the RISC-V VP 32-bit ISS);
+// variants differ only in decoder/executor quirks and platform parameters.
+//
+// The executor also emits semantic edge coverage through a Hook, playing
+// the role of the Clang -fsanitize=fuzzer instrumentation in the paper:
+// every distinct (operation, outcome) pair is a coverage edge.
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"rvnegtest/internal/hart"
+	"rvnegtest/internal/isa"
+	"rvnegtest/internal/mem"
+)
+
+// Quirks enables controlled deviations from the reference execution
+// semantics, each modelling one execution bug the paper reports.
+type Quirks struct {
+	// LinkBeforeAlignCheck (models the GRIFT defect): JAL/JALR write the
+	// link register before the target-alignment check, so an invalid jump
+	// has a side effect although it raises an exception.
+	LinkBeforeAlignCheck bool
+	// SCIgnoresReservation (models the GRIFT defect): SC.W performs the
+	// memory write and reports success even without a pending LR.W
+	// reservation.
+	SCIgnoresReservation bool
+	// EcallMarksCompletion (models the Spike defect): an ECALL inside the
+	// test body corrupts the dumped signature; modelled as the completion
+	// marker x26 being incremented although the trap path must bypass it.
+	EcallMarksCompletion bool
+}
+
+// Outcome kinds for semantic edge coverage.
+const (
+	EdgeRetire      = 0 // instruction retired normally
+	EdgeBranchTaken = 1
+	EdgeBranchNot   = 2
+	EdgeTrapIllegal = 3
+	EdgeTrapOther   = 4
+)
+
+// EdgeSpace is the number of distinct edge IDs the executor can emit.
+func EdgeSpace() int { return isa.NumOps() * 8 }
+
+// Hook observes execution for coverage collection. Both methods may be
+// called very frequently; implementations must be cheap.
+type Hook interface {
+	// OnInst is called before a legal instruction executes, with register
+	// values still holding the input state (for value-coverage rules).
+	OnInst(inst *isa.Inst, h *hart.Hart)
+	// OnEdge is called once per executed instruction with a stable
+	// (operation, outcome) edge ID.
+	OnEdge(edge uint32)
+}
+
+// ErrTimeout is returned by Run when the instruction limit is exhausted
+// before the program halts (the non-termination defence).
+var ErrTimeout = errors.New("exec: instruction limit exceeded")
+
+// Executor runs a program on a hart and a memory.
+type Executor struct {
+	CPU    *hart.Hart
+	Mem    *mem.Memory
+	Dec    *isa.Decoder
+	Quirks Quirks
+
+	// TrapUnaligned selects the platform's unaligned data-access policy:
+	// trap with a misaligned exception (true) or perform the access
+	// (false). Both are specification-compliant; the divergence is exactly
+	// why the paper's filter requires aligned immediates.
+	TrapUnaligned bool
+
+	// HaltAddr is the magic store address that ends simulation (the
+	// compliance "halt and dump signature" mechanism).
+	HaltAddr uint32
+
+	// WFIHalts makes WFI stall forever (no interrupt sources exist, so a
+	// platform that really waits never resumes). Legal behaviour; one of
+	// the reasons the test filter forbids WFI.
+	WFIHalts bool
+	// EbreakHalts makes EBREAK terminate simulation without a signature
+	// (debugger semantics). Legal behaviour; why the filter forbids
+	// EBREAK.
+	EbreakHalts bool
+
+	Hook Hook
+
+	Halted    bool
+	InstCount uint64
+}
+
+// New builds an executor around existing hart and memory.
+func New(cpu *hart.Hart, m *mem.Memory, dec *isa.Decoder) *Executor {
+	return &Executor{CPU: cpu, Mem: m, Dec: dec}
+}
+
+// Run steps until the program halts or limit instructions have executed.
+func (e *Executor) Run(limit uint64) error {
+	for !e.Halted {
+		if e.InstCount >= limit {
+			return ErrTimeout
+		}
+		e.Step()
+	}
+	return nil
+}
+
+func (e *Executor) edge(op isa.Op, kind uint32) {
+	if e.Hook != nil {
+		e.Hook.OnEdge(uint32(op)*8 + kind)
+	}
+}
+
+// Step executes one instruction (or takes one trap).
+func (e *Executor) Step() {
+	h := e.CPU
+	e.InstCount++
+	h.Mcycle++
+
+	// Fetch.
+	lo, err := e.Mem.Read16(h.PC)
+	if err != nil {
+		e.trap(isa.Inst{}, hart.CauseFetchAccessFault, h.PC)
+		return
+	}
+	var inst isa.Inst
+	switch {
+	case lo&3 == 3:
+		hi, err := e.Mem.Read16(h.PC + 2)
+		if err != nil {
+			e.trap(isa.Inst{}, hart.CauseFetchAccessFault, h.PC)
+			return
+		}
+		inst = e.Dec.Decode32(uint32(hi)<<16 | uint32(lo))
+	case !h.Cfg.Has(isa.ExtC):
+		// Without the C extension the RVC decoder is never entered; the
+		// halfword is simply an illegal encoding.
+		inst = isa.Inst{Op: isa.OpIllegal, Raw: uint32(lo), Size: 2}
+	default:
+		inst = e.Dec.DecodeC(lo)
+	}
+
+	// Legality for this ISA configuration.
+	info := inst.Info()
+	switch {
+	case info == nil:
+		e.trap(inst, hart.CauseIllegalInstruction, inst.Raw)
+		return
+	case !h.Cfg.Has(info.Ext):
+		e.trap(inst, hart.CauseIllegalInstruction, inst.Raw)
+		return
+	case info.Flags.Is(isa.FlagFP) && !h.FPEnabled():
+		e.trap(inst, hart.CauseIllegalInstruction, inst.Raw)
+		return
+	}
+
+	if e.Hook != nil {
+		e.Hook.OnInst(&inst, h)
+	}
+	e.execute(inst)
+}
+
+// trap redirects to the machine trap handler and emits the trap edge.
+func (e *Executor) trap(inst isa.Inst, cause, tval uint32) {
+	kind := uint32(EdgeTrapOther)
+	if cause == hart.CauseIllegalInstruction {
+		kind = EdgeTrapIllegal
+	}
+	e.edge(inst.Op, kind)
+	e.CPU.Trap(cause, tval)
+}
+
+// retire advances the PC past the instruction and counts it.
+func (e *Executor) retire(inst isa.Inst) {
+	e.CPU.PC += uint32(inst.Size)
+	e.CPU.Minstret++
+	e.edge(inst.Op, EdgeRetire)
+}
+
+// retireJump counts a retired control transfer that set PC itself.
+func (e *Executor) retireJump(inst isa.Inst, taken bool) {
+	e.CPU.Minstret++
+	if taken {
+		e.edge(inst.Op, EdgeBranchTaken)
+	} else {
+		e.edge(inst.Op, EdgeBranchNot)
+	}
+}
+
+// targetAlign returns the required alignment mask for jump targets.
+func (e *Executor) targetAlign() uint32 {
+	if e.CPU.Cfg.Has(isa.ExtC) {
+		return 1
+	}
+	return 3
+}
+
+func (e *Executor) execute(inst isa.Inst) {
+	h := e.CPU
+	x := h.ReadX
+	rs1, rs2 := x(inst.Rs1), x(inst.Rs2)
+
+	switch inst.Op {
+	// ----- RV32I computational -----
+	case isa.OpLUI:
+		h.WriteX(inst.Rd, uint32(inst.Imm))
+		e.retire(inst)
+	case isa.OpAUIPC:
+		h.WriteX(inst.Rd, h.PC+uint32(inst.Imm))
+		e.retire(inst)
+	case isa.OpADDI:
+		h.WriteX(inst.Rd, rs1+uint32(inst.Imm))
+		e.retire(inst)
+	case isa.OpSLTI:
+		h.WriteX(inst.Rd, b2u(int32(rs1) < inst.Imm))
+		e.retire(inst)
+	case isa.OpSLTIU:
+		h.WriteX(inst.Rd, b2u(rs1 < uint32(inst.Imm)))
+		e.retire(inst)
+	case isa.OpXORI:
+		h.WriteX(inst.Rd, rs1^uint32(inst.Imm))
+		e.retire(inst)
+	case isa.OpORI:
+		h.WriteX(inst.Rd, rs1|uint32(inst.Imm))
+		e.retire(inst)
+	case isa.OpANDI:
+		h.WriteX(inst.Rd, rs1&uint32(inst.Imm))
+		e.retire(inst)
+	case isa.OpSLLI:
+		h.WriteX(inst.Rd, rs1<<uint32(inst.Imm))
+		e.retire(inst)
+	case isa.OpSRLI:
+		h.WriteX(inst.Rd, rs1>>uint32(inst.Imm))
+		e.retire(inst)
+	case isa.OpSRAI:
+		h.WriteX(inst.Rd, uint32(int32(rs1)>>uint32(inst.Imm)))
+		e.retire(inst)
+	case isa.OpADD:
+		h.WriteX(inst.Rd, rs1+rs2)
+		e.retire(inst)
+	case isa.OpSUB:
+		h.WriteX(inst.Rd, rs1-rs2)
+		e.retire(inst)
+	case isa.OpSLL:
+		h.WriteX(inst.Rd, rs1<<(rs2&31))
+		e.retire(inst)
+	case isa.OpSLT:
+		h.WriteX(inst.Rd, b2u(int32(rs1) < int32(rs2)))
+		e.retire(inst)
+	case isa.OpSLTU:
+		h.WriteX(inst.Rd, b2u(rs1 < rs2))
+		e.retire(inst)
+	case isa.OpXOR:
+		h.WriteX(inst.Rd, rs1^rs2)
+		e.retire(inst)
+	case isa.OpSRL:
+		h.WriteX(inst.Rd, rs1>>(rs2&31))
+		e.retire(inst)
+	case isa.OpSRA:
+		h.WriteX(inst.Rd, uint32(int32(rs1)>>(rs2&31)))
+		e.retire(inst)
+	case isa.OpOR:
+		h.WriteX(inst.Rd, rs1|rs2)
+		e.retire(inst)
+	case isa.OpAND:
+		h.WriteX(inst.Rd, rs1&rs2)
+		e.retire(inst)
+
+	// ----- Control transfer -----
+	case isa.OpJAL:
+		target := h.PC + uint32(inst.Imm)
+		e.jump(inst, target, h.PC+uint32(inst.Size))
+	case isa.OpJALR:
+		target := (rs1 + uint32(inst.Imm)) &^ 1
+		e.jump(inst, target, h.PC+uint32(inst.Size))
+	case isa.OpBEQ:
+		e.branch(inst, rs1 == rs2)
+	case isa.OpBNE:
+		e.branch(inst, rs1 != rs2)
+	case isa.OpBLT:
+		e.branch(inst, int32(rs1) < int32(rs2))
+	case isa.OpBGE:
+		e.branch(inst, int32(rs1) >= int32(rs2))
+	case isa.OpBLTU:
+		e.branch(inst, rs1 < rs2)
+	case isa.OpBGEU:
+		e.branch(inst, rs1 >= rs2)
+
+	// ----- Loads / stores -----
+	case isa.OpLB:
+		if v, ok := e.load(inst, rs1, 1); ok {
+			h.WriteX(inst.Rd, uint32(int32(int8(v))))
+			e.retire(inst)
+		}
+	case isa.OpLBU:
+		if v, ok := e.load(inst, rs1, 1); ok {
+			h.WriteX(inst.Rd, uint32(uint8(v)))
+			e.retire(inst)
+		}
+	case isa.OpLH:
+		if v, ok := e.load(inst, rs1, 2); ok {
+			h.WriteX(inst.Rd, uint32(int32(int16(v))))
+			e.retire(inst)
+		}
+	case isa.OpLHU:
+		if v, ok := e.load(inst, rs1, 2); ok {
+			h.WriteX(inst.Rd, uint32(uint16(v)))
+			e.retire(inst)
+		}
+	case isa.OpLW:
+		if v, ok := e.load(inst, rs1, 4); ok {
+			h.WriteX(inst.Rd, uint32(v))
+			e.retire(inst)
+		}
+	case isa.OpSB:
+		if e.store(inst, rs1, 1, uint64(rs2)) {
+			e.retire(inst)
+		}
+	case isa.OpSH:
+		if e.store(inst, rs1, 2, uint64(rs2)) {
+			e.retire(inst)
+		}
+	case isa.OpSW:
+		if e.store(inst, rs1, 4, uint64(rs2)) {
+			e.retire(inst)
+		}
+	case isa.OpFLW:
+		if v, ok := e.load(inst, rs1, 4); ok {
+			h.WriteF32(inst.Rd, uint32(v))
+			e.retire(inst)
+		}
+	case isa.OpFLD:
+		if v, ok := e.load(inst, rs1, 8); ok {
+			h.WriteF64(inst.Rd, v)
+			e.retire(inst)
+		}
+	case isa.OpFSW:
+		if e.store(inst, rs1, 4, uint64(h.ReadF32(inst.Rs2))) {
+			e.retire(inst)
+		}
+	case isa.OpFSD:
+		if e.store(inst, rs1, 8, h.ReadF64(inst.Rs2)) {
+			e.retire(inst)
+		}
+
+	// ----- Fences and system -----
+	case isa.OpFENCE, isa.OpFENCEI, isa.OpSFENCEVMA, isa.OpCustomNOP:
+		// Memory is sequentially consistent here. OpCustomNOP only exists
+		// behind the riscvOVPsim quirk.
+		e.retire(inst)
+	case isa.OpWFI:
+		if e.WFIHalts {
+			// Stall: PC does not advance, so the run exhausts its
+			// instruction limit (there are no interrupt sources).
+			return
+		}
+		e.retire(inst)
+	case isa.OpECALL:
+		if e.Quirks.EcallMarksCompletion {
+			h.X[26]++
+		}
+		e.trap(inst, hart.CauseECallM, 0)
+	case isa.OpEBREAK:
+		if e.EbreakHalts {
+			e.Halted = true
+			return
+		}
+		e.trap(inst, hart.CauseBreakpoint, h.PC)
+	case isa.OpMRET:
+		h.MRet()
+		e.retireJump(inst, true)
+	case isa.OpSRET, isa.OpURET:
+		// No supervisor/user trap support in this machine-mode-only model.
+		e.trap(inst, hart.CauseIllegalInstruction, inst.Raw)
+
+	// ----- Zicsr -----
+	case isa.OpCSRRW, isa.OpCSRRS, isa.OpCSRRC, isa.OpCSRRWI, isa.OpCSRRSI, isa.OpCSRRCI:
+		e.csrOp(inst, rs1)
+
+	// ----- M -----
+	case isa.OpMUL:
+		h.WriteX(inst.Rd, rs1*rs2)
+		e.retire(inst)
+	case isa.OpMULH:
+		h.WriteX(inst.Rd, uint32(uint64(int64(int32(rs1))*int64(int32(rs2)))>>32))
+		e.retire(inst)
+	case isa.OpMULHSU:
+		h.WriteX(inst.Rd, uint32(uint64(int64(int32(rs1))*int64(rs2))>>32))
+		e.retire(inst)
+	case isa.OpMULHU:
+		h.WriteX(inst.Rd, uint32(uint64(rs1)*uint64(rs2)>>32))
+		e.retire(inst)
+	case isa.OpDIV:
+		var v int32
+		switch {
+		case rs2 == 0:
+			v = -1
+		case int32(rs1) == -1<<31 && int32(rs2) == -1:
+			v = -1 << 31
+		default:
+			v = int32(rs1) / int32(rs2)
+		}
+		h.WriteX(inst.Rd, uint32(v))
+		e.retire(inst)
+	case isa.OpDIVU:
+		if rs2 == 0 {
+			h.WriteX(inst.Rd, ^uint32(0))
+		} else {
+			h.WriteX(inst.Rd, rs1/rs2)
+		}
+		e.retire(inst)
+	case isa.OpREM:
+		var v int32
+		switch {
+		case rs2 == 0:
+			v = int32(rs1)
+		case int32(rs1) == -1<<31 && int32(rs2) == -1:
+			v = 0
+		default:
+			v = int32(rs1) % int32(rs2)
+		}
+		h.WriteX(inst.Rd, uint32(v))
+		e.retire(inst)
+	case isa.OpREMU:
+		if rs2 == 0 {
+			h.WriteX(inst.Rd, rs1)
+		} else {
+			h.WriteX(inst.Rd, rs1%rs2)
+		}
+		e.retire(inst)
+
+	// ----- A -----
+	case isa.OpLRW:
+		if rs1&3 != 0 {
+			e.trap(inst, hart.CauseMisalignedLoad, rs1)
+			return
+		}
+		v, err := e.Mem.Read32(rs1)
+		if err != nil {
+			e.trap(inst, hart.CauseLoadAccessFault, rs1)
+			return
+		}
+		h.ResValid, h.ResAddr = true, rs1
+		h.WriteX(inst.Rd, v)
+		e.retire(inst)
+	case isa.OpSCW:
+		if rs1&3 != 0 {
+			e.trap(inst, hart.CauseMisalignedStore, rs1)
+			return
+		}
+		ok := (h.ResValid && h.ResAddr == rs1) || e.Quirks.SCIgnoresReservation
+		h.ResValid = false
+		if ok {
+			if e.storeWord(rs1, rs2) {
+				return // halted
+			}
+			h.WriteX(inst.Rd, 0)
+		} else {
+			h.WriteX(inst.Rd, 1)
+		}
+		e.retire(inst)
+	case isa.OpAMOSWAPW, isa.OpAMOADDW, isa.OpAMOXORW, isa.OpAMOANDW, isa.OpAMOORW,
+		isa.OpAMOMINW, isa.OpAMOMAXW, isa.OpAMOMINUW, isa.OpAMOMAXUW:
+		e.amo(inst, rs1, rs2)
+
+	// ----- F/D arithmetic -----
+	default:
+		e.executeFP(inst, rs1)
+		return
+	}
+}
+
+func (e *Executor) jump(inst isa.Inst, target, link uint32) {
+	h := e.CPU
+	if target&e.targetAlign() != 0 {
+		if e.Quirks.LinkBeforeAlignCheck {
+			// The GRIFT defect: the link register is updated although the
+			// jump raises the misaligned-fetch exception.
+			h.WriteX(inst.Rd, link)
+		}
+		e.trap(inst, hart.CauseMisalignedFetch, target)
+		return
+	}
+	h.WriteX(inst.Rd, link)
+	h.PC = target
+	e.retireJump(inst, true)
+}
+
+func (e *Executor) branch(inst isa.Inst, taken bool) {
+	h := e.CPU
+	if !taken {
+		h.PC += uint32(inst.Size)
+		h.Minstret++
+		e.edge(inst.Op, EdgeBranchNot)
+		return
+	}
+	target := h.PC + uint32(inst.Imm)
+	if target&e.targetAlign() != 0 {
+		e.trap(inst, hart.CauseMisalignedFetch, target)
+		return
+	}
+	h.PC = target
+	e.retireJump(inst, true)
+}
+
+// load performs a data load of size bytes at x[rs1]+imm (or x[rs1] for
+// atomics); ok is false if a trap was taken.
+func (e *Executor) load(inst isa.Inst, rs1 uint32, size uint32) (uint64, bool) {
+	addr := rs1 + uint32(inst.Imm)
+	if e.TrapUnaligned && addr&(size-1) != 0 {
+		e.trap(inst, hart.CauseMisalignedLoad, addr)
+		return 0, false
+	}
+	var v uint64
+	var err error
+	switch size {
+	case 1:
+		var b uint8
+		b, err = e.Mem.Read8(addr)
+		v = uint64(b)
+	case 2:
+		var hw uint16
+		hw, err = e.Mem.Read16(addr)
+		v = uint64(hw)
+	case 4:
+		var w uint32
+		w, err = e.Mem.Read32(addr)
+		v = uint64(w)
+	default:
+		v, err = e.Mem.Read64(addr)
+	}
+	if err != nil {
+		e.trap(inst, hart.CauseLoadAccessFault, addr)
+		return 0, false
+	}
+	return v, true
+}
+
+// store performs a data store; false means a trap was taken or the
+// simulation halted.
+func (e *Executor) store(inst isa.Inst, rs1 uint32, size uint32, v uint64) bool {
+	addr := rs1 + uint32(inst.Imm)
+	if e.TrapUnaligned && addr&(size-1) != 0 {
+		e.trap(inst, hart.CauseMisalignedStore, addr)
+		return false
+	}
+	if addr == e.HaltAddr {
+		e.Halted = true
+		return false
+	}
+	var err error
+	switch size {
+	case 1:
+		err = e.Mem.Write8(addr, uint8(v))
+	case 2:
+		err = e.Mem.Write16(addr, uint16(v))
+	case 4:
+		err = e.Mem.Write32(addr, uint32(v))
+	default:
+		err = e.Mem.Write64(addr, v)
+	}
+	if err != nil {
+		e.trap(inst, hart.CauseStoreAccessFault, addr)
+		return false
+	}
+	return true
+}
+
+// storeWord is the SC.W store; returns true if the simulation halted.
+func (e *Executor) storeWord(addr, v uint32) bool {
+	if addr == e.HaltAddr {
+		e.Halted = true
+		return true
+	}
+	// Alignment and bounds were checked by the caller; a residual error
+	// still traps defensively.
+	if err := e.Mem.Write32(addr, v); err != nil {
+		e.CPU.Trap(hart.CauseStoreAccessFault, addr)
+		return true
+	}
+	return false
+}
+
+func (e *Executor) amo(inst isa.Inst, addr, src uint32) {
+	h := e.CPU
+	if addr&3 != 0 {
+		e.trap(inst, hart.CauseMisalignedStore, addr)
+		return
+	}
+	old, err := e.Mem.Read32(addr)
+	if err != nil {
+		e.trap(inst, hart.CauseStoreAccessFault, addr)
+		return
+	}
+	var v uint32
+	switch inst.Op {
+	case isa.OpAMOSWAPW:
+		v = src
+	case isa.OpAMOADDW:
+		v = old + src
+	case isa.OpAMOXORW:
+		v = old ^ src
+	case isa.OpAMOANDW:
+		v = old & src
+	case isa.OpAMOORW:
+		v = old | src
+	case isa.OpAMOMINW:
+		v = old
+		if int32(src) < int32(old) {
+			v = src
+		}
+	case isa.OpAMOMAXW:
+		v = old
+		if int32(src) > int32(old) {
+			v = src
+		}
+	case isa.OpAMOMINUW:
+		v = min(old, src)
+	default: // AMOMAXU
+		v = max(old, src)
+	}
+	if addr == e.HaltAddr {
+		e.Halted = true
+		return
+	}
+	if err := e.Mem.Write32(addr, v); err != nil {
+		e.trap(inst, hart.CauseStoreAccessFault, addr)
+		return
+	}
+	h.WriteX(inst.Rd, old)
+	e.retire(inst)
+}
+
+func (e *Executor) csrOp(inst isa.Inst, rs1 uint32) {
+	h := e.CPU
+	var wval uint32
+	imm := inst.Op == isa.OpCSRRWI || inst.Op == isa.OpCSRRSI || inst.Op == isa.OpCSRRCI
+	if imm {
+		wval = uint32(inst.Imm)
+	} else {
+		wval = rs1
+	}
+	write := true
+	switch inst.Op {
+	case isa.OpCSRRS, isa.OpCSRRC:
+		write = inst.Rs1 != 0
+	case isa.OpCSRRSI, isa.OpCSRRCI:
+		write = inst.Imm != 0
+	}
+	readNeeded := true
+	if (inst.Op == isa.OpCSRRW || inst.Op == isa.OpCSRRWI) && inst.Rd == 0 {
+		readNeeded = false
+	}
+	var old uint32
+	if readNeeded || write && inst.Op != isa.OpCSRRW && inst.Op != isa.OpCSRRWI {
+		v, err := h.ReadCSR(inst.CSR)
+		if err != nil {
+			e.trap(inst, hart.CauseIllegalInstruction, inst.Raw)
+			return
+		}
+		old = v
+	}
+	if write {
+		nv := wval
+		switch inst.Op {
+		case isa.OpCSRRS, isa.OpCSRRSI:
+			nv = old | wval
+		case isa.OpCSRRC, isa.OpCSRRCI:
+			nv = old &^ wval
+		}
+		if err := h.WriteCSR(inst.CSR, nv); err != nil {
+			e.trap(inst, hart.CauseIllegalInstruction, inst.Raw)
+			return
+		}
+	}
+	h.WriteX(inst.Rd, old)
+	e.retire(inst)
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// String renders executor state for debugging.
+func (e *Executor) String() string {
+	return fmt.Sprintf("exec{pc=%#08x halted=%v n=%d}", e.CPU.PC, e.Halted, e.InstCount)
+}

@@ -1,0 +1,683 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"rvnegtest/internal/hart"
+	"rvnegtest/internal/isa"
+	"rvnegtest/internal/mem"
+)
+
+const (
+	testHaltAddr = 0x100 // sw x0, 0x100(x0) halts the test executor
+	testHandler  = 0x700 // trap handler location
+)
+
+// enc assembles one instruction via the encoder.
+func enc(inst isa.Inst) uint32 { return isa.MustEncode(inst) }
+
+// newExec loads a program at PC 0 with a halting trap handler.
+func newExec(cfg isa.Config, words ...uint32) *Executor {
+	m := mem.New(0, 0x8000)
+	for i, w := range words {
+		if err := m.Write32(uint32(i*4), w); err != nil {
+			panic(err)
+		}
+	}
+	// Trap handler: sw x0, testHaltAddr(x0) -> halt.
+	if err := m.Write32(testHandler, enc(isa.Inst{Op: isa.OpSW, Imm: testHaltAddr})); err != nil {
+		panic(err)
+	}
+	cpu := hart.New(cfg)
+	cpu.Mtvec = testHandler
+	e := New(cpu, m, isa.Ref)
+	e.HaltAddr = testHaltAddr
+	return e
+}
+
+func step(t *testing.T, e *Executor, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		e.Step()
+	}
+}
+
+func TestBasicArithmetic(t *testing.T) {
+	e := newExec(isa.RV32I,
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Imm: 5}),
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 2, Imm: -3}),
+		enc(isa.Inst{Op: isa.OpADD, Rd: 3, Rs1: 1, Rs2: 2}),
+		enc(isa.Inst{Op: isa.OpSUB, Rd: 4, Rs1: 1, Rs2: 2}),
+		enc(isa.Inst{Op: isa.OpSLT, Rd: 5, Rs1: 2, Rs2: 1}),
+		enc(isa.Inst{Op: isa.OpSLTU, Rd: 6, Rs1: 2, Rs2: 1}),
+		enc(isa.Inst{Op: isa.OpXOR, Rd: 7, Rs1: 1, Rs2: 2}),
+		enc(isa.Inst{Op: isa.OpSRAI, Rd: 8, Rs1: 2, Imm: 1}),
+		enc(isa.Inst{Op: isa.OpSRLI, Rd: 9, Rs1: 2, Imm: 1}),
+	)
+	step(t, e, 9)
+	want := map[isa.Reg]uint32{
+		1: 5, 2: 0xfffffffd, 3: 2, 4: 8, 5: 1, 6: 0,
+		7: 5 ^ 0xfffffffd, 8: 0xfffffffe, 9: 0x7ffffffe,
+	}
+	for r, v := range want {
+		if got := e.CPU.ReadX(r); got != v {
+			t.Errorf("x%d = %#x, want %#x", r, got, v)
+		}
+	}
+	if e.CPU.PC != 36 {
+		t.Errorf("PC = %d", e.CPU.PC)
+	}
+	if e.CPU.Minstret != 9 {
+		t.Errorf("minstret = %d", e.CPU.Minstret)
+	}
+}
+
+func TestX0IsHardwired(t *testing.T) {
+	e := newExec(isa.RV32I,
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 0, Imm: 42}),
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Rs1: 0, Imm: 1}),
+	)
+	step(t, e, 2)
+	if e.CPU.ReadX(0) != 0 || e.CPU.ReadX(1) != 1 {
+		t.Errorf("x0 = %d, x1 = %d", e.CPU.ReadX(0), e.CPU.ReadX(1))
+	}
+}
+
+func TestMulDivEdgeCases(t *testing.T) {
+	e := newExec(isa.RV32IM,
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Imm: -1}),         // x1 = -1
+		enc(isa.Inst{Op: isa.OpLUI, Rd: 2, Imm: -2147483648}), // x2 = MinInt32
+		enc(isa.Inst{Op: isa.OpDIV, Rd: 3, Rs1: 2, Rs2: 1}),   // overflow
+		enc(isa.Inst{Op: isa.OpDIV, Rd: 4, Rs1: 1, Rs2: 0}),   // div by zero
+		enc(isa.Inst{Op: isa.OpREM, Rd: 5, Rs1: 2, Rs2: 1}),   // overflow rem
+		enc(isa.Inst{Op: isa.OpREM, Rd: 6, Rs1: 1, Rs2: 0}),   // rem by zero
+		enc(isa.Inst{Op: isa.OpDIVU, Rd: 7, Rs1: 1, Rs2: 0}),
+		enc(isa.Inst{Op: isa.OpREMU, Rd: 8, Rs1: 1, Rs2: 0}),
+		enc(isa.Inst{Op: isa.OpMULH, Rd: 9, Rs1: 1, Rs2: 1}),
+		enc(isa.Inst{Op: isa.OpMULHU, Rd: 10, Rs1: 1, Rs2: 1}),
+		enc(isa.Inst{Op: isa.OpMULHSU, Rd: 11, Rs1: 1, Rs2: 1}),
+	)
+	step(t, e, 11)
+	checks := map[isa.Reg]uint32{
+		3:  0x80000000,
+		4:  0xffffffff,
+		5:  0,
+		6:  0xffffffff,
+		7:  0xffffffff,
+		8:  0xffffffff,
+		9:  0,          // (-1)*(-1) high = 0
+		10: 0xfffffffe, // 0xffffffff^2 high
+		11: 0xffffffff, // -1 * unsigned max, high
+	}
+	for r, v := range checks {
+		if got := e.CPU.ReadX(r); got != v {
+			t.Errorf("x%d = %#x, want %#x", r, got, v)
+		}
+	}
+}
+
+func TestLoadsAndStores(t *testing.T) {
+	e := newExec(isa.RV32I,
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Imm: 0x200}),
+		enc(isa.Inst{Op: isa.OpLUI, Rd: 2, Imm: int32(0xdeadb000 - 1<<32)}),
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 2, Rs1: 2, Imm: 0x6ef}),
+		enc(isa.Inst{Op: isa.OpSW, Rs1: 1, Rs2: 2, Imm: 0}),
+		enc(isa.Inst{Op: isa.OpLW, Rd: 3, Rs1: 1, Imm: 0}),
+		enc(isa.Inst{Op: isa.OpLH, Rd: 4, Rs1: 1, Imm: 0}),
+		enc(isa.Inst{Op: isa.OpLHU, Rd: 5, Rs1: 1, Imm: 0}),
+		enc(isa.Inst{Op: isa.OpLB, Rd: 6, Rs1: 1, Imm: 1}),
+		enc(isa.Inst{Op: isa.OpLBU, Rd: 7, Rs1: 1, Imm: 1}),
+		enc(isa.Inst{Op: isa.OpSB, Rs1: 1, Rs2: 0, Imm: 3}),
+		enc(isa.Inst{Op: isa.OpLW, Rd: 8, Rs1: 1, Imm: 0}),
+	)
+	step(t, e, 11)
+	checks := map[isa.Reg]uint32{
+		3: 0xdeadb6ef,
+		4: 0xffffb6ef,
+		5: 0x0000b6ef,
+		6: 0xffffffb6,
+		7: 0x000000b6,
+		8: 0x00adb6ef,
+	}
+	for r, v := range checks {
+		if got := e.CPU.ReadX(r); got != v {
+			t.Errorf("x%d = %#x, want %#x", r, got, v)
+		}
+	}
+}
+
+func TestBranchesAndJumps(t *testing.T) {
+	e := newExec(isa.RV32I,
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Imm: 1}),         // 0
+		enc(isa.Inst{Op: isa.OpBEQ, Rs1: 1, Rs2: 0, Imm: 8}), // 4: not taken
+		enc(isa.Inst{Op: isa.OpBNE, Rs1: 1, Rs2: 0, Imm: 8}), // 8: taken -> 16
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 2, Imm: 99}),        // 12: skipped
+		enc(isa.Inst{Op: isa.OpJAL, Rd: 3, Imm: 8}),          // 16: jump to 24, x3=20
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 4, Imm: 99}),        // 20: skipped
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 5, Imm: 7}),         // 24
+	)
+	step(t, e, 5)
+	if e.CPU.ReadX(2) != 0 || e.CPU.ReadX(4) != 0 {
+		t.Error("skipped instructions executed")
+	}
+	if e.CPU.ReadX(3) != 20 {
+		t.Errorf("link = %d, want 20", e.CPU.ReadX(3))
+	}
+	if e.CPU.ReadX(5) != 7 || e.CPU.PC != 28 {
+		t.Errorf("x5=%d pc=%d", e.CPU.ReadX(5), e.CPU.PC)
+	}
+}
+
+func TestJALRClearsBitZero(t *testing.T) {
+	e := newExec(isa.RV32I,
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Imm: 9}), // odd target base
+		enc(isa.Inst{Op: isa.OpJALR, Rd: 2, Rs1: 1, Imm: 0}),
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 3, Imm: 3}), // at 8: reached via target 8 (9&^1=8)
+	)
+	step(t, e, 3)
+	if e.CPU.ReadX(3) != 3 {
+		t.Errorf("JALR did not clear bit 0: pc=%d", e.CPU.PC)
+	}
+	if e.CPU.ReadX(2) != 8 {
+		t.Errorf("link = %d", e.CPU.ReadX(2))
+	}
+}
+
+func TestMisalignedJumpTrap(t *testing.T) {
+	// JAL to a 2-aligned (not 4-aligned) target without C: trap, and the
+	// link register must NOT be written.
+	e := newExec(isa.RV32I,
+		enc(isa.Inst{Op: isa.OpJAL, Rd: 1, Imm: 6}),
+	)
+	e.Step()
+	if e.CPU.PC != testHandler {
+		t.Fatalf("pc = %#x, want handler", e.CPU.PC)
+	}
+	if e.CPU.Mcause != hart.CauseMisalignedFetch || e.CPU.Mtval != 6 || e.CPU.Mepc != 0 {
+		t.Errorf("mcause=%d mtval=%d mepc=%d", e.CPU.Mcause, e.CPU.Mtval, e.CPU.Mepc)
+	}
+	if e.CPU.ReadX(1) != 0 {
+		t.Error("link written on misaligned jump (reference must not)")
+	}
+
+	// GRIFT quirk: the link register IS written.
+	g := newExec(isa.RV32I, enc(isa.Inst{Op: isa.OpJAL, Rd: 1, Imm: 6}))
+	g.Quirks.LinkBeforeAlignCheck = true
+	g.Step()
+	if g.CPU.ReadX(1) != 4 {
+		t.Errorf("GRIFT quirk: link = %d, want 4", g.CPU.ReadX(1))
+	}
+	if g.CPU.PC != testHandler {
+		t.Error("GRIFT quirk: trap still expected")
+	}
+
+	// With C enabled the same jump is legal.
+	c := newExec(isa.RV32IMC, enc(isa.Inst{Op: isa.OpJAL, Rd: 1, Imm: 6}))
+	c.Step()
+	if c.CPU.PC != 6 || c.CPU.ReadX(1) != 4 {
+		t.Errorf("C-enabled: pc=%d link=%d", c.CPU.PC, c.CPU.ReadX(1))
+	}
+}
+
+func TestIllegalInstructionTrap(t *testing.T) {
+	e := newExec(isa.RV32I, 0xffffffff)
+	e.Step()
+	if e.CPU.PC != testHandler || e.CPU.Mcause != hart.CauseIllegalInstruction || e.CPU.Mtval != 0xffffffff {
+		t.Errorf("pc=%#x mcause=%d mtval=%#x", e.CPU.PC, e.CPU.Mcause, e.CPU.Mtval)
+	}
+	// The handler halts via the magic store.
+	e.Step()
+	if !e.Halted {
+		t.Error("handler store did not halt")
+	}
+}
+
+func TestExtensionGating(t *testing.T) {
+	mul := enc(isa.Inst{Op: isa.OpMUL, Rd: 1, Rs1: 2, Rs2: 3})
+	e := newExec(isa.RV32I, mul)
+	e.Step()
+	if e.CPU.Mcause != hart.CauseIllegalInstruction {
+		t.Error("MUL must trap on RV32I")
+	}
+	e2 := newExec(isa.RV32IM, mul)
+	e2.Step()
+	if e2.CPU.PC != 4 {
+		t.Error("MUL must execute on RV32IM")
+	}
+	// FP instructions trap without F.
+	fadd := enc(isa.Inst{Op: isa.OpFADDS, Rd: 1, Rs1: 2, Rs2: 3})
+	e3 := newExec(isa.RV32IMC, fadd)
+	e3.Step()
+	if e3.CPU.Mcause != hart.CauseIllegalInstruction {
+		t.Error("FADD.S must trap on RV32IMC")
+	}
+	// Atomics trap without A.
+	lr := enc(isa.Inst{Op: isa.OpLRW, Rd: 1, Rs1: 2})
+	e4 := newExec(isa.RV32IMC, lr)
+	e4.Step()
+	if e4.CPU.Mcause != hart.CauseIllegalInstruction {
+		t.Error("LR.W must trap on RV32IMC")
+	}
+}
+
+func TestCompressedGating(t *testing.T) {
+	// c.addi a0, -1 = 0x157d; on RV32I it must trap (not a 32-bit fetch).
+	m := mem.New(0, 0x8000)
+	_ = m.Write16(0, 0x157d)
+	cpu := hart.New(isa.RV32I)
+	cpu.Mtvec = testHandler
+	e := New(cpu, m, isa.Ref)
+	e.Step()
+	if cpu.Mcause != hart.CauseIllegalInstruction {
+		t.Error("compressed must be illegal on RV32I")
+	}
+	// On RV32IMC it executes.
+	m2 := mem.New(0, 0x8000)
+	_ = m2.Write16(0, 0x157d)
+	cpu2 := hart.New(isa.RV32IMC)
+	cpu2.X[10] = 5
+	e2 := New(cpu2, m2, isa.Ref)
+	e2.Step()
+	if cpu2.ReadX(10) != 4 || cpu2.PC != 2 {
+		t.Errorf("c.addi: a0=%d pc=%d", cpu2.ReadX(10), cpu2.PC)
+	}
+}
+
+func TestEcallAndQuirk(t *testing.T) {
+	prog := []uint32{enc(isa.Inst{Op: isa.OpECALL})}
+	e := newExec(isa.RV32I, prog...)
+	e.CPU.X[26] = 7
+	e.Step()
+	if e.CPU.Mcause != hart.CauseECallM || e.CPU.PC != testHandler {
+		t.Errorf("mcause=%d pc=%#x", e.CPU.Mcause, e.CPU.PC)
+	}
+	if e.CPU.X[26] != 7 {
+		t.Error("reference ECALL must not touch x26")
+	}
+	s := newExec(isa.RV32I, prog...)
+	s.Quirks.EcallMarksCompletion = true
+	s.CPU.X[26] = 7
+	s.Step()
+	if s.CPU.X[26] != 8 {
+		t.Error("Spike quirk must increment x26 on ECALL")
+	}
+}
+
+func TestLRSCSemantics(t *testing.T) {
+	prog := []uint32{
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Imm: 0x200}),
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 2, Imm: 77}),
+		enc(isa.Inst{Op: isa.OpLRW, Rd: 3, Rs1: 1}),
+		enc(isa.Inst{Op: isa.OpSCW, Rd: 4, Rs1: 1, Rs2: 2}), // paired: succeeds
+		enc(isa.Inst{Op: isa.OpSCW, Rd: 5, Rs1: 1, Rs2: 0}), // reservation gone: fails
+	}
+	e := newExec(isa.RV32GC, prog...)
+	step(t, e, 5)
+	if e.CPU.ReadX(4) != 0 {
+		t.Errorf("paired SC rd = %d, want 0 (success)", e.CPU.ReadX(4))
+	}
+	if e.CPU.ReadX(5) != 1 {
+		t.Errorf("unpaired SC rd = %d, want 1 (failure)", e.CPU.ReadX(5))
+	}
+	if v, _ := e.Mem.Read32(0x200); v != 77 {
+		t.Errorf("memory after SC = %d", v)
+	}
+
+	// GRIFT quirk: SC.W without reservation succeeds and writes memory.
+	g := newExec(isa.RV32GC,
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Imm: 0x200}),
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 2, Imm: 55}),
+		enc(isa.Inst{Op: isa.OpSCW, Rd: 4, Rs1: 1, Rs2: 2}),
+	)
+	g.Quirks.SCIgnoresReservation = true
+	step(t, g, 3)
+	if g.CPU.ReadX(4) != 0 {
+		t.Errorf("GRIFT SC rd = %d, want 0", g.CPU.ReadX(4))
+	}
+	if v, _ := g.Mem.Read32(0x200); v != 55 {
+		t.Errorf("GRIFT SC memory = %d, want 55", v)
+	}
+	// Reference without reservation must not write.
+	r := newExec(isa.RV32GC,
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Imm: 0x200}),
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 2, Imm: 55}),
+		enc(isa.Inst{Op: isa.OpSCW, Rd: 4, Rs1: 1, Rs2: 2}),
+	)
+	step(t, r, 3)
+	if r.CPU.ReadX(4) != 1 {
+		t.Errorf("reference unpaired SC rd = %d, want 1", r.CPU.ReadX(4))
+	}
+	if v, _ := r.Mem.Read32(0x200); v != 0 {
+		t.Errorf("reference unpaired SC wrote memory: %d", v)
+	}
+}
+
+func TestAMOs(t *testing.T) {
+	cases := []struct {
+		op   isa.Op
+		init uint32
+		src  uint32
+		want uint32
+	}{
+		{isa.OpAMOSWAPW, 10, 3, 3},
+		{isa.OpAMOADDW, 10, 3, 13},
+		{isa.OpAMOXORW, 0xf0, 0x0f, 0xff},
+		{isa.OpAMOANDW, 0xf0, 0x30, 0x30},
+		{isa.OpAMOORW, 0xf0, 0x0f, 0xff},
+		{isa.OpAMOMINW, 10, 0xfffffffe, 0xfffffffe}, // signed min(10, -2)
+		{isa.OpAMOMAXW, 10, 0xfffffffe, 10},
+		{isa.OpAMOMINUW, 10, 0xfffffffe, 10},
+		{isa.OpAMOMAXUW, 10, 0xfffffffe, 0xfffffffe},
+	}
+	for _, c := range cases {
+		e := newExec(isa.RV32GC,
+			enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Imm: 0x200}),
+			enc(isa.Inst{Op: c.op, Rd: 2, Rs1: 1, Rs2: 3}),
+		)
+		e.CPU.X[3] = c.src
+		_ = e.Mem.Write32(0x200, c.init)
+		step(t, e, 2)
+		if got := e.CPU.ReadX(2); got != c.init {
+			t.Errorf("%v: rd = %#x, want old value %#x", c.op, got, c.init)
+		}
+		if got, _ := e.Mem.Read32(0x200); got != c.want {
+			t.Errorf("%v: mem = %#x, want %#x", c.op, got, c.want)
+		}
+	}
+	// Misaligned AMO always traps.
+	e := newExec(isa.RV32GC,
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Imm: 0x201}),
+		enc(isa.Inst{Op: isa.OpAMOADDW, Rd: 2, Rs1: 1, Rs2: 3}),
+	)
+	step(t, e, 2)
+	if e.CPU.Mcause != hart.CauseMisalignedStore {
+		t.Errorf("misaligned AMO mcause = %d", e.CPU.Mcause)
+	}
+}
+
+func TestCSRInstructions(t *testing.T) {
+	e := newExec(isa.RV32I,
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Imm: 0x123}),
+		enc(isa.Inst{Op: isa.OpCSRRW, Rd: 2, Rs1: 1, CSR: hart.CSRMscratch}),
+		enc(isa.Inst{Op: isa.OpCSRRS, Rd: 3, Rs1: 0, CSR: hart.CSRMscratch}), // read only
+		enc(isa.Inst{Op: isa.OpCSRRSI, Rd: 4, Imm: 0xc, CSR: hart.CSRMscratch}),
+		enc(isa.Inst{Op: isa.OpCSRRC, Rd: 5, Rs1: 1, CSR: hart.CSRMscratch}),
+		enc(isa.Inst{Op: isa.OpCSRRS, Rd: 6, Rs1: 0, CSR: hart.CSRMhartid}),
+	)
+	step(t, e, 6)
+	if e.CPU.ReadX(2) != 0 || e.CPU.ReadX(3) != 0x123 || e.CPU.ReadX(4) != 0x123 {
+		t.Errorf("csrrw/s results: %#x %#x %#x", e.CPU.ReadX(2), e.CPU.ReadX(3), e.CPU.ReadX(4))
+	}
+	if e.CPU.ReadX(5) != 0x12f {
+		t.Errorf("csrrsi result: %#x", e.CPU.ReadX(5))
+	}
+	if e.CPU.Mscratch != 0x12f&^0x123 {
+		t.Errorf("mscratch after csrrc: %#x", e.CPU.Mscratch)
+	}
+
+	// Write to a read-only CSR is illegal.
+	e2 := newExec(isa.RV32I, enc(isa.Inst{Op: isa.OpCSRRW, Rd: 0, Rs1: 1, CSR: hart.CSRMhartid}))
+	e2.Step()
+	if e2.CPU.Mcause != hart.CauseIllegalInstruction {
+		t.Error("write to read-only CSR must trap")
+	}
+	// CSRRS with rs1=x0 to a read-only CSR is a pure read: legal.
+	e3 := newExec(isa.RV32I, enc(isa.Inst{Op: isa.OpCSRRS, Rd: 1, Rs1: 0, CSR: hart.CSRMhartid}))
+	e3.Step()
+	if e3.CPU.PC != 4 {
+		t.Error("pure read of read-only CSR must be legal")
+	}
+	// Nonexistent CSR traps.
+	e4 := newExec(isa.RV32I, enc(isa.Inst{Op: isa.OpCSRRS, Rd: 1, Rs1: 0, CSR: 0x123}))
+	e4.Step()
+	if e4.CPU.Mcause != hart.CauseIllegalInstruction {
+		t.Error("nonexistent CSR must trap")
+	}
+	// FP CSRs are illegal without FP.
+	e5 := newExec(isa.RV32I, enc(isa.Inst{Op: isa.OpCSRRS, Rd: 1, Rs1: 0, CSR: hart.CSRFcsr}))
+	e5.Step()
+	if e5.CPU.Mcause != hart.CauseIllegalInstruction {
+		t.Error("fcsr without F must trap")
+	}
+}
+
+func TestMRETRoundTrip(t *testing.T) {
+	e := newExec(isa.RV32I,
+		0xffffffff, // illegal -> handler
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 9, Imm: 9}), // 4: resumed here
+	)
+	// Handler: csrr x1, mepc; addi x1, x1, 4; csrw mepc, x1; mret.
+	_ = e.Mem.Write32(testHandler+0, enc(isa.Inst{Op: isa.OpCSRRS, Rd: 1, Rs1: 0, CSR: hart.CSRMepc}))
+	_ = e.Mem.Write32(testHandler+4, enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Rs1: 1, Imm: 4}))
+	_ = e.Mem.Write32(testHandler+8, enc(isa.Inst{Op: isa.OpCSRRW, Rd: 0, Rs1: 1, CSR: hart.CSRMepc}))
+	_ = e.Mem.Write32(testHandler+12, enc(isa.Inst{Op: isa.OpMRET}))
+	step(t, e, 6)
+	if e.CPU.ReadX(9) != 9 || e.CPU.PC != 8 {
+		t.Errorf("mret resume failed: x9=%d pc=%d", e.CPU.ReadX(9), e.CPU.PC)
+	}
+}
+
+func TestUnalignedDataPolicy(t *testing.T) {
+	prog := []uint32{
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Imm: 0x201}),
+		enc(isa.Inst{Op: isa.OpLW, Rd: 2, Rs1: 1, Imm: 0}),
+	}
+	soft := newExec(isa.RV32I, prog...)
+	_ = soft.Mem.Write32(0x200, 0x11223344)
+	_ = soft.Mem.Write32(0x204, 0x55667788)
+	step(t, soft, 2)
+	if soft.CPU.ReadX(2) != 0x88112233 {
+		t.Errorf("unaligned load = %#x", soft.CPU.ReadX(2))
+	}
+	trap := newExec(isa.RV32I, prog...)
+	trap.TrapUnaligned = true
+	step(t, trap, 2)
+	if trap.CPU.Mcause != hart.CauseMisalignedLoad || trap.CPU.Mtval != 0x201 {
+		t.Errorf("trap policy: mcause=%d mtval=%#x", trap.CPU.Mcause, trap.CPU.Mtval)
+	}
+}
+
+func TestAccessFaults(t *testing.T) {
+	e := newExec(isa.RV32I,
+		enc(isa.Inst{Op: isa.OpLUI, Rd: 1, Imm: 0x10000000}), // x1 = out of range
+		enc(isa.Inst{Op: isa.OpLW, Rd: 2, Rs1: 1, Imm: 0}),
+	)
+	step(t, e, 2)
+	if e.CPU.Mcause != hart.CauseLoadAccessFault {
+		t.Errorf("load fault mcause = %d", e.CPU.Mcause)
+	}
+	e2 := newExec(isa.RV32I,
+		enc(isa.Inst{Op: isa.OpLUI, Rd: 1, Imm: 0x10000000}),
+		enc(isa.Inst{Op: isa.OpSW, Rs1: 1, Rs2: 0, Imm: 0}),
+	)
+	step(t, e2, 2)
+	if e2.CPU.Mcause != hart.CauseStoreAccessFault {
+		t.Errorf("store fault mcause = %d", e2.CPU.Mcause)
+	}
+	// Fetch outside memory.
+	e3 := newExec(isa.RV32I, enc(isa.Inst{Op: isa.OpJALR, Rd: 0, Rs1: 1, Imm: 0}))
+	e3.CPU.X[1] = 0x40000000
+	e3.Step()
+	e3.Step()
+	if e3.CPU.Mcause != hart.CauseFetchAccessFault {
+		t.Errorf("fetch fault mcause = %d", e3.CPU.Mcause)
+	}
+}
+
+func TestFPBasics(t *testing.T) {
+	f := func(v float32) uint32 { return math.Float32bits(v) }
+	e := newExec(isa.RV32GC,
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Imm: 0x200}),
+		enc(isa.Inst{Op: isa.OpFLW, Rd: 2, Rs1: 1, Imm: 0}),
+		enc(isa.Inst{Op: isa.OpFLW, Rd: 3, Rs1: 1, Imm: 4}),
+		enc(isa.Inst{Op: isa.OpFADDS, Rd: 4, Rs1: 2, Rs2: 3, RM: 0}),
+		enc(isa.Inst{Op: isa.OpFSW, Rs1: 1, Rs2: 4, Imm: 8}),
+		enc(isa.Inst{Op: isa.OpFMVXW, Rd: 5, Rs1: 4}),
+		enc(isa.Inst{Op: isa.OpFCVTWS, Rd: 6, Rs1: 4, RM: 0}),
+		enc(isa.Inst{Op: isa.OpFLES, Rd: 7, Rs1: 2, Rs2: 3}),
+	)
+	_ = e.Mem.Write32(0x200, f(1.5))
+	_ = e.Mem.Write32(0x204, f(2.25))
+	step(t, e, 8)
+	if got, _ := e.Mem.Read32(0x208); got != f(3.75) {
+		t.Errorf("fsw result = %#x", got)
+	}
+	if e.CPU.ReadX(5) != f(3.75) {
+		t.Errorf("fmv.x.w = %#x", e.CPU.ReadX(5))
+	}
+	if e.CPU.ReadX(6) != 4 { // 3.75 RNE -> 4
+		t.Errorf("fcvt.w.s = %d", e.CPU.ReadX(6))
+	}
+	if e.CPU.ReadX(7) != 1 {
+		t.Errorf("fle = %d", e.CPU.ReadX(7))
+	}
+	// NaN boxing: the f register must hold the boxed value.
+	if e.CPU.F[4]>>32 != 0xffffffff {
+		t.Errorf("f4 not NaN-boxed: %#x", e.CPU.F[4])
+	}
+	if e.CPU.Fflags == 0 {
+		// 3.75 is exact; fcvt is exact; no flags expected. This checks we
+		// don't spuriously set flags.
+	}
+}
+
+func TestFPReservedRoundingMode(t *testing.T) {
+	// Static rm=5 is reserved: illegal instruction.
+	e := newExec(isa.RV32GC, enc(isa.Inst{Op: isa.OpFADDS, Rd: 1, Rs1: 2, Rs2: 3, RM: 5}))
+	e.Step()
+	if e.CPU.Mcause != hart.CauseIllegalInstruction {
+		t.Error("rm=5 must be illegal")
+	}
+	// Dynamic rm with frm set to an invalid value: illegal.
+	e2 := newExec(isa.RV32GC, enc(isa.Inst{Op: isa.OpFADDS, Rd: 1, Rs1: 2, Rs2: 3, RM: 7}))
+	e2.CPU.Frm = 6
+	e2.Step()
+	if e2.CPU.Mcause != hart.CauseIllegalInstruction {
+		t.Error("dynamic rm with frm=6 must be illegal")
+	}
+	// Dynamic rm with a valid frm executes.
+	e3 := newExec(isa.RV32GC, enc(isa.Inst{Op: isa.OpFADDS, Rd: 1, Rs1: 2, Rs2: 3, RM: 7}))
+	e3.CPU.Frm = 1
+	e3.Step()
+	if e3.CPU.PC != 4 {
+		t.Error("dynamic rm with frm=1 must execute")
+	}
+}
+
+func TestFPDisabledByMstatusFS(t *testing.T) {
+	e := newExec(isa.RV32GC, enc(isa.Inst{Op: isa.OpFADDS, Rd: 1, Rs1: 2, Rs2: 3}))
+	e.CPU.Mstatus &^= hart.MstatusFS // FS = Off
+	e.Step()
+	if e.CPU.Mcause != hart.CauseIllegalInstruction {
+		t.Error("FP with FS=Off must trap")
+	}
+}
+
+func TestDoublePrecisionAndBoxing(t *testing.T) {
+	d := func(v float64) uint64 { return math.Float64bits(v) }
+	e := newExec(isa.RV32GC,
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Imm: 0x200}),
+		enc(isa.Inst{Op: isa.OpFLD, Rd: 2, Rs1: 1, Imm: 0}),
+		enc(isa.Inst{Op: isa.OpFLD, Rd: 3, Rs1: 1, Imm: 8}),
+		enc(isa.Inst{Op: isa.OpFMULD, Rd: 4, Rs1: 2, Rs2: 3, RM: 0}),
+		enc(isa.Inst{Op: isa.OpFSD, Rs1: 1, Rs2: 4, Imm: 16}),
+		// Reading the double register as single must observe NaN
+		// (improper boxing).
+		enc(isa.Inst{Op: isa.OpFADDS, Rd: 5, Rs1: 4, Rs2: 4, RM: 0}),
+		enc(isa.Inst{Op: isa.OpFSW, Rs1: 1, Rs2: 5, Imm: 24}),
+	)
+	_ = e.Mem.Write64(0x200, d(2.5))
+	_ = e.Mem.Write64(0x208, d(4))
+	step(t, e, 7)
+	if got, _ := e.Mem.Read64(0x210); got != d(10) {
+		t.Errorf("fmul.d result = %#x", got)
+	}
+	if got, _ := e.Mem.Read32(0x218); got != 0x7fc00000 {
+		t.Errorf("unboxed read must be canonical NaN, got %#x", got)
+	}
+}
+
+func TestHaltStore(t *testing.T) {
+	e := newExec(isa.RV32I,
+		enc(isa.Inst{Op: isa.OpSW, Rs1: 0, Rs2: 0, Imm: testHaltAddr}),
+	)
+	if err := e.Run(10); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !e.Halted || e.InstCount != 1 {
+		t.Errorf("halted=%v count=%d", e.Halted, e.InstCount)
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	// jal x0, 0: tight infinite loop.
+	e := newExec(isa.RV32I, enc(isa.Inst{Op: isa.OpJAL, Rd: 0, Imm: 0}))
+	if err := e.Run(100); err != ErrTimeout {
+		t.Fatalf("Run = %v, want timeout", err)
+	}
+	if e.InstCount < 100 {
+		t.Errorf("count = %d", e.InstCount)
+	}
+}
+
+// edgeRecorder counts hook invocations.
+type edgeRecorder struct {
+	edges map[uint32]int
+	insts int
+}
+
+func (r *edgeRecorder) OnInst(*isa.Inst, *hart.Hart) { r.insts++ }
+func (r *edgeRecorder) OnEdge(e uint32)              { r.edges[e]++ }
+
+func TestCoverageHook(t *testing.T) {
+	e := newExec(isa.RV32I,
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Imm: 1}),
+		enc(isa.Inst{Op: isa.OpBEQ, Rs1: 1, Rs2: 0, Imm: 8}), // not taken
+		enc(isa.Inst{Op: isa.OpBEQ, Rs1: 0, Rs2: 0, Imm: 8}), // taken
+		0, 0,
+		0xffffffff, // at 16: illegal
+	)
+	rec := &edgeRecorder{edges: map[uint32]int{}}
+	e.Hook = rec
+	step(t, e, 4)
+	if rec.insts != 3 { // illegal never reaches OnInst
+		t.Errorf("OnInst count = %d, want 3", rec.insts)
+	}
+	check := func(op isa.Op, kind uint32) {
+		if rec.edges[uint32(op)*8+kind] == 0 {
+			t.Errorf("edge (%v, %d) not recorded", op, kind)
+		}
+	}
+	check(isa.OpADDI, EdgeRetire)
+	check(isa.OpBEQ, EdgeBranchNot)
+	check(isa.OpBEQ, EdgeBranchTaken)
+	check(isa.OpIllegal, EdgeTrapIllegal)
+	if len(rec.edges) != 4 {
+		t.Errorf("edges = %v", rec.edges)
+	}
+}
+
+func TestSailQuirkNonTermination(t *testing.T) {
+	// An invalid branch word (funct3=2) with a negative offset: under the
+	// sail quirk it decodes as a backward BEQ with equal operands and
+	// loops forever; the reference traps to the handler and halts.
+	w := enc(isa.Inst{Op: isa.OpBEQ, Rs1: 0, Rs2: 0, Imm: 0})
+	w = w&^(uint32(7)<<12) | 2<<12
+	run := func(q isa.Quirks) error {
+		m := mem.New(0, 0x8000)
+		_ = m.Write32(0, w)
+		_ = m.Write32(testHandler, enc(isa.Inst{Op: isa.OpSW, Imm: testHaltAddr}))
+		cpu := hart.New(isa.RV32I)
+		cpu.Mtvec = testHandler
+		e := New(cpu, m, &isa.Decoder{Quirks: q})
+		e.HaltAddr = testHaltAddr
+		return e.Run(1000)
+	}
+	if err := run(isa.Quirks{}); err != nil {
+		t.Errorf("reference: %v", err)
+	}
+	if err := run(isa.Quirks{InvalidBranchFunct3: true}); err != ErrTimeout {
+		t.Errorf("sail quirk: %v, want timeout", err)
+	}
+}

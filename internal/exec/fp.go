@@ -1,0 +1,173 @@
+package exec
+
+import (
+	"rvnegtest/internal/hart"
+	"rvnegtest/internal/isa"
+	sf "rvnegtest/internal/softfloat"
+)
+
+// executeFP handles the F and D extension arithmetic instructions (loads
+// and stores are handled in exec.go alongside the integer ones).
+func (e *Executor) executeFP(inst isa.Inst, rs1 uint32) {
+	h := e.CPU
+	info := inst.Info()
+	if info == nil {
+		e.trap(inst, hart.CauseIllegalInstruction, inst.Raw)
+		return
+	}
+
+	// Resolve the rounding mode; reserved rm encodings are illegal.
+	var rm sf.RM
+	if info.Flags.Is(isa.FlagHasRM) {
+		var ok bool
+		rm, ok = h.DynRM(inst.RM)
+		if !ok {
+			e.trap(inst, hart.CauseIllegalInstruction, inst.Raw)
+			return
+		}
+	}
+
+	a32 := func() uint32 { return h.ReadF32(inst.Rs1) }
+	b32 := func() uint32 { return h.ReadF32(inst.Rs2) }
+	c32 := func() uint32 { return h.ReadF32(inst.Rs3) }
+	a64 := func() uint64 { return h.ReadF64(inst.Rs1) }
+	b64 := func() uint64 { return h.ReadF64(inst.Rs2) }
+	c64 := func() uint64 { return h.ReadF64(inst.Rs3) }
+
+	w32 := func(v uint32, fl sf.Flags) {
+		h.AccrueFlags(fl)
+		h.WriteF32(inst.Rd, v)
+		e.retire(inst)
+	}
+	w64 := func(v uint64, fl sf.Flags) {
+		h.AccrueFlags(fl)
+		h.WriteF64(inst.Rd, v)
+		e.retire(inst)
+	}
+	wx := func(v uint32, fl sf.Flags) {
+		h.AccrueFlags(fl)
+		h.WriteX(inst.Rd, v)
+		e.retire(inst)
+	}
+	wb := func(v bool, fl sf.Flags) {
+		h.AccrueFlags(fl)
+		h.WriteX(inst.Rd, b2u(v))
+		e.retire(inst)
+	}
+
+	switch inst.Op {
+	// ----- F -----
+	case isa.OpFADDS:
+		w32(twoF32(sf.Add32, a32(), b32(), rm))
+	case isa.OpFSUBS:
+		w32(twoF32(sf.Sub32, a32(), b32(), rm))
+	case isa.OpFMULS:
+		w32(twoF32(sf.Mul32, a32(), b32(), rm))
+	case isa.OpFDIVS:
+		w32(twoF32(sf.Div32, a32(), b32(), rm))
+	case isa.OpFSQRTS:
+		w32(sf.Sqrt32(a32(), rm))
+	case isa.OpFMADDS:
+		w32(sf.FMA32(a32(), b32(), c32(), rm))
+	case isa.OpFMSUBS:
+		w32(sf.FMA32(a32(), b32(), negF32(c32()), rm))
+	case isa.OpFNMSUBS:
+		w32(sf.FMA32(negF32(a32()), b32(), c32(), rm))
+	case isa.OpFNMADDS:
+		w32(sf.FMA32(negF32(a32()), b32(), negF32(c32()), rm))
+	case isa.OpFSGNJS:
+		w32(a32()&^(1<<31)|b32()&(1<<31), 0)
+	case isa.OpFSGNJNS:
+		w32(a32()&^(1<<31)|^b32()&(1<<31), 0)
+	case isa.OpFSGNJXS:
+		w32(a32()^b32()&(1<<31), 0)
+	case isa.OpFMINS:
+		w32(sf.Min32(a32(), b32()))
+	case isa.OpFMAXS:
+		w32(sf.Max32(a32(), b32()))
+	case isa.OpFEQS:
+		wb(sf.Eq32(a32(), b32()))
+	case isa.OpFLTS:
+		wb(sf.Lt32(a32(), b32()))
+	case isa.OpFLES:
+		wb(sf.Le32(a32(), b32()))
+	case isa.OpFCLASSS:
+		wx(sf.Class32(a32()), 0)
+	case isa.OpFCVTWS:
+		wx(sf.F32ToI32(a32(), rm))
+	case isa.OpFCVTWUS:
+		wx(sf.F32ToU32(a32(), rm))
+	case isa.OpFCVTSW:
+		w32(sf.I32ToF32(rs1, rm))
+	case isa.OpFCVTSWU:
+		w32(sf.U32ToF32(rs1, rm))
+	case isa.OpFMVXW:
+		// Raw bit move, no unboxing canonicalization.
+		wx(uint32(h.F[inst.Rs1]), 0)
+	case isa.OpFMVWX:
+		w32(rs1, 0)
+
+	// ----- D -----
+	case isa.OpFADDD:
+		w64(sf.Add64(a64(), b64(), rm))
+	case isa.OpFSUBD:
+		w64(sf.Sub64(a64(), b64(), rm))
+	case isa.OpFMULD:
+		w64(sf.Mul64(a64(), b64(), rm))
+	case isa.OpFDIVD:
+		w64(sf.Div64(a64(), b64(), rm))
+	case isa.OpFSQRTD:
+		w64(sf.Sqrt64(a64(), rm))
+	case isa.OpFMADDD:
+		w64(sf.FMA64(a64(), b64(), c64(), rm))
+	case isa.OpFMSUBD:
+		w64(sf.FMA64(a64(), b64(), negF64(c64()), rm))
+	case isa.OpFNMSUBD:
+		w64(sf.FMA64(negF64(a64()), b64(), c64(), rm))
+	case isa.OpFNMADDD:
+		w64(sf.FMA64(negF64(a64()), b64(), negF64(c64()), rm))
+	case isa.OpFSGNJD:
+		w64(a64()&^(1<<63)|b64()&(1<<63), 0)
+	case isa.OpFSGNJND:
+		w64(a64()&^(1<<63)|^b64()&(1<<63), 0)
+	case isa.OpFSGNJXD:
+		w64(a64()^b64()&(1<<63), 0)
+	case isa.OpFMIND:
+		w64(sf.Min64(a64(), b64()))
+	case isa.OpFMAXD:
+		w64(sf.Max64(a64(), b64()))
+	case isa.OpFEQD:
+		wb(sf.Eq64(a64(), b64()))
+	case isa.OpFLTD:
+		wb(sf.Lt64(a64(), b64()))
+	case isa.OpFLED:
+		wb(sf.Le64(a64(), b64()))
+	case isa.OpFCLASSD:
+		wx(sf.Class64(a64()), 0)
+	case isa.OpFCVTWD:
+		wx(sf.F64ToI32(a64(), rm))
+	case isa.OpFCVTWUD:
+		wx(sf.F64ToU32(a64(), rm))
+	case isa.OpFCVTDW:
+		w64(sf.I32ToF64(rs1, rm))
+	case isa.OpFCVTDWU:
+		w64(sf.U32ToF64(rs1, rm))
+	case isa.OpFCVTSD:
+		w32(sf.F64ToF32(a64(), rm))
+	case isa.OpFCVTDS:
+		w64(sf.F32ToF64(a32()))
+
+	default:
+		// Every operation must be handled somewhere; reaching this point
+		// is a programming error, not a guest error.
+		panic("exec: unhandled operation " + inst.Op.String())
+	}
+}
+
+// twoF32 adapts a two-operand binary32 function for the w32 helper.
+func twoF32(op func(a, b uint32, rm sf.RM) (uint32, sf.Flags), a, b uint32, rm sf.RM) (uint32, sf.Flags) {
+	return op(a, b, rm)
+}
+
+func negF32(v uint32) uint32 { return v ^ 1<<31 }
+func negF64(v uint64) uint64 { return v ^ 1<<63 }

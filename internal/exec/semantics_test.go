@@ -1,0 +1,324 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"rvnegtest/internal/isa"
+	sf "rvnegtest/internal/softfloat"
+)
+
+// TestIntegerSemanticsSweep drives every RV32IM computational instruction
+// with randomized operands and checks the result against an independent
+// inline computation (so an operand-order or sign-extension typo in the
+// executor's switch cannot hide).
+func TestIntegerSemanticsSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	type model func(a, b uint32, imm int32) uint32
+	cases := []struct {
+		op    isa.Op
+		useRI bool // register-immediate form
+		f     model
+	}{
+		{isa.OpADD, false, func(a, b uint32, _ int32) uint32 { return a + b }},
+		{isa.OpSUB, false, func(a, b uint32, _ int32) uint32 { return a - b }},
+		{isa.OpSLL, false, func(a, b uint32, _ int32) uint32 { return a << (b & 31) }},
+		{isa.OpSRL, false, func(a, b uint32, _ int32) uint32 { return a >> (b & 31) }},
+		{isa.OpSRA, false, func(a, b uint32, _ int32) uint32 { return uint32(int32(a) >> (b & 31)) }},
+		{isa.OpXOR, false, func(a, b uint32, _ int32) uint32 { return a ^ b }},
+		{isa.OpOR, false, func(a, b uint32, _ int32) uint32 { return a | b }},
+		{isa.OpAND, false, func(a, b uint32, _ int32) uint32 { return a & b }},
+		{isa.OpSLT, false, func(a, b uint32, _ int32) uint32 {
+			if int32(a) < int32(b) {
+				return 1
+			}
+			return 0
+		}},
+		{isa.OpSLTU, false, func(a, b uint32, _ int32) uint32 {
+			if a < b {
+				return 1
+			}
+			return 0
+		}},
+		{isa.OpADDI, true, func(a, _ uint32, imm int32) uint32 { return a + uint32(imm) }},
+		{isa.OpXORI, true, func(a, _ uint32, imm int32) uint32 { return a ^ uint32(imm) }},
+		{isa.OpORI, true, func(a, _ uint32, imm int32) uint32 { return a | uint32(imm) }},
+		{isa.OpANDI, true, func(a, _ uint32, imm int32) uint32 { return a & uint32(imm) }},
+		{isa.OpSLTI, true, func(a, _ uint32, imm int32) uint32 {
+			if int32(a) < imm {
+				return 1
+			}
+			return 0
+		}},
+		{isa.OpSLTIU, true, func(a, _ uint32, imm int32) uint32 {
+			if a < uint32(imm) {
+				return 1
+			}
+			return 0
+		}},
+		{isa.OpMUL, false, func(a, b uint32, _ int32) uint32 { return uint32(int64(int32(a)) * int64(int32(b))) }},
+		{isa.OpMULH, false, func(a, b uint32, _ int32) uint32 {
+			return uint32(uint64(int64(int32(a))*int64(int32(b))) >> 32)
+		}},
+		{isa.OpMULHU, false, func(a, b uint32, _ int32) uint32 { return uint32(uint64(a) * uint64(b) >> 32) }},
+		{isa.OpMULHSU, false, func(a, b uint32, _ int32) uint32 {
+			return uint32(uint64(int64(int32(a))*int64(b)) >> 32)
+		}},
+		{isa.OpDIV, false, func(a, b uint32, _ int32) uint32 {
+			switch {
+			case b == 0:
+				return 0xffffffff
+			case int32(a) == -1<<31 && int32(b) == -1:
+				return a
+			}
+			return uint32(int32(a) / int32(b))
+		}},
+		{isa.OpDIVU, false, func(a, b uint32, _ int32) uint32 {
+			if b == 0 {
+				return 0xffffffff
+			}
+			return a / b
+		}},
+		{isa.OpREM, false, func(a, b uint32, _ int32) uint32 {
+			switch {
+			case b == 0:
+				return a
+			case int32(a) == -1<<31 && int32(b) == -1:
+				return 0
+			}
+			return uint32(int32(a) % int32(b))
+		}},
+		{isa.OpREMU, false, func(a, b uint32, _ int32) uint32 {
+			if b == 0 {
+				return a
+			}
+			return a % b
+		}},
+	}
+	interesting := []uint32{0, 1, 2, 0xffffffff, 0x7fffffff, 0x80000000, 31, 32, 0xfffffffe}
+	operand := func() uint32 {
+		if rng.Intn(2) == 0 {
+			return interesting[rng.Intn(len(interesting))]
+		}
+		return rng.Uint32()
+	}
+	for _, c := range cases {
+		for trial := 0; trial < 200; trial++ {
+			a, b := operand(), operand()
+			imm := int32(rng.Intn(4096) - 2048)
+			inst := isa.Inst{Op: c.op, Rd: 3, Rs1: 1, Rs2: 2, Imm: imm}
+			e := newExec(isa.RV32IM, enc(inst))
+			e.CPU.X[1], e.CPU.X[2] = a, b
+			e.Step()
+			if e.CPU.PC != 4 {
+				t.Fatalf("%v(%#x,%#x): trapped", c.op, a, b)
+			}
+			want := c.f(a, b, imm)
+			if got := e.CPU.ReadX(3); got != want {
+				t.Fatalf("%v(%#x, %#x, imm=%d) = %#x, want %#x", c.op, a, b, imm, got, want)
+			}
+			_ = c.useRI
+		}
+	}
+}
+
+// TestShiftImmediateSweep covers the SLLI/SRLI/SRAI shamt space
+// exhaustively.
+func TestShiftImmediateSweep(t *testing.T) {
+	for _, op := range []isa.Op{isa.OpSLLI, isa.OpSRLI, isa.OpSRAI} {
+		for shamt := int32(0); shamt < 32; shamt++ {
+			for _, v := range []uint32{0, 1, 0x80000000, 0xffffffff, 0x12345678} {
+				e := newExec(isa.RV32I, enc(isa.Inst{Op: op, Rd: 3, Rs1: 1, Imm: shamt}))
+				e.CPU.X[1] = v
+				e.Step()
+				var want uint32
+				switch op {
+				case isa.OpSLLI:
+					want = v << uint(shamt)
+				case isa.OpSRLI:
+					want = v >> uint(shamt)
+				default:
+					want = uint32(int32(v) >> uint(shamt))
+				}
+				if got := e.CPU.ReadX(3); got != want {
+					t.Fatalf("%v %#x >>/<< %d = %#x, want %#x", op, v, shamt, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBranchSemanticsSweep checks every branch condition against an inline
+// model for both directions.
+func TestBranchSemanticsSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	models := map[isa.Op]func(a, b uint32) bool{
+		isa.OpBEQ:  func(a, b uint32) bool { return a == b },
+		isa.OpBNE:  func(a, b uint32) bool { return a != b },
+		isa.OpBLT:  func(a, b uint32) bool { return int32(a) < int32(b) },
+		isa.OpBGE:  func(a, b uint32) bool { return int32(a) >= int32(b) },
+		isa.OpBLTU: func(a, b uint32) bool { return a < b },
+		isa.OpBGEU: func(a, b uint32) bool { return a >= b },
+	}
+	for op, m := range models {
+		for trial := 0; trial < 200; trial++ {
+			a, b := rng.Uint32(), rng.Uint32()
+			if rng.Intn(3) == 0 {
+				b = a // force the equality edge
+			}
+			e := newExec(isa.RV32I, enc(isa.Inst{Op: op, Rs1: 1, Rs2: 2, Imm: 8}))
+			e.CPU.X[1], e.CPU.X[2] = a, b
+			e.Step()
+			wantPC := uint32(4)
+			if m(a, b) {
+				wantPC = 8
+			}
+			if e.CPU.PC != wantPC {
+				t.Fatalf("%v(%#x, %#x): pc=%d, want %d", op, a, b, e.CPU.PC, wantPC)
+			}
+		}
+	}
+}
+
+// TestFPPlumbingMatchesSoftfloat checks the executor's FP data path
+// (register reads, NaN boxing, rounding-mode resolution, flag accrual)
+// against direct softfloat calls.
+func TestFPPlumbingMatchesSoftfloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	type binop struct {
+		op isa.Op
+		f  func(a, b uint64, rm sf.RM) (uint64, sf.Flags)
+	}
+	ops := []binop{
+		{isa.OpFADDD, sf.Add64},
+		{isa.OpFSUBD, sf.Sub64},
+		{isa.OpFMULD, sf.Mul64},
+		{isa.OpFDIVD, sf.Div64},
+	}
+	for _, c := range ops {
+		for trial := 0; trial < 300; trial++ {
+			a, b := rng.Uint64(), rng.Uint64()
+			rm := uint8(rng.Intn(5))
+			e := newExec(isa.RV32GC, enc(isa.Inst{Op: c.op, Rd: 3, Rs1: 1, Rs2: 2, RM: rm}))
+			e.CPU.F[1], e.CPU.F[2] = a, b
+			e.Step()
+			want, wantFl := c.f(a, b, sf.RM(rm))
+			if got := e.CPU.F[3]; got != want {
+				t.Fatalf("%v(%#x, %#x, rm=%d) = %#x, want %#x", c.op, a, b, rm, got, want)
+			}
+			if e.CPU.Fflags != uint8(wantFl) {
+				t.Fatalf("%v flags = %#x, want %#x", c.op, e.CPU.Fflags, uint8(wantFl))
+			}
+		}
+	}
+	// Single precision goes through unboxing: an unboxed input must be
+	// treated as canonical NaN.
+	e := newExec(isa.RV32GC, enc(isa.Inst{Op: isa.OpFADDS, Rd: 3, Rs1: 1, Rs2: 2, RM: 0}))
+	e.CPU.F[1] = uint64(0x3f800000) // 1.0f NOT boxed
+	e.CPU.F[2] = sf.Box32(0x3f800000)
+	e.Step()
+	if got := e.CPU.ReadF32(3); got != sf.QNaN32 {
+		t.Fatalf("unboxed operand: got %#x, want canonical NaN", got)
+	}
+	// Dynamic rounding mode resolves through frm.
+	for _, frm := range []uint8{0, 1, 2, 3, 4} {
+		a, b := uint64(0x3ff0000000000001), uint64(0x3ca0000000000000)
+		e := newExec(isa.RV32GC, enc(isa.Inst{Op: isa.OpFADDD, Rd: 3, Rs1: 1, Rs2: 2, RM: 7}))
+		e.CPU.F[1], e.CPU.F[2] = a, b
+		e.CPU.Frm = frm
+		e.Step()
+		want, _ := sf.Add64(a, b, sf.RM(frm))
+		if e.CPU.F[3] != want {
+			t.Fatalf("dynamic rm=%d: got %#x, want %#x", frm, e.CPU.F[3], want)
+		}
+	}
+	// FMA sign variants.
+	fa, fb, fc := uint64(0x4000000000000000), uint64(0x4008000000000000), uint64(0x3ff0000000000000)
+	variants := []struct {
+		op   isa.Op
+		want func() uint64
+	}{
+		{isa.OpFMADDD, func() uint64 { v, _ := sf.FMA64(fa, fb, fc, sf.RNE); return v }},
+		{isa.OpFMSUBD, func() uint64 { v, _ := sf.FMA64(fa, fb, fc^1<<63, sf.RNE); return v }},
+		{isa.OpFNMSUBD, func() uint64 { v, _ := sf.FMA64(fa^1<<63, fb, fc, sf.RNE); return v }},
+		{isa.OpFNMADDD, func() uint64 { v, _ := sf.FMA64(fa^1<<63, fb, fc^1<<63, sf.RNE); return v }},
+	}
+	for _, v := range variants {
+		e := newExec(isa.RV32GC, enc(isa.Inst{Op: v.op, Rd: 4, Rs1: 1, Rs2: 2, Rs3: 3, RM: 0}))
+		e.CPU.F[1], e.CPU.F[2], e.CPU.F[3] = fa, fb, fc
+		e.Step()
+		if e.CPU.F[4] != v.want() {
+			t.Fatalf("%v = %#x, want %#x", v.op, e.CPU.F[4], v.want())
+		}
+	}
+}
+
+// TestFPConversionPlumbing checks the int<->float instructions against
+// direct softfloat calls, including the WU forms.
+func TestFPConversionPlumbing(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	for trial := 0; trial < 200; trial++ {
+		x := rng.Uint32()
+		d := rng.Uint64()
+		rm := uint8(rng.Intn(5))
+
+		e := newExec(isa.RV32GC, enc(isa.Inst{Op: isa.OpFCVTDW, Rd: 1, Rs1: 2, RM: rm}))
+		e.CPU.X[2] = x
+		e.Step()
+		if want, _ := sf.I32ToF64(x, sf.RM(rm)); e.CPU.F[1] != want {
+			t.Fatalf("fcvt.d.w(%#x) = %#x, want %#x", x, e.CPU.F[1], want)
+		}
+
+		e = newExec(isa.RV32GC, enc(isa.Inst{Op: isa.OpFCVTWUD, Rd: 3, Rs1: 1, RM: rm}))
+		e.CPU.F[1] = d
+		e.Step()
+		if want, _ := sf.F64ToU32(d, sf.RM(rm)); e.CPU.ReadX(3) != want {
+			t.Fatalf("fcvt.wu.d(%#x) = %#x, want %#x", d, e.CPU.ReadX(3), want)
+		}
+
+		e = newExec(isa.RV32GC, enc(isa.Inst{Op: isa.OpFCVTSD, Rd: 1, Rs1: 2, RM: rm}))
+		e.CPU.F[2] = d
+		e.Step()
+		if want, _ := sf.F64ToF32(d, sf.RM(rm)); e.CPU.ReadF32(1) != want {
+			t.Fatalf("fcvt.s.d(%#x) = %#x, want %#x", d, e.CPU.ReadF32(1), want)
+		}
+	}
+	// FCLASS and FMV raw moves.
+	e := newExec(isa.RV32GC, enc(isa.Inst{Op: isa.OpFCLASSD, Rd: 3, Rs1: 1}))
+	e.CPU.F[1] = 0x7ff0000000000000
+	e.Step()
+	if e.CPU.ReadX(3) != sf.ClassPosInf {
+		t.Fatalf("fclass.d(+inf) = %#x", e.CPU.ReadX(3))
+	}
+	e = newExec(isa.RV32GC, enc(isa.Inst{Op: isa.OpFMVWX, Rd: 1, Rs1: 2}))
+	e.CPU.X[2] = 0xdeadbeef
+	e.Step()
+	if e.CPU.F[1] != sf.Box32(0xdeadbeef) {
+		t.Fatalf("fmv.w.x = %#x", e.CPU.F[1])
+	}
+}
+
+// TestSgnjBitExactness: the sign-injection instructions are raw bit
+// operations, including on NaNs (no canonicalization).
+func TestSgnjBitExactness(t *testing.T) {
+	a, b := uint64(0x7ff123456789abcd), uint64(0x8000000000000000)
+	cases := []struct {
+		op   isa.Op
+		want uint64
+	}{
+		{isa.OpFSGNJD, a&^(1<<63) | b&(1<<63)},
+		{isa.OpFSGNJND, a&^(1<<63) | ^b&(1<<63)},
+		{isa.OpFSGNJXD, a ^ b&(1<<63)},
+	}
+	for _, c := range cases {
+		e := newExec(isa.RV32GC, enc(isa.Inst{Op: c.op, Rd: 3, Rs1: 1, Rs2: 2}))
+		e.CPU.F[1], e.CPU.F[2] = a, b
+		e.Step()
+		if e.CPU.F[3] != c.want {
+			t.Fatalf("%v = %#x, want %#x", c.op, e.CPU.F[3], c.want)
+		}
+		if e.CPU.Fflags != 0 {
+			t.Fatalf("%v raised flags %#x on NaN input", c.op, e.CPU.Fflags)
+		}
+	}
+}

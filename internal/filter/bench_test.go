@@ -1,0 +1,47 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+
+	"rvnegtest/internal/isa"
+)
+
+// BenchmarkCheckAccepted measures the filter on the Fig. 2 style accepted
+// program (forked paths).
+func BenchmarkCheckAccepted(b *testing.B) {
+	bs := stream(
+		enc(isa.Inst{Op: isa.OpADD, Rd: 31, Rs1: 2, Rs2: 3}),
+		enc(isa.Inst{Op: isa.OpJAL, Rd: 2, Imm: 20}),
+		enc(isa.Inst{Op: isa.OpWFI}),
+		enc(isa.Inst{Op: isa.OpADD, Rd: 30, Rs1: 2, Rs2: 3}),
+		enc(isa.Inst{Op: isa.OpBLT, Rs1: 30, Rs2: 31, Imm: 12}),
+		0xffffffff,
+		enc(isa.Inst{Op: isa.OpBEQ, Rs1: 1, Rs2: 2, Imm: -8}),
+		enc(isa.Inst{Op: isa.OpLW, Rd: 5, Rs1: 30, Imm: -16}),
+	)
+	flt := &Filter{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !flt.Check(bs).Accepted {
+			b.Fatal("must accept")
+		}
+	}
+}
+
+// BenchmarkCheckRandom measures the filter over random fuzzer-style
+// inputs (the actual hot path of a campaign).
+func BenchmarkCheckRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	inputs := make([][]byte, 256)
+	for i := range inputs {
+		bs := make([]byte, 4*(1+rng.Intn(16)))
+		rng.Read(bs)
+		inputs[i] = bs
+	}
+	flt := &Filter{MaxLen: 64}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flt.Check(inputs[i%len(inputs)])
+	}
+}

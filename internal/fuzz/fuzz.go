@@ -1,0 +1,260 @@
+// Package fuzz implements the coverage-guided test-suite generation engine
+// of the paper (section IV): the counterpart of LLVM libFuzzer, driving
+// bytestream inputs through the static filter into an instrumented
+// instruction-set simulator and collecting every input that produces new
+// coverage as a compliance test case.
+//
+// The engine reproduces the libFuzzer mechanics the paper relies on:
+// a corpus of interesting inputs, randomly stacked byte-level mutations,
+// gradual input-length growth when coverage saturates (-len_control), and
+// a custom instruction-aware mutator invoked with equal probability to the
+// generic ones (section IV-D).
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rvnegtest/internal/coverage"
+	"rvnegtest/internal/filter"
+	"rvnegtest/internal/isa"
+	"rvnegtest/internal/sim"
+	"rvnegtest/internal/template"
+)
+
+// Config parameterizes a fuzzing campaign.
+type Config struct {
+	// Coverage selects the guidance signals (the paper's v0..v3).
+	Coverage coverage.Options
+	// ISA is the foundation simulator's configuration (the paper fuzzes
+	// on the 32-bit VP with the full RV32GC envelope).
+	ISA isa.Config
+	// MaxLen bounds the bytestream length (the paper uses 64 bytes).
+	MaxLen int
+	// LenControl is the number of executions without new coverage before
+	// the current length limit grows (the paper passes -len_control=10000
+	// to slow libFuzzer's growth).
+	LenControl int
+	// Seed makes the campaign deterministic.
+	Seed int64
+	// CustomMutatorProb is the probability of using the instruction-aware
+	// mutator for a given input (the paper attaches it "with equal
+	// probability to the existing mutators").
+	CustomMutatorProb float64
+	// DisableFilter bypasses the static filter (ablation only: breaks the
+	// no-spurious-mismatch guarantee).
+	DisableFilter bool
+	// DisableCustomMutator turns off instruction-aware mutation
+	// (ablation).
+	DisableCustomMutator bool
+	// Seeds is an optional seed corpus (e.g. a previously generated
+	// suite): the inputs are replayed first, collecting those that
+	// produce coverage, before mutation-based generation begins —
+	// libFuzzer's corpus-directory behaviour, the basis of efficient
+	// continuous re-runs.
+	Seeds [][]byte
+}
+
+// DefaultConfig mirrors the paper's campaign settings with v3 coverage.
+func DefaultConfig() Config {
+	return Config{
+		Coverage:          coverage.V3(),
+		ISA:               isa.RV32GC,
+		MaxLen:            64,
+		LenControl:        10000,
+		Seed:              1,
+		CustomMutatorProb: 0.5,
+	}
+}
+
+// TracePoint is one sample of the test-case growth curve (Fig. 4).
+type TracePoint struct {
+	Execs     uint64
+	TestCases int
+}
+
+// Stats summarizes a campaign.
+type Stats struct {
+	Execs       uint64
+	Dropped     uint64 // filtered out before execution
+	TestCases   int
+	Crashes     uint64
+	Timeouts    uint64
+	Duration    time.Duration
+	ExecsPerSec float64
+	CovPoints   int // coverage points defined
+	CovBits     int // bucket bits discovered
+	Trace       []TracePoint
+}
+
+// Fuzzer drives one campaign.
+type Fuzzer struct {
+	cfg    Config
+	rng    *rand.Rand
+	flt    *filter.Filter
+	col    *coverage.Collector
+	target *sim.Simulator
+	mut    *mutator
+
+	pending [][]byte // seed corpus not yet replayed
+	corpus  [][]byte
+	trace   []TracePoint
+	execs   uint64
+	dropped uint64
+	crashes uint64
+	timeout uint64
+	stall   int
+	curLen  int
+	elapsed time.Duration
+}
+
+// New prepares a fuzzer. The foundation simulator is the reference model
+// on the default platform.
+func New(cfg Config) (*Fuzzer, error) {
+	if cfg.MaxLen <= 0 {
+		cfg.MaxLen = 64
+	}
+	if cfg.MaxLen > template.DefaultLayout.MaxBytes() {
+		return nil, fmt.Errorf("fuzz: MaxLen %d exceeds the injection area (%d bytes)",
+			cfg.MaxLen, template.DefaultLayout.MaxBytes())
+	}
+	if cfg.LenControl <= 0 {
+		cfg.LenControl = 10000
+	}
+	if cfg.CustomMutatorProb == 0 && !cfg.DisableCustomMutator {
+		cfg.CustomMutatorProb = 0.5
+	}
+	if cfg.ISA.Ext == 0 {
+		cfg.ISA = isa.RV32GC
+	}
+	target, err := sim.New(sim.Reference, template.Platform{
+		Layout: template.DefaultLayout,
+		Cfg:    cfg.ISA,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &Fuzzer{
+		cfg:    cfg,
+		rng:    rng,
+		flt:    &filter.Filter{MaxLen: cfg.MaxLen},
+		col:    coverage.NewCollector(cfg.Coverage),
+		target: target,
+		mut:    newMutator(rng),
+		curLen: 8,
+	}
+	for _, s := range cfg.Seeds {
+		if len(s) <= cfg.MaxLen {
+			f.pending = append(f.pending, s)
+		}
+	}
+	return f, nil
+}
+
+// Step performs one fuzzer execution; it reports whether the input was
+// collected as a new test case.
+func (f *Fuzzer) Step() bool {
+	start := time.Now()
+	defer func() { f.elapsed += time.Since(start) }()
+	f.execs++
+
+	input := f.nextInput()
+	if !f.cfg.DisableFilter {
+		if res := f.flt.Check(input); !res.Accepted {
+			// Dropped inputs return no coverage, so the fuzzer never
+			// collects them (the paper's key automation property).
+			f.dropped++
+			return false
+		}
+	}
+
+	out := f.target.RunHooked(input, f.col)
+	switch {
+	case out.Crashed:
+		f.crashes++
+		f.col.Map.DiscardRun()
+		return false
+	case out.TimedOut:
+		f.timeout++
+		f.col.Map.DiscardRun()
+		return false
+	}
+	if !f.col.Map.MergeNew() {
+		f.stall++
+		if f.stall >= f.cfg.LenControl && f.curLen < f.cfg.MaxLen {
+			f.curLen += 4
+			f.stall = 0
+		}
+		return false
+	}
+	f.stall = 0
+	f.corpus = append(f.corpus, append([]byte(nil), input...))
+	f.trace = append(f.trace, TracePoint{Execs: f.execs, TestCases: len(f.corpus)})
+	return true
+}
+
+// nextInput produces the next candidate bytestream.
+func (f *Fuzzer) nextInput() []byte {
+	if len(f.pending) > 0 {
+		next := f.pending[0]
+		f.pending = f.pending[1:]
+		return next
+	}
+	var base []byte
+	if len(f.corpus) > 0 && f.rng.Intn(8) != 0 {
+		base = f.corpus[f.rng.Intn(len(f.corpus))]
+	}
+	useCustom := !f.cfg.DisableCustomMutator && f.rng.Float64() < f.cfg.CustomMutatorProb
+	if useCustom {
+		return f.mut.instructionAware(base, f.curLen)
+	}
+	var cross []byte
+	if len(f.corpus) > 1 {
+		cross = f.corpus[f.rng.Intn(len(f.corpus))]
+	}
+	return f.mut.generic(base, cross, f.curLen)
+}
+
+// Run executes until maxExecs executions or maxDur wall time (whichever
+// comes first; zero disables a bound, but at least one must be set).
+func (f *Fuzzer) Run(maxExecs uint64, maxDur time.Duration) {
+	if maxExecs == 0 && maxDur == 0 {
+		panic("fuzz: Run needs a bound")
+	}
+	deadline := time.Now().Add(maxDur)
+	for {
+		if maxExecs > 0 && f.execs >= maxExecs {
+			return
+		}
+		if maxDur > 0 && !time.Now().Before(deadline) {
+			return
+		}
+		f.Step()
+	}
+}
+
+// Corpus returns the collected test cases (the generated test suite), in
+// collection order.
+func (f *Fuzzer) Corpus() [][]byte { return f.corpus }
+
+// Stats returns campaign statistics.
+func (f *Fuzzer) Stats() Stats {
+	eps := 0.0
+	if f.elapsed > 0 {
+		eps = float64(f.execs) / f.elapsed.Seconds()
+	}
+	return Stats{
+		Execs:       f.execs,
+		Dropped:     f.dropped,
+		TestCases:   len(f.corpus),
+		Crashes:     f.crashes,
+		Timeouts:    f.timeout,
+		Duration:    f.elapsed,
+		ExecsPerSec: eps,
+		CovPoints:   f.col.NumPoints(),
+		CovBits:     f.col.Map.BucketBits(),
+		Trace:       f.trace,
+	}
+}

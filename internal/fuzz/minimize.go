@@ -1,0 +1,64 @@
+package fuzz
+
+import (
+	"rvnegtest/internal/coverage"
+	"rvnegtest/internal/sim"
+	"rvnegtest/internal/template"
+)
+
+// Minimize reduces a corpus to a subset with identical coverage, the
+// counterpart of libFuzzer's -merge: cases are replayed in order on a
+// fresh collector and kept only if they still contribute new coverage.
+// Distributing a minimized suite keeps compliance runs short without
+// losing any of the coverage the campaign reached.
+func Minimize(cases [][]byte, cfg Config) ([][]byte, error) {
+	if cfg.ISA.Ext == 0 {
+		cfg.ISA = DefaultConfig().ISA
+	}
+	target, err := sim.New(sim.Reference, template.Platform{
+		Layout: template.DefaultLayout,
+		Cfg:    cfg.ISA,
+	})
+	if err != nil {
+		return nil, err
+	}
+	col := coverage.NewCollector(cfg.Coverage)
+	var kept [][]byte
+	for _, bs := range cases {
+		out := target.RunHooked(bs, col)
+		if out.Crashed || out.TimedOut {
+			col.Map.DiscardRun()
+			continue
+		}
+		if col.Map.MergeNew() {
+			kept = append(kept, bs)
+		}
+	}
+	return kept, nil
+}
+
+// CoverageBits replays a corpus and returns the bucket-bit count it
+// reaches under the given coverage configuration (for judging
+// minimization quality).
+func CoverageBits(cases [][]byte, cfg Config) (int, error) {
+	if cfg.ISA.Ext == 0 {
+		cfg.ISA = DefaultConfig().ISA
+	}
+	target, err := sim.New(sim.Reference, template.Platform{
+		Layout: template.DefaultLayout,
+		Cfg:    cfg.ISA,
+	})
+	if err != nil {
+		return 0, err
+	}
+	col := coverage.NewCollector(cfg.Coverage)
+	for _, bs := range cases {
+		out := target.RunHooked(bs, col)
+		if out.Crashed || out.TimedOut {
+			col.Map.DiscardRun()
+			continue
+		}
+		col.Map.MergeNew()
+	}
+	return col.Map.BucketBits(), nil
+}

@@ -1,0 +1,114 @@
+package fuzz
+
+import (
+	"testing"
+
+	"rvnegtest/internal/coverage"
+)
+
+func TestMinimizePreservesCoverage(t *testing.T) {
+	cfg := smallConfig(coverage.V1(), 17)
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Run(10000, 0)
+	corpus := f.Corpus()
+	if len(corpus) < 50 {
+		t.Fatalf("corpus too small: %d", len(corpus))
+	}
+	min, err := Minimize(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min) == 0 || len(min) > len(corpus) {
+		t.Fatalf("minimized %d of %d", len(min), len(corpus))
+	}
+	full, err := CoverageBits(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CoverageBits(min, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != full {
+		t.Errorf("minimized coverage %d != full %d", got, full)
+	}
+	// Minimization is idempotent.
+	again, err := Minimize(min, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(min) {
+		t.Errorf("second pass shrank %d -> %d", len(min), len(again))
+	}
+	t.Logf("minimize: %d -> %d cases at %d coverage bits", len(corpus), len(min), full)
+}
+
+// TestMinimizeDropsRedundant: duplicating the corpus must not grow the
+// minimized result.
+func TestMinimizeDropsRedundant(t *testing.T) {
+	cfg := smallConfig(coverage.V1(), 19)
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Run(5000, 0)
+	corpus := f.Corpus()
+	doubled := append(append([][]byte(nil), corpus...), corpus...)
+	a, err := Minimize(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcases, err := Minimize(doubled, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bcases) != len(a) {
+		t.Errorf("doubled corpus minimized to %d, original to %d", len(bcases), len(a))
+	}
+}
+
+func TestParallelCampaign(t *testing.T) {
+	cfg := smallConfig(coverage.V1(), 23)
+	merged, stats, err := ParallelCampaign(cfg, 4, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 4 {
+		t.Fatalf("stats for %d workers", len(stats))
+	}
+	for i, st := range stats {
+		if st.Execs != 4000 {
+			t.Errorf("worker %d: %d execs", i, st.Execs)
+		}
+	}
+	if len(merged) == 0 {
+		t.Fatal("empty merged corpus")
+	}
+	// Determinism of the merged result.
+	merged2, _, err := ParallelCampaign(cfg, 4, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged2) != len(merged) {
+		t.Fatalf("parallel campaign not deterministic: %d vs %d", len(merged), len(merged2))
+	}
+	for i := range merged {
+		if string(merged[i]) != string(merged2[i]) {
+			t.Fatalf("merged corpus differs at %d", i)
+		}
+	}
+	// More workers reach at least as much coverage as one worker with the
+	// same per-worker budget.
+	single, _, err := ParallelCampaign(cfg, 1, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBits, _ := CoverageBits(single, cfg)
+	mBits, _ := CoverageBits(merged, cfg)
+	if mBits < sBits {
+		t.Errorf("4 workers reached %d bits < 1 worker's %d", mBits, sBits)
+	}
+}

@@ -1,0 +1,241 @@
+package fuzz
+
+import (
+	"math/rand"
+
+	"rvnegtest/internal/isa"
+)
+
+// mutator implements both the generic byte-level mutations (the libFuzzer
+// built-ins: flip bits, change/insert/erase/shuffle bytes, splice) and the
+// custom instruction-aware mutator of section IV-D: it walks the
+// bytestream word by word injecting valid opcode patterns while leaving
+// the remaining fields random (Fig. 3), with the operand constraints that
+// keep the result filter-acceptable (loads/stores based on x30/x31 with
+// aligned immediates; small branch/jump offsets).
+type mutator struct {
+	rng *rand.Rand
+	// injectable is the weighted op pool for instruction injection.
+	injectable []*isa.OpInfo
+}
+
+func newMutator(rng *rand.Rand) *mutator {
+	m := &mutator{rng: rng}
+	for i := range isa.Instructions {
+		in := &isa.Instructions[i]
+		if in.Flags.Is(isa.FlagForbidden) {
+			continue // the filter would drop the bytestream
+		}
+		weight := 8
+		if in.Flags.Is(isa.FlagTrap) {
+			// ECALL ends the test body; inject it rarely so suites keep
+			// mostly-running bodies (and Spike-style findings stay rare
+			// events, as in the paper's Table I).
+			weight = 1
+		}
+		for w := 0; w < weight; w++ {
+			m.injectable = append(m.injectable, in)
+		}
+	}
+	return m
+}
+
+// generic applies a random stack of libFuzzer-style byte mutations.
+func (m *mutator) generic(base, cross []byte, maxLen int) []byte {
+	out := append([]byte(nil), base...)
+	n := 1 + m.rng.Intn(4)
+	for i := 0; i < n; i++ {
+		switch m.rng.Intn(8) {
+		case 0: // erase bytes
+			if len(out) > 1 {
+				p := m.rng.Intn(len(out))
+				k := 1 + m.rng.Intn(len(out)-p)
+				out = append(out[:p], out[p+k:]...)
+			}
+		case 1: // insert a byte
+			if len(out) < maxLen {
+				p := m.rng.Intn(len(out) + 1)
+				out = append(out[:p], append([]byte{byte(m.rng.Intn(256))}, out[p:]...)...)
+			}
+		case 2: // change a byte
+			if len(out) > 0 {
+				out[m.rng.Intn(len(out))] = byte(m.rng.Intn(256))
+			}
+		case 3: // flip a bit
+			if len(out) > 0 {
+				out[m.rng.Intn(len(out))] ^= 1 << m.rng.Intn(8)
+			}
+		case 4: // shuffle a small window
+			if len(out) > 2 {
+				p := m.rng.Intn(len(out) - 2)
+				k := 2 + m.rng.Intn(min(len(out)-p, 8)-1)
+				window := out[p : p+k]
+				m.rng.Shuffle(len(window), func(i, j int) { window[i], window[j] = window[j], window[i] })
+			}
+		case 5: // overwrite a word with random bytes
+			if len(out) >= 4 {
+				p := m.rng.Intn(len(out)-3) &^ 3
+				w := m.rng.Uint32()
+				out[p], out[p+1], out[p+2], out[p+3] = byte(w), byte(w>>8), byte(w>>16), byte(w>>24)
+			}
+		case 6: // copy part of the input over another part
+			if len(out) >= 2 {
+				src := m.rng.Intn(len(out))
+				dst := m.rng.Intn(len(out))
+				k := 1 + m.rng.Intn(len(out)-max(src, dst))
+				copy(out[dst:dst+k], out[src:src+k])
+			}
+		case 7: // splice with another corpus entry
+			if len(cross) > 0 && len(out) > 0 {
+				p := m.rng.Intn(len(out))
+				q := m.rng.Intn(len(cross))
+				spliced := append([]byte(nil), out[:p]...)
+				spliced = append(spliced, cross[q:]...)
+				out = spliced
+			}
+		}
+	}
+	if len(out) == 0 {
+		out = []byte{byte(m.rng.Intn(256)), byte(m.rng.Intn(256)), byte(m.rng.Intn(256)), byte(m.rng.Intn(256))}
+	}
+	if len(out) > maxLen {
+		out = out[:maxLen]
+	}
+	return out
+}
+
+// instructionAware injects valid opcode patterns word by word (the custom
+// mutator of section IV-D). An empty base is seeded with fresh random
+// instructions.
+func (m *mutator) instructionAware(base []byte, maxLen int) []byte {
+	var out []byte
+	if len(base) == 0 {
+		nWords := 1 + m.rng.Intn(max(maxLen/4, 1))
+		out = make([]byte, nWords*4)
+		for i := range out {
+			out[i] = byte(m.rng.Intn(256))
+		}
+	} else {
+		out = append([]byte(nil), base...)
+		if len(out) > maxLen {
+			out = out[:maxLen]
+		}
+	}
+	// The custom mutator uses a 4-byte stride (the paper: "we use a 4
+	// byte format").
+	for p := 0; p+4 <= len(out); p += 4 {
+		if m.rng.Intn(3) != 0 {
+			continue
+		}
+		pos := p / 4
+		limitWords := (maxLen - p) / 4 // words after this one stay in bounds
+		w := m.validWord(pos, limitWords)
+		out[p], out[p+1], out[p+2], out[p+3] = byte(w), byte(w>>8), byte(w>>16), byte(w>>24)
+	}
+	return out
+}
+
+// compressedHalf builds one valid computational RVC encoding (always
+// filter-safe: no memory accesses, no control flow).
+func (m *mutator) compressedHalf() uint16 {
+	for {
+		var inst isa.Inst
+		switch m.rng.Intn(7) {
+		case 0: // c.li
+			inst = isa.Inst{Op: isa.OpADDI, Rd: isa.Reg(1 + m.rng.Intn(31)), Rs1: 0, Imm: int32(m.rng.Intn(64) - 32)}
+		case 1: // c.addi
+			rd := isa.Reg(1 + m.rng.Intn(31))
+			inst = isa.Inst{Op: isa.OpADDI, Rd: rd, Rs1: rd, Imm: int32(1 + m.rng.Intn(31))}
+		case 2: // c.lui
+			inst = isa.Inst{Op: isa.OpLUI, Rd: isa.Reg(1 + m.rng.Intn(31)), Imm: int32(1+m.rng.Intn(31)) << 12}
+		case 3: // c.mv / c.add
+			inst = isa.Inst{Op: isa.OpADD, Rd: isa.Reg(1 + m.rng.Intn(31)), Rs2: isa.Reg(1 + m.rng.Intn(31))}
+			if m.rng.Intn(2) == 0 {
+				inst.Rs1 = inst.Rd
+			}
+		case 4: // c.sub/xor/or/and
+			rd := isa.Reg(8 + m.rng.Intn(8))
+			ops := []isa.Op{isa.OpSUB, isa.OpXOR, isa.OpOR, isa.OpAND}
+			inst = isa.Inst{Op: ops[m.rng.Intn(4)], Rd: rd, Rs1: rd, Rs2: isa.Reg(8 + m.rng.Intn(8))}
+		case 5: // shifts
+			ops := []isa.Op{isa.OpSLLI, isa.OpSRLI, isa.OpSRAI}
+			op := ops[m.rng.Intn(3)]
+			rd := isa.Reg(1 + m.rng.Intn(31))
+			if op != isa.OpSLLI {
+				rd = isa.Reg(8 + m.rng.Intn(8))
+			}
+			inst = isa.Inst{Op: op, Rd: rd, Rs1: rd, Imm: int32(1 + m.rng.Intn(31))}
+		default: // c.andi
+			rd := isa.Reg(8 + m.rng.Intn(8))
+			inst = isa.Inst{Op: isa.OpANDI, Rd: rd, Rs1: rd, Imm: int32(m.rng.Intn(64) - 32)}
+		}
+		if h, ok := isa.Compress(inst); ok {
+			return h
+		}
+	}
+}
+
+// validWord builds one valid (though operand-randomized) instruction word.
+// pos is the word index within the bytestream; limitWords bounds forward
+// branch targets so the filter's bounds check passes more often.
+func (m *mutator) validWord(pos, limitWords int) uint32 {
+	if m.rng.Intn(5) == 0 {
+		// A pair of valid compressed instructions in one 4-byte slot,
+		// exercising the C-extension decode paths with well-formed
+		// encodings (random bytes alone mostly produce reserved or
+		// illegal RVC forms).
+		return uint32(m.compressedHalf()) | uint32(m.compressedHalf())<<16
+	}
+	in := m.injectable[m.rng.Intn(len(m.injectable))]
+	fl := in.Flags
+	switch {
+	case fl.Any(isa.FlagLoad | isa.FlagStore):
+		// Address register x30 or x31, size-aligned immediate.
+		inst := isa.Inst{Op: in.Op}
+		inst.Rs1 = isa.Reg(30 + m.rng.Intn(2))
+		inst.Rd = isa.Reg(m.rng.Intn(32))
+		inst.Rs2 = isa.Reg(m.rng.Intn(32))
+		if in.Fmt != isa.FmtAMO {
+			span := 4096 / int(in.MemSize)
+			inst.Imm = int32((m.rng.Intn(span) - span/2) * int(in.MemSize))
+		}
+		if in.Op == isa.OpLRW {
+			inst.Rs2 = 0
+		}
+		w, err := isa.Encode(inst)
+		if err != nil {
+			return in.Match
+		}
+		return w
+	case fl.Is(isa.FlagBranch) || in.Op == isa.OpJAL:
+		// Small offsets keep targets inside the bytestream most of the
+		// time (the filter still arbitrates).
+		inst := isa.Inst{Op: in.Op}
+		inst.Rd = isa.Reg(m.rng.Intn(32))
+		inst.Rs1 = isa.Reg(m.rng.Intn(32))
+		inst.Rs2 = isa.Reg(m.rng.Intn(32))
+		// Offsets move in halfword steps: 2-mod-4 targets land between
+		// word boundaries, which is legal with the C extension and the
+		// interesting misaligned-jump case without it.
+		maxFwd := 2 * limitWords
+		if maxFwd > 12 {
+			maxFwd = 12
+		}
+		off := 2
+		if maxFwd > 1 {
+			off = 2 * (1 + m.rng.Intn(maxFwd-1))
+		}
+		if pos > 0 && m.rng.Intn(4) == 0 {
+			off = -2 * (1 + m.rng.Intn(2*pos))
+		}
+		inst.Imm = int32(off)
+		w, err := isa.Encode(inst)
+		if err != nil {
+			return in.Match
+		}
+		return w
+	default:
+		// Fig. 3: opcode pattern fixed, every other field random.
+		return m.rng.Uint32()&^in.Mask | in.Match
+	}
+}

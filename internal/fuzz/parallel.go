@@ -1,0 +1,53 @@
+package fuzz
+
+import "sync"
+
+// ParallelCampaign runs `workers` independent fuzzers concurrently (each
+// with its own seed, derived from cfg.Seed) and merges their corpora in
+// worker order, so the overall result is deterministic for a given
+// (seed, workers, budget) triple. The merged corpus is minimized against
+// the configuration's coverage so redundant cases from different workers
+// collapse.
+func ParallelCampaign(cfg Config, workers int, execsEach uint64) ([][]byte, []Stats, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	type result struct {
+		corpus [][]byte
+		stats  Stats
+		err    error
+	}
+	results := make([]result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := cfg
+			c.Seed = cfg.Seed + int64(w)
+			f, err := New(c)
+			if err != nil {
+				results[w].err = err
+				return
+			}
+			f.Run(execsEach, 0)
+			results[w] = result{corpus: f.Corpus(), stats: f.Stats()}
+		}(w)
+	}
+	wg.Wait()
+
+	var merged [][]byte
+	var stats []Stats
+	for _, r := range results {
+		if r.err != nil {
+			return nil, nil, r.err
+		}
+		merged = append(merged, r.corpus...)
+		stats = append(stats, r.stats)
+	}
+	minimized, err := Minimize(merged, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return minimized, stats, nil
+}

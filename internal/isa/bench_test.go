@@ -1,0 +1,52 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+var sinkInst Inst
+
+// BenchmarkDecode32Valid measures the decoder on valid words (the fetch
+// hot path).
+func BenchmarkDecode32Valid(b *testing.B) {
+	words := []uint32{0x00310093, 0x005201b3, 0xffc3a303, 0x02c58533, 0x00b57553}
+	for i := 0; i < b.N; i++ {
+		sinkInst = Ref.Decode32(words[i%len(words)])
+	}
+}
+
+// BenchmarkDecode32Random measures the decoder on random words (the
+// negative-testing hot path: most are illegal).
+func BenchmarkDecode32Random(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	words := make([]uint32, 1024)
+	for i := range words {
+		words[i] = rng.Uint32() | 3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInst = Ref.Decode32(words[i%len(words)])
+	}
+}
+
+// BenchmarkDecodeCompressed measures the RVC decoder.
+func BenchmarkDecodeCompressed(b *testing.B) {
+	halves := []uint16{0x157d, 0x4292, 0x852e, 0x8d89, 0x0001}
+	for i := 0; i < b.N; i++ {
+		sinkInst = Ref.DecodeC(halves[i%len(halves)])
+	}
+}
+
+var sinkW uint32
+
+func BenchmarkEncode(b *testing.B) {
+	inst := Inst{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3}
+	for i := 0; i < b.N; i++ {
+		w, err := Encode(inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkW = w
+	}
+}

@@ -1,0 +1,142 @@
+package isa
+
+// Quirks enables controlled deviations from the reference decoder. Each
+// quirk models one of the decoder defects the paper reports in a real
+// RISC-V simulator (section V-B); the reference decoder has all quirks off.
+type Quirks struct {
+	// LooseEcallMask (models the VP defect): the ECALL comparison ignores
+	// the rd and rs1 fields, so any SYSTEM encoding with funct3 == 0 and a
+	// zero 12-bit function field decodes as ECALL instead of being illegal.
+	LooseEcallMask bool
+	// AllowReservedC (models VP and GRIFT defects): reserved non-hint
+	// compressed encodings (e.g. "c.lwsp x0, 0(sp)") are expanded and
+	// executed normally instead of raising an illegal-instruction
+	// exception.
+	AllowReservedC bool
+	// LooseFunct7 (models the sail-riscv defect): within the OP and OP-IMM
+	// major opcodes, encodings whose funct7 bits do not match any
+	// instruction are accepted anyway, decoding by funct3 and bit 30 only.
+	LooseFunct7 bool
+	// InvalidBranchFunct3 (models the sail-riscv non-termination defect):
+	// BRANCH encodings with the invalid funct3 values 2 and 3 are decoded
+	// as BEQ, so an invalid instruction can act as a backward branch.
+	InvalidBranchFunct3 bool
+	// CrashOnPattern (models the sail-riscv crash): decoding a specific
+	// malformed compressed pattern panics, emulating the out-of-bounds
+	// access that crashed the real simulator.
+	CrashOnPattern bool
+	// CustomAsNOP (models the riscvOVPsim defect): custom-0/custom-1 major
+	// opcodes combined with a specific function bit pattern are accepted as
+	// legal no-ops instead of raising an illegal-instruction exception.
+	CustomAsNOP bool
+}
+
+// Decoder turns raw encodings into Inst values. The zero value is the
+// reference decoder (specification behaviour, no quirks).
+type Decoder struct {
+	Quirks Quirks
+}
+
+// Ref is the reference decoder (no quirks).
+var Ref = &Decoder{}
+
+// Decode decodes the instruction starting in the low bytes of word. If the
+// two least-significant bits are not 11, only the low 16 bits are consumed
+// (compressed encoding); otherwise all 32 bits are.
+// An encoding that does not correspond to any RV32GC instruction yields
+// an Inst with Op == OpIllegal (Size still reflects the encoding length).
+func (d *Decoder) Decode(word uint32) Inst {
+	if word&3 != 3 {
+		return d.DecodeC(uint16(word))
+	}
+	return d.Decode32(word)
+}
+
+// Decode32 decodes a 32-bit encoding.
+func (d *Decoder) Decode32(w uint32) Inst {
+	if w&3 != 3 || bits(w, 4, 2) == 7 {
+		// Not a 32-bit encoding, or a >32-bit encoding prefix (bits[4:2]
+		// == 111): illegal in the RV32GC envelope.
+		return Inst{Op: OpIllegal, Raw: w, Size: 4}
+	}
+	major := bits(w, 6, 2)
+	for _, in := range byMajor[major] {
+		if w&in.Mask == in.Match {
+			return expand32(in, w)
+		}
+	}
+	// Quirk paths: only reached when the reference decode failed.
+	q := d.Quirks
+	if q.CrashOnPattern && w&sailCrashMask32 == sailCrashPattern32 {
+		panic("sail decoder crash: malformed 32-bit instruction")
+	}
+	if q.CustomAsNOP && (major == 0x02 || major == 0x0a) && bits(w, 14, 12) == 4 {
+		// custom-0 (0001011) / custom-1 (0101011) with funct3 == 100.
+		return Inst{Op: OpCustomNOP, Raw: w, Size: 4}
+	}
+	if q.LooseEcallMask && major == 0x1c && bits(w, 14, 12) == 0 && bits(w, 31, 20) == 0 {
+		// SYSTEM with funct3 == 0 and zero function field, but rd/rs1 != 0.
+		return Inst{Op: OpECALL, Raw: w, Size: 4}
+	}
+	if q.LooseFunct7 && (major == 0x0c || major == 0x04) {
+		// OP / OP-IMM: retry matching on funct3, bit 30 and opcode only,
+		// restricted to base-ISA rows (the defect maps unknown funct7
+		// patterns onto the base instruction of the same funct3 group).
+		const loose = 0x4000707f
+		for _, in := range byMajor[major] {
+			if in.Ext == ExtI && w&loose == in.Match&loose {
+				return expand32(in, w)
+			}
+		}
+	}
+	if q.InvalidBranchFunct3 && major == 0x18 {
+		if f3 := bits(w, 14, 12); f3 == 2 || f3 == 3 {
+			in := infoByOp[OpBEQ]
+			return expand32(in, w)
+		}
+	}
+	return Inst{Op: OpIllegal, Raw: w, Size: 4}
+}
+
+// expand32 fills operand fields according to the instruction format.
+func expand32(in *OpInfo, w uint32) Inst {
+	inst := Inst{Op: in.Op, Raw: w, Size: 4}
+	switch in.Fmt {
+	case FmtNone, FmtFence:
+		// No variable operands (FENCE pred/succ bits are ignored
+		// semantically in this model).
+	case FmtR:
+		inst.Rd, inst.Rs1, inst.Rs2 = rawRd(w), rawRs1(w), rawRs2(w)
+	case FmtR4:
+		inst.Rd, inst.Rs1, inst.Rs2, inst.Rs3 = rawRd(w), rawRs1(w), rawRs2(w), rawRs3(w)
+		inst.RM = rawRM(w)
+	case FmtRrm:
+		inst.Rd, inst.Rs1, inst.Rs2 = rawRd(w), rawRs1(w), rawRs2(w)
+		inst.RM = rawRM(w)
+	case FmtR2rm:
+		inst.Rd, inst.Rs1 = rawRd(w), rawRs1(w)
+		inst.RM = rawRM(w)
+	case FmtR2:
+		inst.Rd, inst.Rs1 = rawRd(w), rawRs1(w)
+	case FmtI:
+		inst.Rd, inst.Rs1, inst.Imm = rawRd(w), rawRs1(w), ImmI(w)
+	case FmtIShift:
+		inst.Rd, inst.Rs1, inst.Imm = rawRd(w), rawRs1(w), int32(bits(w, 24, 20))
+	case FmtS:
+		inst.Rs1, inst.Rs2, inst.Imm = rawRs1(w), rawRs2(w), ImmS(w)
+	case FmtB:
+		inst.Rs1, inst.Rs2, inst.Imm = rawRs1(w), rawRs2(w), ImmB(w)
+	case FmtU:
+		inst.Rd, inst.Imm = rawRd(w), ImmU(w)
+	case FmtJ:
+		inst.Rd, inst.Imm = rawRd(w), ImmJ(w)
+	case FmtCSR:
+		inst.Rd, inst.Rs1, inst.CSR = rawRd(w), rawRs1(w), uint16(bits(w, 31, 20))
+	case FmtCSRI:
+		inst.Rd, inst.CSR = rawRd(w), uint16(bits(w, 31, 20))
+		inst.Imm = int32(bits(w, 19, 15)) // zero-extended 5-bit immediate
+	case FmtAMO:
+		inst.Rd, inst.Rs1, inst.Rs2 = rawRd(w), rawRs1(w), rawRs2(w)
+	}
+	return inst
+}

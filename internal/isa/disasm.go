@@ -1,0 +1,131 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+var rmNames = [8]string{"rne", "rtz", "rdn", "rup", "rmm", "rm5", "rm6", "dyn"}
+
+// Disasm renders the instruction in conventional assembler syntax. Branch
+// and jump offsets are shown as relative byte offsets (". + N"). Compressed
+// instructions are shown as their expansion prefixed with the compressed
+// mnemonic.
+func Disasm(inst Inst) string {
+	s := disasm32(inst)
+	if inst.Compressed() && inst.COp != CNone {
+		return fmt.Sprintf("%s {%s}", inst.COp, s)
+	}
+	return s
+}
+
+func disasm32(inst Inst) string {
+	in := inst.Op.Info()
+	if in == nil {
+		return fmt.Sprintf(".word %#08x # illegal", inst.Raw)
+	}
+	x := func(r Reg) string { return r.ABIName() }
+	f := func(r Reg) string { return r.FABIName() }
+	rd, rs1, rs2 := x(inst.Rd), x(inst.Rs1), x(inst.Rs2)
+	fl := in.Flags
+	if fl.Is(FlagFPRd) {
+		rd = f(inst.Rd)
+	}
+	if fl.Is(FlagFPRs1) {
+		rs1 = f(inst.Rs1)
+	}
+	if fl.Is(FlagFPRs2) {
+		rs2 = f(inst.Rs2)
+	}
+	var b strings.Builder
+	b.WriteString(in.Name)
+	pad := func() {
+		for b.Len() < len(in.Name)+1 {
+			b.WriteByte(' ')
+		}
+	}
+	switch in.Fmt {
+	case FmtNone, FmtFence:
+		// mnemonic only
+	case FmtR:
+		pad()
+		fmt.Fprintf(&b, "%s, %s, %s", rd, rs1, rs2)
+	case FmtR4:
+		pad()
+		fmt.Fprintf(&b, "%s, %s, %s, %s, %s", rd, rs1, rs2, f(inst.Rs3), rmNames[inst.RM&7])
+	case FmtRrm:
+		pad()
+		fmt.Fprintf(&b, "%s, %s, %s, %s", rd, rs1, rs2, rmNames[inst.RM&7])
+	case FmtR2rm:
+		pad()
+		fmt.Fprintf(&b, "%s, %s, %s", rd, rs1, rmNames[inst.RM&7])
+	case FmtR2:
+		pad()
+		fmt.Fprintf(&b, "%s, %s", rd, rs1)
+	case FmtI:
+		pad()
+		if fl.Is(FlagLoad) {
+			fmt.Fprintf(&b, "%s, %d(%s)", rd, inst.Imm, x(inst.Rs1))
+		} else {
+			fmt.Fprintf(&b, "%s, %s, %d", rd, rs1, inst.Imm)
+		}
+	case FmtIShift:
+		pad()
+		fmt.Fprintf(&b, "%s, %s, %d", rd, rs1, inst.Imm)
+	case FmtS:
+		pad()
+		fmt.Fprintf(&b, "%s, %d(%s)", rs2, inst.Imm, x(inst.Rs1))
+	case FmtB:
+		pad()
+		fmt.Fprintf(&b, "%s, %s, . %+d", rs1, rs2, inst.Imm)
+	case FmtU:
+		pad()
+		fmt.Fprintf(&b, "%s, %#x", rd, uint32(inst.Imm)>>12)
+	case FmtJ:
+		pad()
+		fmt.Fprintf(&b, "%s, . %+d", rd, inst.Imm)
+	case FmtCSR:
+		pad()
+		fmt.Fprintf(&b, "%s, %s, %s", rd, CSRName(inst.CSR), rs1)
+	case FmtCSRI:
+		pad()
+		fmt.Fprintf(&b, "%s, %s, %d", rd, CSRName(inst.CSR), inst.Imm)
+	case FmtAMO:
+		pad()
+		if inst.Op == OpLRW {
+			fmt.Fprintf(&b, "%s, (%s)", rd, rs1)
+		} else {
+			fmt.Fprintf(&b, "%s, %s, (%s)", rd, rs2, rs1)
+		}
+	}
+	return b.String()
+}
+
+// csrNames maps well-known CSR addresses to their names.
+var csrNames = map[uint16]string{
+	0x001: "fflags", 0x002: "frm", 0x003: "fcsr",
+	0x300: "mstatus", 0x301: "misa", 0x304: "mie", 0x305: "mtvec",
+	0x340: "mscratch", 0x341: "mepc", 0x342: "mcause", 0x343: "mtval",
+	0x344: "mip", 0xb00: "mcycle", 0xb02: "minstret",
+	0xb80: "mcycleh", 0xb82: "minstreth",
+	0xf11: "mvendorid", 0xf12: "marchid", 0xf13: "mimpid", 0xf14: "mhartid",
+}
+
+// CSRName returns the conventional name of a CSR address, or a hex literal
+// if unknown.
+func CSRName(addr uint16) string {
+	if n, ok := csrNames[addr]; ok {
+		return n
+	}
+	return fmt.Sprintf("%#x", addr)
+}
+
+// LookupCSRName resolves a CSR name to its address.
+func LookupCSRName(name string) (uint16, bool) {
+	for a, n := range csrNames {
+		if n == name {
+			return a, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,126 @@
+package isa
+
+import "fmt"
+
+// Encode produces the 32-bit encoding of inst. Compressed forms are not
+// encoded (the test suites carry compressed instructions as raw data words);
+// pass the expanded operation instead.
+func Encode(inst Inst) (uint32, error) {
+	in := inst.Op.Info()
+	if in == nil {
+		return 0, fmt.Errorf("isa: cannot encode illegal instruction")
+	}
+	w := in.Match
+	regOK := inst.Rd < NumRegs && inst.Rs1 < NumRegs && inst.Rs2 < NumRegs && inst.Rs3 < NumRegs
+	if !regOK {
+		return 0, fmt.Errorf("isa: %s: register out of range", in.Name)
+	}
+	putRd := func() { w |= uint32(inst.Rd) << 7 }
+	putRs1 := func() { w |= uint32(inst.Rs1) << 15 }
+	putRs2 := func() { w |= uint32(inst.Rs2) << 20 }
+	switch in.Fmt {
+	case FmtNone, FmtFence:
+		// Fixed pattern only.
+	case FmtR:
+		putRd()
+		putRs1()
+		putRs2()
+		if inst.Op == OpSFENCEVMA {
+			w &^= 0xf80 // rd field must stay zero
+		}
+	case FmtR4:
+		putRd()
+		putRs1()
+		putRs2()
+		w |= uint32(inst.Rs3) << 27
+		w |= uint32(inst.RM&7) << 12
+	case FmtRrm:
+		putRd()
+		putRs1()
+		putRs2()
+		w |= uint32(inst.RM&7) << 12
+	case FmtR2rm:
+		putRd()
+		putRs1()
+		w |= uint32(inst.RM&7) << 12
+	case FmtR2:
+		putRd()
+		putRs1()
+	case FmtI:
+		if inst.Imm < -2048 || inst.Imm > 2047 {
+			return 0, fmt.Errorf("isa: %s: immediate %d out of I range", in.Name, inst.Imm)
+		}
+		putRd()
+		putRs1()
+		w |= PutImmI(inst.Imm)
+	case FmtIShift:
+		if inst.Imm < 0 || inst.Imm > 31 {
+			return 0, fmt.Errorf("isa: %s: shift amount %d out of range", in.Name, inst.Imm)
+		}
+		putRd()
+		putRs1()
+		w |= uint32(inst.Imm) << 20
+	case FmtS:
+		if inst.Imm < -2048 || inst.Imm > 2047 {
+			return 0, fmt.Errorf("isa: %s: immediate %d out of S range", in.Name, inst.Imm)
+		}
+		putRs1()
+		putRs2()
+		w |= PutImmS(inst.Imm)
+	case FmtB:
+		if inst.Imm < -4096 || inst.Imm > 4095 || inst.Imm&1 != 0 {
+			return 0, fmt.Errorf("isa: %s: branch offset %d invalid", in.Name, inst.Imm)
+		}
+		putRs1()
+		putRs2()
+		w |= PutImmB(inst.Imm)
+	case FmtU:
+		if uint32(inst.Imm)&0xfff != 0 {
+			return 0, fmt.Errorf("isa: %s: U immediate %#x has low bits set", in.Name, uint32(inst.Imm))
+		}
+		putRd()
+		w |= PutImmU(inst.Imm)
+	case FmtJ:
+		if inst.Imm < -(1<<20) || inst.Imm >= 1<<20 || inst.Imm&1 != 0 {
+			return 0, fmt.Errorf("isa: %s: jump offset %d invalid", in.Name, inst.Imm)
+		}
+		putRd()
+		w |= PutImmJ(inst.Imm)
+	case FmtCSR:
+		if inst.CSR > 0xfff {
+			return 0, fmt.Errorf("isa: %s: CSR address %#x out of range", in.Name, inst.CSR)
+		}
+		putRd()
+		putRs1()
+		w |= uint32(inst.CSR) << 20
+	case FmtCSRI:
+		if inst.CSR > 0xfff {
+			return 0, fmt.Errorf("isa: %s: CSR address %#x out of range", in.Name, inst.CSR)
+		}
+		if inst.Imm < 0 || inst.Imm > 31 {
+			return 0, fmt.Errorf("isa: %s: zimm %d out of range", in.Name, inst.Imm)
+		}
+		putRd()
+		w |= uint32(inst.Imm) << 15
+		w |= uint32(inst.CSR) << 20
+	case FmtAMO:
+		putRd()
+		putRs1()
+		if inst.Op != OpLRW {
+			putRs2()
+		}
+	default:
+		return 0, fmt.Errorf("isa: %s: unsupported format", in.Name)
+	}
+	return w, nil
+}
+
+// MustEncode is Encode but panics on error; for statically known-good
+// instructions (template generation, tests).
+func MustEncode(inst Inst) uint32 {
+	w, err := Encode(inst)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

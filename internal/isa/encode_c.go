@@ -1,0 +1,163 @@
+package isa
+
+// Compress attempts to encode an instruction in its 16-bit RVC form.
+// It returns the halfword and true when a compressed encoding exists for
+// exactly these operands (the usual RVC restrictions apply: x8..x15
+// register windows, narrow immediates). Hint and reserved forms are never
+// produced: the result always decodes as CValid.
+func Compress(inst Inst) (uint16, bool) {
+	in3 := func(r Reg) bool { return r >= 8 && r <= 15 }
+	r3 := func(r Reg) uint16 { return uint16(r-8) & 7 }
+	full := func(r Reg) uint16 { return uint16(r) & 31 }
+
+	switch inst.Op {
+	case OpADDI:
+		switch {
+		case inst.Rd == 0 && inst.Rs1 == 0 && inst.Imm == 0:
+			return 0x0001, true // c.nop
+		case inst.Rd != 0 && inst.Rd == inst.Rs1 && inst.Imm != 0 && fits6(inst.Imm):
+			// c.addi
+			return 1 | imm6(inst.Imm) | full(inst.Rd)<<7, true
+		case inst.Rd != 0 && inst.Rs1 == 0 && fits6(inst.Imm):
+			// c.li
+			return 0x4001 | imm6(inst.Imm) | full(inst.Rd)<<7, true
+		case inst.Rd == RegSP && inst.Rs1 == RegSP && inst.Imm != 0 &&
+			inst.Imm%16 == 0 && inst.Imm >= -512 && inst.Imm <= 496:
+			// c.addi16sp
+			v := uint16(0x6101)
+			u := uint32(inst.Imm)
+			v |= uint16(u>>9&1) << 12
+			v |= uint16(u>>4&1) << 6
+			v |= uint16(u>>6&1) << 5
+			v |= uint16(u>>7&3) << 3
+			v |= uint16(u>>5&1) << 2
+			return v, true
+		case in3(inst.Rd) && inst.Rs1 == RegSP && inst.Imm > 0 &&
+			inst.Imm%4 == 0 && inst.Imm <= 1020:
+			// c.addi4spn
+			v := uint16(0x0000)
+			u := uint32(inst.Imm)
+			v |= uint16(u>>6&0xf) << 7
+			v |= uint16(u>>4&3) << 11
+			v |= uint16(u>>3&1) << 5
+			v |= uint16(u>>2&1) << 6
+			v |= r3(inst.Rd) << 2
+			return v, true
+		}
+	case OpLUI:
+		if inst.Rd != 0 && inst.Rd != RegSP && inst.Imm != 0 {
+			hi := inst.Imm >> 12
+			if hi >= -32 && hi <= 31 {
+				return 0x6001 | imm6(hi) | full(inst.Rd)<<7, true
+			}
+		}
+	case OpADD:
+		switch {
+		case inst.Rd != 0 && inst.Rs1 == 0 && inst.Rs2 != 0:
+			// c.mv
+			return 0x8002 | full(inst.Rd)<<7 | full(inst.Rs2)<<2, true
+		case inst.Rd != 0 && inst.Rd == inst.Rs1 && inst.Rs2 != 0:
+			// c.add
+			return 0x9002 | full(inst.Rd)<<7 | full(inst.Rs2)<<2, true
+		}
+	case OpSUB, OpXOR, OpOR, OpAND:
+		if in3(inst.Rd) && inst.Rd == inst.Rs1 && in3(inst.Rs2) {
+			var f2 uint16
+			switch inst.Op {
+			case OpSUB:
+				f2 = 0
+			case OpXOR:
+				f2 = 1
+			case OpOR:
+				f2 = 2
+			default:
+				f2 = 3
+			}
+			return 0x8c01 | r3(inst.Rd)<<7 | f2<<5 | r3(inst.Rs2)<<2, true
+		}
+	case OpANDI:
+		if in3(inst.Rd) && inst.Rd == inst.Rs1 && fits6(inst.Imm) {
+			return 0x8801 | r3(inst.Rd)<<7 | imm6(inst.Imm), true
+		}
+	case OpSRLI, OpSRAI, OpSLLI:
+		if inst.Imm >= 1 && inst.Imm <= 31 {
+			sh := uint16(inst.Imm) << 2 & 0x7c
+			switch {
+			case inst.Op == OpSLLI && inst.Rd != 0 && inst.Rd == inst.Rs1:
+				return 0x0002 | full(inst.Rd)<<7 | sh, true
+			case inst.Op == OpSRLI && in3(inst.Rd) && inst.Rd == inst.Rs1:
+				return 0x8001 | r3(inst.Rd)<<7 | sh, true
+			case inst.Op == OpSRAI && in3(inst.Rd) && inst.Rd == inst.Rs1:
+				return 0x8401 | r3(inst.Rd)<<7 | sh, true
+			}
+		}
+	case OpLW:
+		switch {
+		case in3(inst.Rd) && in3(inst.Rs1) && inst.Imm >= 0 && inst.Imm <= 124 && inst.Imm%4 == 0:
+			// c.lw
+			u := uint32(inst.Imm)
+			return 0x4000 | uint16(u>>3&7)<<10 | r3(inst.Rs1)<<7 |
+				uint16(u>>2&1)<<6 | uint16(u>>6&1)<<5 | r3(inst.Rd)<<2, true
+		case inst.Rd != 0 && inst.Rs1 == RegSP && inst.Imm >= 0 && inst.Imm <= 252 && inst.Imm%4 == 0:
+			// c.lwsp
+			u := uint32(inst.Imm)
+			return 0x4002 | uint16(u>>5&1)<<12 | full(inst.Rd)<<7 |
+				uint16(u>>2&7)<<4 | uint16(u>>6&3)<<2, true
+		}
+	case OpSW:
+		switch {
+		case in3(inst.Rs2) && in3(inst.Rs1) && inst.Imm >= 0 && inst.Imm <= 124 && inst.Imm%4 == 0:
+			// c.sw
+			u := uint32(inst.Imm)
+			return 0xc000 | uint16(u>>3&7)<<10 | r3(inst.Rs1)<<7 |
+				uint16(u>>2&1)<<6 | uint16(u>>6&1)<<5 | r3(inst.Rs2)<<2, true
+		case inst.Rs1 == RegSP && inst.Imm >= 0 && inst.Imm <= 252 && inst.Imm%4 == 0:
+			// c.swsp
+			u := uint32(inst.Imm)
+			return 0xc002 | uint16(u>>2&0xf)<<9 | uint16(u>>6&3)<<7 | full(inst.Rs2)<<2, true
+		}
+	case OpJAL:
+		if (inst.Rd == 0 || inst.Rd == RegRA) && inst.Imm >= -2048 && inst.Imm <= 2046 && inst.Imm%2 == 0 {
+			base := uint16(0xa001) // c.j
+			if inst.Rd == RegRA {
+				base = 0x2001 // c.jal
+			}
+			u := uint32(inst.Imm)
+			v := base
+			v |= uint16(u>>11&1) << 12
+			v |= uint16(u>>4&1) << 11
+			v |= uint16(u>>8&3) << 9
+			v |= uint16(u>>10&1) << 8
+			v |= uint16(u>>6&1) << 7
+			v |= uint16(u>>7&1) << 6
+			v |= uint16(u>>1&7) << 3
+			v |= uint16(u>>5&1) << 2
+			return v, true
+		}
+	case OpBEQ, OpBNE:
+		if in3(inst.Rs1) && inst.Rs2 == 0 && inst.Imm >= -256 && inst.Imm <= 254 && inst.Imm%2 == 0 {
+			base := uint16(0xc001) // c.beqz
+			if inst.Op == OpBNE {
+				base = 0xe001 // c.bnez
+			}
+			u := uint32(inst.Imm)
+			v := base
+			v |= uint16(u>>8&1) << 12
+			v |= uint16(u>>3&3) << 10
+			v |= r3(inst.Rs1) << 7
+			v |= uint16(u>>6&3) << 5
+			v |= uint16(u>>1&3) << 3
+			v |= uint16(u>>5&1) << 2
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func fits6(v int32) bool { return v >= -32 && v <= 31 }
+
+// imm6 places a 6-bit signed immediate into the CI-format bit positions.
+func imm6(v int32) uint16 {
+	u := uint32(v)
+	return uint16(u>>5&1)<<12 | uint16(u&0x1f)<<2
+}

@@ -1,0 +1,106 @@
+package isa
+
+// Inst is a decoded instruction. Compressed instructions are expanded to
+// their 32-bit base operation (Op, operands and immediate describe the
+// expansion) with Size == 2 and COp identifying the original compressed form.
+type Inst struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Rs3 Reg
+	// Imm is the sign-extended immediate. For shifts it holds the shamt,
+	// for CSRxI instructions the zero-extended 5-bit immediate, for
+	// branches/jumps the byte offset relative to the instruction address.
+	Imm int32
+	// CSR is the CSR address for Zicsr instructions.
+	CSR uint16
+	// RM is the rounding-mode field for floating-point instructions
+	// (7 = dynamic, i.e. use fcsr.frm).
+	RM uint8
+	// Raw is the raw encoding (zero-extended to 32 bits for compressed).
+	Raw uint32
+	// Size is the encoding size in bytes: 2 (compressed) or 4.
+	Size uint8
+	// COp identifies the original compressed form (CNone for 32-bit
+	// encodings).
+	COp COp
+}
+
+// Compressed reports whether the instruction came from a 16-bit encoding.
+func (i Inst) Compressed() bool { return i.Size == 2 }
+
+// Info returns the database row for the instruction's operation.
+func (i Inst) Info() *OpInfo { return i.Op.Info() }
+
+func signExtend(v uint32, bits uint) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}
+
+// bit extracts bit n of w as a uint32 in position 0.
+func bit(w uint32, n uint) uint32 { return (w >> n) & 1 }
+
+// bits extracts w[hi:lo] right-aligned.
+func bits(w uint32, hi, lo uint) uint32 { return (w >> lo) & ((1 << (hi - lo + 1)) - 1) }
+
+// Field accessors on raw 32-bit instruction words.
+
+func rawRd(w uint32) Reg  { return Reg(bits(w, 11, 7)) }
+func rawRs1(w uint32) Reg { return Reg(bits(w, 19, 15)) }
+func rawRs2(w uint32) Reg { return Reg(bits(w, 24, 20)) }
+func rawRs3(w uint32) Reg { return Reg(bits(w, 31, 27)) }
+func rawRM(w uint32) uint8 {
+	return uint8(bits(w, 14, 12))
+}
+
+// ImmI extracts the sign-extended I-type immediate.
+func ImmI(w uint32) int32 { return signExtend(bits(w, 31, 20), 12) }
+
+// ImmS extracts the sign-extended S-type immediate.
+func ImmS(w uint32) int32 {
+	v := bits(w, 31, 25)<<5 | bits(w, 11, 7)
+	return signExtend(v, 12)
+}
+
+// ImmB extracts the sign-extended B-type (branch) immediate.
+func ImmB(w uint32) int32 {
+	v := bit(w, 31)<<12 | bit(w, 7)<<11 | bits(w, 30, 25)<<5 | bits(w, 11, 8)<<1
+	return signExtend(v, 13)
+}
+
+// ImmU extracts the U-type immediate (already shifted into bits [31:12]).
+func ImmU(w uint32) int32 { return int32(w & 0xfffff000) }
+
+// ImmJ extracts the sign-extended J-type (jump) immediate.
+func ImmJ(w uint32) int32 {
+	v := bit(w, 31)<<20 | bits(w, 19, 12)<<12 | bit(w, 20)<<11 | bits(w, 30, 21)<<1
+	return signExtend(v, 21)
+}
+
+// Immediate insertion (the inverse of the extractors), used by the encoder.
+
+// PutImmI returns the I-type immediate field bits for imm.
+func PutImmI(imm int32) uint32 { return uint32(imm&0xfff) << 20 }
+
+// PutImmS returns the S-type immediate field bits for imm.
+func PutImmS(imm int32) uint32 {
+	v := uint32(imm) & 0xfff
+	return bits(v, 11, 5)<<25 | bits(v, 4, 0)<<7
+}
+
+// PutImmB returns the B-type immediate field bits for imm.
+func PutImmB(imm int32) uint32 {
+	v := uint32(imm) & 0x1fff
+	return bit(v, 12)<<31 | bits(v, 10, 5)<<25 | bits(v, 4, 1)<<8 | bit(v, 11)<<7
+}
+
+// PutImmU returns the U-type immediate field bits for imm (imm must already
+// be in bits [31:12], i.e. a multiple of 4096 when interpreted as uint32).
+func PutImmU(imm int32) uint32 { return uint32(imm) & 0xfffff000 }
+
+// PutImmJ returns the J-type immediate field bits for imm.
+func PutImmJ(imm int32) uint32 {
+	v := uint32(imm) & 0x1fffff
+	return bit(v, 20)<<31 | bits(v, 10, 1)<<21 | bit(v, 11)<<20 | bits(v, 19, 12)<<12
+}

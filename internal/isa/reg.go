@@ -1,0 +1,140 @@
+// Package isa models the RISC-V RV32GC instruction-set architecture:
+// register and extension naming, the instruction database (mask/match
+// patterns plus per-instruction metadata), a decoder for both 32-bit and
+// compressed encodings, an encoder, and a disassembler.
+//
+// The package is the single source of truth about instruction encodings for
+// the whole repository: the executor, the static test filter, the assembler,
+// the fuzzing mutator and the coverage rules are all driven by the tables
+// defined here.
+package isa
+
+import "fmt"
+
+// Reg identifies one of the 32 integer or floating-point registers.
+type Reg uint8
+
+// Integer registers by ABI name.
+const (
+	RegZero Reg = iota
+	RegRA
+	RegSP
+	RegGP
+	RegTP
+	RegT0
+	RegT1
+	RegT2
+	RegS0
+	RegS1
+	RegA0
+	RegA1
+	RegA2
+	RegA3
+	RegA4
+	RegA5
+	RegA6
+	RegA7
+	RegS2
+	RegS3
+	RegS4
+	RegS5
+	RegS6
+	RegS7
+	RegS8
+	RegS9
+	RegS10
+	RegS11
+	RegT3
+	RegT4
+	RegT5 // x30: reserved by the test template as a data pointer
+	RegT6 // x31: reserved by the test template as a data pointer
+)
+
+// NumRegs is the number of integer (and separately floating-point) registers.
+const NumRegs = 32
+
+var xRegNames = [NumRegs]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+var fRegNames = [NumRegs]string{
+	"ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+	"fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+	"fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+	"fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+}
+
+// String returns the numeric name ("x7") of the register.
+func (r Reg) String() string { return fmt.Sprintf("x%d", uint8(r)) }
+
+// ABIName returns the integer ABI name of the register ("t2").
+func (r Reg) ABIName() string {
+	if r < NumRegs {
+		return xRegNames[r]
+	}
+	return r.String()
+}
+
+// FName returns the numeric floating-point name ("f7").
+func (r Reg) FName() string { return fmt.Sprintf("f%d", uint8(r)) }
+
+// FABIName returns the floating-point ABI name ("fa0").
+func (r Reg) FABIName() string {
+	if r < NumRegs {
+		return fRegNames[r]
+	}
+	return r.FName()
+}
+
+// ParseReg parses an integer register name: numeric ("x7") or ABI ("t2").
+func ParseReg(s string) (Reg, bool) {
+	if len(s) >= 2 && s[0] == 'x' {
+		if n, ok := parseRegNum(s[1:]); ok {
+			return Reg(n), true
+		}
+	}
+	for i, n := range xRegNames {
+		if s == n {
+			return Reg(i), true
+		}
+	}
+	if s == "fp" { // alternate name for s0/x8
+		return RegS0, true
+	}
+	return 0, false
+}
+
+// ParseFReg parses a floating-point register name: numeric ("f7") or ABI ("fa0").
+func ParseFReg(s string) (Reg, bool) {
+	if len(s) >= 2 && s[0] == 'f' {
+		if n, ok := parseRegNum(s[1:]); ok {
+			return Reg(n), true
+		}
+	}
+	for i, n := range fRegNames {
+		if s == n {
+			return Reg(i), true
+		}
+	}
+	return 0, false
+}
+
+func parseRegNum(s string) (int, bool) {
+	if len(s) == 0 || len(s) > 2 {
+		return 0, false
+	}
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	if n >= NumRegs {
+		return 0, false
+	}
+	return n, true
+}

@@ -1,0 +1,41 @@
+package mem
+
+import "testing"
+
+// BenchmarkRestore measures the dirty-page restore that resets the
+// pre-loaded template between fuzzer executions (the paper's key
+// throughput optimization; a typical run dirties a handful of pages).
+func BenchmarkRestore(b *testing.B) {
+	m := New(0, 0x8000)
+	m.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Write32(0x100, uint32(i))
+		_ = m.Write32(0x6800, uint32(i))
+		_ = m.Write32(0x7ff0, uint32(i))
+		m.Restore()
+	}
+}
+
+// BenchmarkRestoreFullDirty is the worst case: every page dirtied.
+func BenchmarkRestoreFullDirty(b *testing.B) {
+	m := New(0, 0x8000)
+	m.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for a := uint32(0); a < 0x8000; a += 256 {
+			_ = m.Write8(a, byte(i))
+		}
+		m.Restore()
+	}
+}
+
+var sinkV uint32
+
+func BenchmarkRead32(b *testing.B) {
+	m := New(0, 0x8000)
+	for i := 0; i < b.N; i++ {
+		v, _ := m.Read32(uint32(i) % 0x7ffc)
+		sinkV = v
+	}
+}

@@ -1,0 +1,211 @@
+// Package sim provides the simulator models used in the paper's
+// evaluation: one specification-faithful reference implementation plus
+// behavioural variants of riscvOVPsim, Spike, VP, GRIFT and sail-riscv,
+// each seeded with exactly the defect classes the paper reports finding in
+// the real simulator (section V-B). All variants share the same executor
+// and soft-float core, so signature divergence can only come from the
+// seeded defects.
+package sim
+
+import (
+	"fmt"
+
+	"rvnegtest/internal/exec"
+	"rvnegtest/internal/isa"
+	"rvnegtest/internal/template"
+)
+
+// Variant describes one simulator model.
+type Variant struct {
+	Name        string
+	Description string
+	DecQuirks   isa.Quirks
+	ExecQuirks  exec.Quirks
+	// NoFD marks simulators without floating-point support (their table
+	// cells read "/" for RV32GC in the paper).
+	NoFD bool
+	// MisconfiguredIMC models GRIFT's compliance target: when asked for
+	// RV32IMC, the hart actually enables RV32GC, so F/D/A instructions
+	// are erroneously accepted.
+	MisconfiguredIMC bool
+}
+
+// Supports reports whether the simulator implements the configuration.
+func (v *Variant) Supports(cfg isa.Config) bool {
+	if v.NoFD && cfg.HasFP() {
+		return false
+	}
+	return true
+}
+
+// Effective returns the configuration the hart actually implements when
+// asked to run the given one.
+func (v *Variant) Effective(cfg isa.Config) isa.Config {
+	if v.MisconfiguredIMC && cfg == isa.RV32IMC {
+		return isa.RV32GC
+	}
+	return cfg
+}
+
+// The simulator models. Reference has no defects; the others carry the
+// paper's findings.
+var (
+	Reference = &Variant{
+		Name:        "reference",
+		Description: "specification-faithful model (no seeded defects)",
+	}
+
+	// OVPSim models riscvOVPsim, the official compliance reference
+	// simulator: it accepts certain custom-0/custom-1 opcode patterns as
+	// legal no-ops instead of raising an illegal-instruction exception.
+	OVPSim = &Variant{
+		Name:        "riscvOVPsim",
+		Description: "accepts reserved custom-opcode patterns as legal NOPs",
+		DecQuirks:   isa.Quirks{CustomAsNOP: true},
+	}
+
+	// Spike models the UC Berkeley reference simulator: an ECALL inside
+	// the test body corrupts the dumped signature.
+	Spike = &Variant{
+		Name:        "Spike",
+		Description: "dumps an incorrect signature when the body executes ECALL",
+		ExecQuirks:  exec.Quirks{EcallMarksCompletion: true},
+	}
+
+	// VP models the RISC-V VP: a too-loose ECALL decode mask and normal
+	// expansion of reserved non-hint compressed instructions. The real VP
+	// has no floating-point support in its 32-bit ISS configuration.
+	VP = &Variant{
+		Name:        "VP",
+		Description: "loose ECALL decode mask; executes reserved compressed encodings",
+		DecQuirks:   isa.Quirks{LooseEcallMask: true, AllowReservedC: true},
+		NoFD:        true,
+	}
+
+	// Grift models GRIFT: link-register update before the misaligned-jump
+	// exception, an RV32IMC target misconfigured to RV32GC, reserved
+	// compressed encodings accepted, and SC.W succeeding without a
+	// reservation.
+	Grift = &Variant{
+		Name:        "GRIFT",
+		Description: "jump side effects before trap; IMC target enables G; reserved C; SC.W without reservation",
+		DecQuirks:   isa.Quirks{AllowReservedC: true},
+		ExecQuirks: exec.Quirks{
+			LinkBeforeAlignCheck: true,
+			SCIgnoresReservation: true,
+		},
+		MisconfiguredIMC: true,
+	}
+
+	// Sail models sail-riscv: incomplete decoder checks accept invalid
+	// encodings (loose funct7, invalid branch funct3 acting as a backward
+	// branch) and a malformed compressed pattern crashes the decoder. The
+	// tested sail build had no F/D support.
+	Sail = &Variant{
+		Name:        "sail-riscv",
+		Description: "incomplete decoder checks; crash on malformed compressed pattern",
+		DecQuirks: isa.Quirks{
+			LooseFunct7:         true,
+			InvalidBranchFunct3: true,
+			CrashOnPattern:      true,
+		},
+		NoFD: true,
+	}
+)
+
+// UnderTest lists the simulators compared against riscvOVPsim in Table I.
+var UnderTest = []*Variant{Spike, VP, Sail, Grift}
+
+// All lists every modelled simulator.
+var All = []*Variant{Reference, OVPSim, Spike, VP, Sail, Grift}
+
+// ByName finds a variant.
+func ByName(name string) (*Variant, bool) {
+	for _, v := range All {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// DefaultInstLimit bounds one test-case execution; filter-accepted test
+// cases finish in well under a thousand instructions, so exhausting the
+// limit indicates simulator non-termination (a sail-riscv style defect).
+const DefaultInstLimit = 20000
+
+// Outcome is the result of running one test case on one simulator.
+type Outcome struct {
+	Signature []uint32
+	Crashed   bool
+	CrashMsg  string
+	TimedOut  bool
+	Insts     uint64
+}
+
+// Simulator is a variant instantiated for one platform, with the test-case
+// template pre-compiled and pre-loaded (the paper's fuzzing-phase setup;
+// the compliance phase re-uses it because the template test suite proves
+// the injected image identical to a full per-test-case compilation).
+type Simulator struct {
+	Variant  *Variant
+	Platform template.Platform
+	Limit    uint64
+
+	img *template.Image
+	dec *isa.Decoder
+	eff isa.Config
+}
+
+// New prepares a simulator for a platform. It fails if the variant does
+// not support the platform's ISA configuration.
+func New(v *Variant, p template.Platform) (*Simulator, error) {
+	if !v.Supports(p.Cfg) {
+		return nil, fmt.Errorf("sim: %s does not support %v", v.Name, p.Cfg)
+	}
+	img, err := template.Preload(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{
+		Variant:  v,
+		Platform: p,
+		Limit:    DefaultInstLimit,
+		img:      img,
+		dec:      &isa.Decoder{Quirks: v.DecQuirks},
+		eff:      v.Effective(p.Cfg),
+	}, nil
+}
+
+// Run executes one bytestream test case and extracts its signature.
+// Decoder crashes (the modelled sail-riscv defect) are captured as a
+// crashed outcome rather than propagating the panic.
+func (s *Simulator) Run(bs []byte) Outcome { return s.RunHooked(bs, nil) }
+
+// RunHooked is Run with a coverage hook attached (the fuzzing phase).
+func (s *Simulator) RunHooked(bs []byte, hook exec.Hook) (out Outcome) {
+	if err := s.img.Inject(bs); err != nil {
+		return Outcome{Crashed: true, CrashMsg: err.Error()}
+	}
+	e := s.img.NewExecutorCfg(s.eff, s.dec, s.Variant.ExecQuirks)
+	e.Hook = hook
+	defer func() {
+		if r := recover(); r != nil {
+			out = Outcome{Crashed: true, CrashMsg: fmt.Sprint(r), Insts: e.InstCount}
+		}
+	}()
+	err := e.Run(s.Limit)
+	out.Insts = e.InstCount
+	if err != nil {
+		out.TimedOut = true
+		return out
+	}
+	signature, err := s.img.Signature()
+	if err != nil {
+		out.Crashed = true
+		out.CrashMsg = err.Error()
+		return out
+	}
+	out.Signature = signature
+	return out
+}

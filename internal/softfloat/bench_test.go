@@ -1,0 +1,50 @@
+package softfloat
+
+import (
+	"math"
+	"testing"
+)
+
+var (
+	benchA  = math.Float64bits(1.2345678901234)
+	benchB  = math.Float64bits(-9.87654321e17)
+	sinkU64 uint64
+	sinkU32 uint32
+)
+
+func BenchmarkAdd64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkU64, _ = Add64(benchA, benchB, RNE)
+	}
+}
+
+func BenchmarkMul64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkU64, _ = Mul64(benchA, benchB, RNE)
+	}
+}
+
+func BenchmarkDiv64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkU64, _ = Div64(benchA, benchB, RNE)
+	}
+}
+
+func BenchmarkSqrt64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkU64, _ = Sqrt64(benchA, RNE)
+	}
+}
+
+func BenchmarkFMA64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkU64, _ = FMA64(benchA, benchB, benchA, RNE)
+	}
+}
+
+func BenchmarkAdd32(b *testing.B) {
+	x, y := math.Float32bits(1.5), math.Float32bits(2.25)
+	for i := 0; i < b.N; i++ {
+		sinkU32, _ = Add32(x, y, RNE)
+	}
+}

@@ -1,0 +1,140 @@
+package softfloat
+
+import (
+	"math"
+	"testing"
+)
+
+// boundary32 enumerates binary32 values at every exponent boundary with
+// mantissa corners, both signs — the values where rounding/normalization
+// bugs live.
+func boundary32() []uint32 {
+	var out []uint32
+	for exp := uint32(0); exp <= 0xff; exp += 1 {
+		if exp > 4 && exp < 0xfb && exp%31 != 0 && exp != 126 && exp != 127 && exp != 128 {
+			continue // sample sparsely away from the corners
+		}
+		for _, frac := range []uint32{0, 1, 0x400000 - 1, 0x400000, 0x7fffff} {
+			for _, sign := range []uint32{0, 1 << 31} {
+				out = append(out, sign|exp<<23|frac)
+			}
+		}
+	}
+	return out
+}
+
+// TestF32BoundaryPairsExhaustive crosses every boundary value with every
+// other through all four arithmetic operations, comparing bit-exactly with
+// the host's IEEE hardware (RNE).
+func TestF32BoundaryPairsExhaustive(t *testing.T) {
+	vals := boundary32()
+	t.Logf("sweeping %d x %d boundary pairs", len(vals), len(vals))
+	for _, a := range vals {
+		fa := math.Float32frombits(a)
+		for _, b := range vals {
+			fb := math.Float32frombits(b)
+			if got, _ := Add32(a, b, RNE); !sameF32(got, math.Float32bits(fa+fb)) {
+				t.Fatalf("Add32(%#x, %#x) = %#x, want %#x", a, b, got, math.Float32bits(fa+fb))
+			}
+			if got, _ := Sub32(a, b, RNE); !sameF32(got, math.Float32bits(fa-fb)) {
+				t.Fatalf("Sub32(%#x, %#x) = %#x, want %#x", a, b, got, math.Float32bits(fa-fb))
+			}
+			if got, _ := Mul32(a, b, RNE); !sameF32(got, math.Float32bits(fa*fb)) {
+				t.Fatalf("Mul32(%#x, %#x) = %#x, want %#x", a, b, got, math.Float32bits(fa*fb))
+			}
+			if got, _ := Div32(a, b, RNE); !sameF32(got, math.Float32bits(fa/fb)) {
+				t.Fatalf("Div32(%#x, %#x) = %#x, want %#x", a, b, got, math.Float32bits(fa/fb))
+			}
+		}
+	}
+}
+
+// boundary64 is the binary64 counterpart (smaller sample per axis).
+func boundary64() []uint64 {
+	var out []uint64
+	for _, exp := range []uint64{0, 1, 2, 3, 0x3fe, 0x3ff, 0x400, 0x432, 0x7fc, 0x7fd, 0x7fe, 0x7ff} {
+		for _, frac := range []uint64{0, 1, 1<<51 - 1, 1 << 51, 1<<52 - 1} {
+			for _, sign := range []uint64{0, 1 << 63} {
+				out = append(out, sign|exp<<52|frac)
+			}
+		}
+	}
+	return out
+}
+
+func TestF64BoundaryPairsExhaustive(t *testing.T) {
+	vals := boundary64()
+	for _, a := range vals {
+		fa := math.Float64frombits(a)
+		for _, b := range vals {
+			fb := math.Float64frombits(b)
+			if got, _ := Add64(a, b, RNE); !sameF64(got, math.Float64bits(fa+fb)) {
+				t.Fatalf("Add64(%#x, %#x) = %#x", a, b, got)
+			}
+			if got, _ := Mul64(a, b, RNE); !sameF64(got, math.Float64bits(fa*fb)) {
+				t.Fatalf("Mul64(%#x, %#x) = %#x", a, b, got)
+			}
+			if got, _ := Div64(a, b, RNE); !sameF64(got, math.Float64bits(fa/fb)) {
+				t.Fatalf("Div64(%#x, %#x) = %#x", a, b, got)
+			}
+			if got, _ := FMA64(a, b, a, RNE); !sameF64(got, math.Float64bits(math.FMA(fa, fb, fa))) {
+				t.Fatalf("FMA64(%#x, %#x, %#x) = %#x", a, b, a, got)
+			}
+		}
+		if got, _ := Sqrt64(a, RNE); !sameF64(got, math.Float64bits(math.Sqrt(fa))) {
+			t.Fatalf("Sqrt64(%#x) = %#x", a, got)
+		}
+	}
+}
+
+// TestSqrt32ExhaustiveExponents runs sqrt across all exponents with
+// mantissa corners.
+func TestSqrt32ExhaustiveExponents(t *testing.T) {
+	for exp := uint32(0); exp <= 0xff; exp++ {
+		for _, frac := range []uint32{0, 1, 0x3fffff, 0x400000, 0x7fffff} {
+			a := exp<<23 | frac
+			fa := math.Float32frombits(a)
+			want := math.Float32bits(float32(math.Sqrt(float64(fa))))
+			if got, _ := Sqrt32(a, RNE); !sameF32(got, want) {
+				t.Fatalf("Sqrt32(%#x) = %#x, want %#x", a, got, want)
+			}
+		}
+	}
+}
+
+// TestConversionBoundaries sweeps the float->int boundary region
+// exhaustively around every power of two near the i32/u32 limits.
+func TestConversionBoundaries(t *testing.T) {
+	for _, base := range []float64{1<<31 - 1025, 1 << 31, 1<<32 - 1025, 1 << 32, -(1 << 31), 0.5, -0.5, 1, -1} {
+		for delta := -4.0; delta <= 4.0; delta += 0.5 {
+			v := base + delta
+			bits := math.Float64bits(v)
+			got, _ := F64ToI32(bits, RTZ)
+			if v > -2147483649 && v < 2147483648 {
+				want := uint32(int32(v))
+				if got != want {
+					t.Fatalf("F64ToI32(%v) = %d, want %d", v, int32(got), int32(want))
+				}
+			} else if v >= 2147483648 && got != 0x7fffffff {
+				t.Fatalf("F64ToI32(%v) = %#x, want saturation", v, got)
+			} else if v <= -2147483649 && got != 0x80000000 {
+				t.Fatalf("F64ToI32(%v) = %#x, want saturation", v, got)
+			}
+			gotU, _ := F64ToU32(bits, RTZ)
+			switch {
+			case v >= 0 && v < 4294967296:
+				if gotU != uint32(v) {
+					t.Fatalf("F64ToU32(%v) = %d, want %d", v, gotU, uint32(v))
+				}
+			case v >= 4294967296:
+				if gotU != 0xffffffff {
+					t.Fatalf("F64ToU32(%v) = %#x, want saturation", v, gotU)
+				}
+			case v <= -1:
+				if gotU != 0 {
+					t.Fatalf("F64ToU32(%v) = %#x, want 0", v, gotU)
+				}
+			}
+		}
+	}
+}

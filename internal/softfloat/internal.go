@@ -1,0 +1,306 @@
+package softfloat
+
+import "math/bits"
+
+// class partitions the operand space for special-case handling.
+type class uint8
+
+const (
+	clsZero   class = iota
+	clsFinite       // normal or subnormal, normalized on unpack
+	clsInf
+	clsQNaN
+	clsSNaN
+)
+
+// unpacked is a finite nonzero value sign * sig * 2^(exp-63) with the
+// leading significand bit at bit 63.
+type unpacked struct {
+	cls  class
+	sign bool
+	exp  int32
+	sig  uint64
+}
+
+// unpack decomposes raw format bits. For clsFinite the significand is
+// normalized to bit 63 (subnormals included).
+func unpack(f *fmt, v uint64) unpacked {
+	sign := v>>(f.sigBits+uint(expBits(f))) != 0
+	frac := v & (1<<f.sigBits - 1)
+	be := int32(v>>f.sigBits) & f.maxExp
+	switch {
+	case be == f.maxExp:
+		if frac == 0 {
+			return unpacked{cls: clsInf, sign: sign}
+		}
+		if frac>>(f.sigBits-1) == 0 {
+			return unpacked{cls: clsSNaN, sign: sign}
+		}
+		return unpacked{cls: clsQNaN, sign: sign}
+	case be == 0:
+		if frac == 0 {
+			return unpacked{cls: clsZero, sign: sign}
+		}
+		s0 := frac << (63 - f.sigBits)
+		sh := uint(bits.LeadingZeros64(s0))
+		return unpacked{cls: clsFinite, sign: sign, exp: 1 - f.bias - int32(sh), sig: s0 << sh}
+	default:
+		sig := (1<<f.sigBits | frac) << (63 - f.sigBits)
+		return unpacked{cls: clsFinite, sign: sign, exp: be - f.bias, sig: sig}
+	}
+}
+
+func expBits(f *fmt) int {
+	if f.sigBits == 23 {
+		return 8
+	}
+	return 11
+}
+
+func signBit(f *fmt, sign bool) uint64 {
+	if !sign {
+		return 0
+	}
+	return 1 << (f.sigBits + uint(expBits(f)))
+}
+
+func packInf(f *fmt, sign bool) uint64 {
+	return signBit(f, sign) | uint64(f.maxExp)<<f.sigBits
+}
+
+func packZero(f *fmt, sign bool) uint64 { return signBit(f, sign) }
+
+func packMax(f *fmt, sign bool) uint64 {
+	return signBit(f, sign) | uint64(f.maxExp-1)<<f.sigBits | (1<<f.sigBits - 1)
+}
+
+// shiftRightJam64 shifts v right by n, ORing any shifted-out bits into the
+// result's least-significant bit (the "sticky" jam).
+func shiftRightJam64(v uint64, n uint) uint64 {
+	if n >= 64 {
+		if v != 0 {
+			return 1
+		}
+		return 0
+	}
+	r := v >> n
+	if v<<(64-n) != 0 && n != 0 {
+		r |= 1
+	}
+	return r
+}
+
+// roundPack rounds the value sign * sig * 2^(exp-63) (leading bit at 63,
+// rounding bits below the target precision) into format bits, accruing
+// flags. sig == 0 yields a signed zero.
+func roundPack(f *fmt, sign bool, exp int32, sig uint64, rm RM) (uint64, Flags) {
+	gshift := 63 - f.sigBits // number of round bits below the target precision
+	roundMask := uint64(1)<<gshift - 1
+	half := uint64(1) << (gshift - 1)
+
+	var flags Flags
+	biased := exp + f.bias
+	tiny := false
+	if sig == 0 {
+		return packZero(f, sign), 0
+	}
+	if biased >= f.maxExp {
+		// Certain overflow even before rounding.
+		return overflow(f, sign, rm)
+	}
+	if biased <= 0 {
+		tiny = true
+		sig = shiftRightJam64(sig, uint(1-biased))
+		biased = 0
+	}
+
+	roundBits := sig & roundMask
+	var inc uint64
+	switch rm {
+	case RNE:
+		if roundBits > half || (roundBits == half && sig&(roundMask+1) != 0) {
+			inc = roundMask + 1 - roundBits
+		}
+	case RMM:
+		if roundBits >= half {
+			inc = roundMask + 1 - roundBits
+		}
+	case RTZ:
+		// truncate
+	case RDN:
+		if sign && roundBits != 0 {
+			inc = roundMask + 1 - roundBits
+		}
+	case RUP:
+		if !sign && roundBits != 0 {
+			inc = roundMask + 1 - roundBits
+		}
+	}
+	if roundBits != 0 {
+		flags |= NX
+		if tiny {
+			flags |= UF
+		}
+	}
+	sum := sig + inc
+	if sum < sig { // carry out of bit 63
+		sum = 1 << 63
+		biased++
+	}
+	if biased >= f.maxExp {
+		bits_, fl := overflow(f, sign, rm)
+		return bits_, fl | flags
+	}
+	frac := sum >> gshift
+	var out uint64
+	if biased == 0 {
+		// Subnormal (or rounded up to the smallest normal, in which case
+		// frac carries into the exponent field naturally).
+		out = frac
+	} else {
+		out = uint64(biased)<<f.sigBits + (frac - 1<<f.sigBits)
+	}
+	return signBit(f, sign) | out, flags
+}
+
+// overflow returns the IEEE overflow result for the rounding direction.
+func overflow(f *fmt, sign bool, rm RM) (uint64, Flags) {
+	flags := OF | NX
+	switch rm {
+	case RTZ:
+		return packMax(f, sign), flags
+	case RDN:
+		if !sign {
+			return packMax(f, false), flags
+		}
+	case RUP:
+		if sign {
+			return packMax(f, true), flags
+		}
+	}
+	return packInf(f, sign), flags
+}
+
+// normRoundPack left-normalizes sig (leading bit to 63) before rounding.
+func normRoundPack(f *fmt, sign bool, exp int32, sig uint64, rm RM) (uint64, Flags) {
+	if sig == 0 {
+		return packZero(f, sign), 0
+	}
+	sh := uint(bits.LeadingZeros64(sig))
+	return roundPack(f, sign, exp-int32(sh), sig<<sh, rm)
+}
+
+// 128-bit helpers for FMA and sqrt.
+
+func add128(ah, al, bh, bl uint64) (uint64, uint64) {
+	lo, carry := bits.Add64(al, bl, 0)
+	hi, _ := bits.Add64(ah, bh, carry)
+	return hi, lo
+}
+
+func sub128(ah, al, bh, bl uint64) (uint64, uint64) {
+	lo, borrow := bits.Sub64(al, bl, 0)
+	hi, _ := bits.Sub64(ah, bh, borrow)
+	return hi, lo
+}
+
+func cmp128(ah, al, bh, bl uint64) int {
+	switch {
+	case ah > bh:
+		return 1
+	case ah < bh:
+		return -1
+	case al > bl:
+		return 1
+	case al < bl:
+		return -1
+	}
+	return 0
+}
+
+func shl128(h, l uint64, n uint) (uint64, uint64) {
+	switch {
+	case n == 0:
+		return h, l
+	case n >= 128:
+		return 0, 0
+	case n >= 64:
+		return l << (n - 64), 0
+	}
+	return h<<n | l>>(64-n), l << n
+}
+
+// shiftRightJam128 shifts the 128-bit value right by n with sticky jam into
+// the least-significant bit.
+func shiftRightJam128(h, l uint64, n uint) (uint64, uint64) {
+	switch {
+	case n == 0:
+		return h, l
+	case n >= 128:
+		if h|l != 0 {
+			return 0, 1
+		}
+		return 0, 0
+	case n >= 64:
+		nl := shiftRightJam64(h, n-64)
+		if l != 0 {
+			nl |= 1
+		}
+		return 0, nl
+	}
+	nh := h >> n
+	nl := h<<(64-n) | l>>n
+	if l<<(64-n) != 0 {
+		nl |= 1
+	}
+	return nh, nl
+}
+
+func clz128(h, l uint64) uint {
+	if h != 0 {
+		return uint(bits.LeadingZeros64(h))
+	}
+	return 64 + uint(bits.LeadingZeros64(l))
+}
+
+// isqrt128 computes the integer square root of the 128-bit radicand by the
+// restoring digit-by-digit method, returning the 64-bit root and whether a
+// nonzero remainder was left (the sticky bit for rounding).
+func isqrt128(hi, lo uint64) (root uint64, rem bool) {
+	var rh, rl uint64 // running remainder (fits in 128 bits)
+	var q uint64
+	for i := 0; i < 64; i++ {
+		// Bring down the next two radicand bits.
+		rh = rh<<2 | rl>>62
+		rl = rl<<2 | hi>>62
+		hi = hi<<2 | lo>>62
+		lo <<= 2
+		// Trial subtrahend t = 4q + 1.
+		th, tl := q>>62, q<<2|1
+		if cmp128(rh, rl, th, tl) >= 0 {
+			rh, rl = sub128(rh, rl, th, tl)
+			q = q<<1 | 1
+		} else {
+			q <<= 1
+		}
+	}
+	return q, rh|rl != 0
+}
+
+// propagateNaN returns the canonical NaN and the invalid flag if any of the
+// operands is signaling.
+func propagateNaN(f *fmt, ops ...unpacked) (uint64, Flags) {
+	for _, o := range ops {
+		if o.cls == clsSNaN {
+			return f.qnan, NV
+		}
+	}
+	return f.qnan, 0
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,479 @@
+package softfloat
+
+import "math/bits"
+
+// add computes a + b (or a - b when negB) in format f.
+func add(f *fmt, a, b uint64, rm RM, negB bool) (uint64, Flags) {
+	ua, ub := unpack(f, a), unpack(f, b)
+	if negB {
+		ub.sign = !ub.sign
+	}
+	if ua.cls >= clsQNaN || ub.cls >= clsQNaN {
+		return propagateNaN(f, ua, ub)
+	}
+	switch {
+	case ua.cls == clsInf && ub.cls == clsInf:
+		if ua.sign != ub.sign {
+			return f.qnan, NV
+		}
+		return packInf(f, ua.sign), 0
+	case ua.cls == clsInf:
+		return packInf(f, ua.sign), 0
+	case ub.cls == clsInf:
+		return packInf(f, ub.sign), 0
+	case ua.cls == clsZero && ub.cls == clsZero:
+		if ua.sign == ub.sign {
+			return packZero(f, ua.sign), 0
+		}
+		return packZero(f, rm == RDN), 0
+	case ua.cls == clsZero:
+		return repack(f, ub), 0
+	case ub.cls == clsZero:
+		return repack(f, ua), 0
+	}
+	if ua.sign == ub.sign {
+		return addMags(f, ua, ub, rm)
+	}
+	return subMags(f, ua, ub, rm)
+}
+
+// repack turns an unpacked finite value back into format bits exactly.
+func repack(f *fmt, u unpacked) uint64 {
+	v, _ := roundPack(f, u.sign, u.exp, u.sig, RNE) // exact by construction
+	return v
+}
+
+// addMags adds two same-sign magnitudes.
+func addMags(f *fmt, ua, ub unpacked, rm RM) (uint64, Flags) {
+	if ua.exp < ub.exp || (ua.exp == ub.exp && ua.sig < ub.sig) {
+		ua, ub = ub, ua
+	}
+	d := uint(ua.exp - ub.exp)
+	// Work two bits down (leading at 61) so the sum cannot wrap. The
+	// operands' significant bits live in the top sigBits+1 bits, so the
+	// two-bit shift of ua.sig is exact.
+	x := ua.sig >> 2
+	y := shiftRightJam64(ub.sig, d+2)
+	sum := x + y
+	// The leading bit of sum sits at 61 or 62; renormalize it to 63. The
+	// left shift keeps the sticky (bit 0 of y) below the guard position,
+	// so rounding stays correct.
+	sh := uint(bits.LeadingZeros64(sum))
+	return roundPack(f, ua.sign, ua.exp+2-int32(sh), sum<<sh, rm)
+}
+
+// subMags subtracts the smaller magnitude from the larger (opposite signs).
+func subMags(f *fmt, ua, ub unpacked, rm RM) (uint64, Flags) {
+	if ua.exp < ub.exp || (ua.exp == ub.exp && ua.sig < ub.sig) {
+		ua, ub = ub, ua
+	}
+	if ua.exp == ub.exp && ua.sig == ub.sig {
+		// Exact cancellation: zero whose sign depends on the rounding mode.
+		return packZero(f, rm == RDN), 0
+	}
+	d := uint(ua.exp - ub.exp)
+	y := shiftRightJam64(ub.sig, d)
+	diff := ua.sig - y
+	return normRoundPack(f, ua.sign, ua.exp, diff, rm)
+}
+
+// mul computes a * b in format f.
+func mul(f *fmt, a, b uint64, rm RM) (uint64, Flags) {
+	ua, ub := unpack(f, a), unpack(f, b)
+	sign := ua.sign != ub.sign
+	if ua.cls >= clsQNaN || ub.cls >= clsQNaN {
+		return propagateNaN(f, ua, ub)
+	}
+	switch {
+	case (ua.cls == clsInf && ub.cls == clsZero) || (ua.cls == clsZero && ub.cls == clsInf):
+		return f.qnan, NV
+	case ua.cls == clsInf || ub.cls == clsInf:
+		return packInf(f, sign), 0
+	case ua.cls == clsZero || ub.cls == clsZero:
+		return packZero(f, sign), 0
+	}
+	hi, lo := bits.Mul64(ua.sig, ub.sig)
+	exp := ua.exp + ub.exp + 1
+	if hi>>63 == 0 {
+		hi = hi<<1 | lo>>63
+		lo <<= 1
+		exp--
+	}
+	return roundPack(f, sign, exp, hi|b2u(lo != 0), rm)
+}
+
+// div computes a / b in format f.
+func div(f *fmt, a, b uint64, rm RM) (uint64, Flags) {
+	ua, ub := unpack(f, a), unpack(f, b)
+	sign := ua.sign != ub.sign
+	if ua.cls >= clsQNaN || ub.cls >= clsQNaN {
+		return propagateNaN(f, ua, ub)
+	}
+	switch {
+	case ua.cls == clsInf && ub.cls == clsInf:
+		return f.qnan, NV
+	case ua.cls == clsInf:
+		return packInf(f, sign), 0
+	case ub.cls == clsInf:
+		return packZero(f, sign), 0
+	case ub.cls == clsZero:
+		if ua.cls == clsZero {
+			return f.qnan, NV
+		}
+		return packInf(f, sign), DZ
+	case ua.cls == clsZero:
+		return packZero(f, sign), 0
+	}
+	// 126-bit dividend sigA<<63 divided by sigB; hi = sigA>>1 < 2^63 <=
+	// sigB, so bits.Div64 cannot trap.
+	q, r := bits.Div64(ua.sig>>1, ua.sig<<63, ub.sig)
+	exp := ua.exp - ub.exp
+	var sig uint64
+	if q >= 1<<63 {
+		sig = q // ratio in [1, 2): leading bit already at 63
+	} else {
+		sig = q << 1 // ratio in (1/2, 1)
+		exp--
+	}
+	sig |= b2u(r != 0)
+	return roundPack(f, sign, exp, sig, rm)
+}
+
+// sqrt computes the square root of a in format f.
+func sqrt(f *fmt, a uint64, rm RM) (uint64, Flags) {
+	ua := unpack(f, a)
+	switch ua.cls {
+	case clsQNaN, clsSNaN:
+		return propagateNaN(f, ua)
+	case clsZero:
+		return packZero(f, ua.sign), 0
+	case clsInf:
+		if ua.sign {
+			return f.qnan, NV
+		}
+		return packInf(f, false), 0
+	}
+	if ua.sign {
+		return f.qnan, NV
+	}
+	var rh, rl uint64
+	var exp int32
+	if ua.exp&1 == 0 {
+		rh, rl = ua.sig>>1, ua.sig<<63 // sig << 63
+		exp = ua.exp / 2
+	} else {
+		rh, rl = ua.sig, 0 // sig << 64
+		exp = (ua.exp - 1) / 2
+	}
+	root, rem := isqrt128(rh, rl)
+	return roundPack(f, false, exp, root|b2u(rem), rm)
+}
+
+// fma computes a*b + c with a single rounding.
+func fma(f *fmt, a, b, c uint64, rm RM) (uint64, Flags) {
+	ua, ub, uc := unpack(f, a), unpack(f, b), unpack(f, c)
+	ps := ua.sign != ub.sign
+	// Invalid combinations are detected even when another operand is NaN.
+	if (ua.cls == clsInf && ub.cls == clsZero) || (ua.cls == clsZero && ub.cls == clsInf) {
+		v, fl := propagateNaN(f, ua, ub, uc)
+		return v, fl | NV
+	}
+	if ua.cls >= clsQNaN || ub.cls >= clsQNaN || uc.cls >= clsQNaN {
+		return propagateNaN(f, ua, ub, uc)
+	}
+	if ua.cls == clsInf || ub.cls == clsInf {
+		if uc.cls == clsInf && uc.sign != ps {
+			return f.qnan, NV
+		}
+		return packInf(f, ps), 0
+	}
+	if uc.cls == clsInf {
+		return packInf(f, uc.sign), 0
+	}
+	if ua.cls == clsZero || ub.cls == clsZero {
+		if uc.cls == clsZero {
+			if uc.sign == ps {
+				return packZero(f, ps), 0
+			}
+			return packZero(f, rm == RDN), 0
+		}
+		return repack(f, uc), 0
+	}
+	// Product as a 128-bit significand with the leading bit at 127.
+	ph, pl := bits.Mul64(ua.sig, ub.sig)
+	pexp := ua.exp + ub.exp + 1
+	if ph>>63 == 0 {
+		ph, pl = shl128(ph, pl, 1)
+		pexp--
+	}
+	if uc.cls == clsZero {
+		return roundPack(f, ps, pexp, ph|b2u(pl != 0), rm)
+	}
+	// Addend in the same 128-bit form.
+	ch, cl := uc.sig, uint64(0)
+	cexp := uc.exp
+	// Align to the larger exponent.
+	exp := pexp
+	if d := pexp - cexp; d > 0 {
+		ch, cl = shiftRightJam128(ch, cl, uint(d))
+	} else if d < 0 {
+		ph, pl = shiftRightJam128(ph, pl, uint(-d))
+		exp = cexp
+	}
+	var sign bool
+	var zh, zl uint64
+	if ps == uc.sign {
+		sign = ps
+		var carry uint64
+		zl, carry = bits.Add64(pl, cl, 0)
+		zh, carry = bits.Add64(ph, ch, carry)
+		if carry != 0 {
+			zh, zl = shiftRightJam128(zh, zl, 1)
+			zh |= 1 << 63
+			exp++
+		}
+	} else {
+		switch cmp128(ph, pl, ch, cl) {
+		case 0:
+			return packZero(f, rm == RDN), 0
+		case 1:
+			sign = ps
+			zh, zl = sub128(ph, pl, ch, cl)
+		default:
+			sign = uc.sign
+			zh, zl = sub128(ch, cl, ph, pl)
+		}
+	}
+	sh := clz128(zh, zl)
+	zh, zl = shl128(zh, zl, sh)
+	exp -= int32(sh)
+	return roundPack(f, sign, exp, zh|b2u(zl != 0), rm)
+}
+
+// minmax implements RISC-V FMIN/FMAX (IEEE 754-2019 minimumNumber /
+// maximumNumber): a single NaN operand is ignored, -0 orders below +0, and
+// signaling NaNs raise NV.
+func minmax(f *fmt, a, b uint64, max bool) (uint64, Flags) {
+	ua, ub := unpack(f, a), unpack(f, b)
+	var flags Flags
+	if ua.cls == clsSNaN || ub.cls == clsSNaN {
+		flags = NV
+	}
+	aNaN := ua.cls >= clsQNaN
+	bNaN := ub.cls >= clsQNaN
+	switch {
+	case aNaN && bNaN:
+		return f.qnan, flags
+	case aNaN:
+		return b, flags
+	case bNaN:
+		return a, flags
+	}
+	if less(f, a, b) != max {
+		return a, flags
+	}
+	return b, flags
+}
+
+// less orders finite (non-NaN) format values including the -0 < +0 rule
+// used by minmax.
+func less(f *fmt, a, b uint64) bool {
+	sa := a >> (f.sigBits + uint(expBits(f)))
+	sb := b >> (f.sigBits + uint(expBits(f)))
+	if sa != sb {
+		return sa == 1 // a negative (covers -0 < +0)
+	}
+	if sa == 1 {
+		return a > b
+	}
+	return a < b
+}
+
+// compare implements FEQ/FLT/FLE. signaling selects the FLT/FLE behaviour
+// (NV on any NaN); FEQ raises NV only for signaling NaNs.
+func compare(f *fmt, a, b uint64, signaling bool) (eq, lt, le bool, flags Flags) {
+	ua, ub := unpack(f, a), unpack(f, b)
+	if ua.cls >= clsQNaN || ub.cls >= clsQNaN {
+		if signaling || ua.cls == clsSNaN || ub.cls == clsSNaN {
+			flags = NV
+		}
+		return false, false, false, flags
+	}
+	bothZero := ua.cls == clsZero && ub.cls == clsZero
+	if bothZero {
+		return true, false, true, 0
+	}
+	if a == b {
+		return true, false, true, 0
+	}
+	lt = less(f, a, b)
+	return false, lt, lt, 0
+}
+
+// classify returns the FCLASS bitmask for the value.
+func classify(f *fmt, a uint64) uint32 {
+	u := unpack(f, a)
+	frac := a & (1<<f.sigBits - 1)
+	be := int32(a>>f.sigBits) & f.maxExp
+	switch u.cls {
+	case clsSNaN:
+		return ClassSNaN
+	case clsQNaN:
+		return ClassQNaN
+	case clsInf:
+		if u.sign {
+			return ClassNegInf
+		}
+		return ClassPosInf
+	case clsZero:
+		if u.sign {
+			return ClassNegZero
+		}
+		return ClassPosZero
+	}
+	sub := be == 0 && frac != 0
+	switch {
+	case u.sign && sub:
+		return ClassNegSubnormal
+	case u.sign:
+		return ClassNegNormal
+	case sub:
+		return ClassPosSubnormal
+	}
+	return ClassPosNormal
+}
+
+// toInt32 converts a format value to a 32-bit integer with the given
+// rounding mode. Out-of-range values (including NaN and infinities) clamp
+// per the RISC-V specification and raise NV.
+func toInt32(f *fmt, a uint64, rm RM, signed bool) (uint32, Flags) {
+	const (
+		maxI = 0x7fffffff
+		minI = 0x80000000
+		maxU = 0xffffffff
+	)
+	u := unpack(f, a)
+	switch u.cls {
+	case clsQNaN, clsSNaN:
+		if signed {
+			return maxI, NV
+		}
+		return maxU, NV
+	case clsInf:
+		switch {
+		case signed && u.sign:
+			return minI, NV
+		case signed:
+			return maxI, NV
+		case u.sign:
+			return 0, NV
+		}
+		return maxU, NV
+	case clsZero:
+		return 0, 0
+	}
+	if u.exp > 62 {
+		// Magnitude at least 2^63: certainly out of range.
+		return intClamp(u.sign, signed), NV
+	}
+	var iv, roundBits, half uint64
+	switch {
+	case u.exp < -1:
+		// Magnitude below 1/2: integer part 0, pure sticky (ties are
+		// impossible, so half only needs to exceed roundBits).
+		iv, roundBits, half = 0, 1, 2
+	case u.exp == -1:
+		// Magnitude in [1/2, 1): a tie at exactly 1/2.
+		iv, roundBits, half = 0, u.sig, 1<<63
+	default:
+		sh := uint(63 - u.exp)
+		iv = u.sig >> sh
+		roundBits = u.sig & (1<<sh - 1)
+		half = 1 << (sh - 1)
+	}
+	switch rm {
+	case RNE:
+		if roundBits > half || (roundBits == half && iv&1 != 0) {
+			iv++
+		}
+	case RMM:
+		if roundBits >= half {
+			iv++
+		}
+	case RDN:
+		if u.sign && roundBits != 0 {
+			iv++
+		}
+	case RUP:
+		if !u.sign && roundBits != 0 {
+			iv++
+		}
+	}
+	var flags Flags
+	if roundBits != 0 {
+		flags = NX
+	}
+	if signed {
+		if u.sign {
+			if iv > minI {
+				return minI, NV
+			}
+			return uint32(-int32(iv)), flags
+		}
+		if iv > maxI {
+			return maxI, NV
+		}
+		return uint32(iv), flags
+	}
+	if u.sign {
+		if iv != 0 {
+			return 0, NV
+		}
+		return 0, flags
+	}
+	if iv > maxU {
+		return maxU, NV
+	}
+	return uint32(iv), flags
+}
+
+func intClamp(negative, signed bool) uint32 {
+	switch {
+	case signed && negative:
+		return 0x80000000
+	case signed:
+		return 0x7fffffff
+	case negative:
+		return 0
+	}
+	return 0xffffffff
+}
+
+// fromInt32 converts a 32-bit integer to format bits.
+func fromInt32(f *fmt, v uint32, rm RM, signed bool) (uint64, Flags) {
+	var sign bool
+	m := uint64(v)
+	if signed && int32(v) < 0 {
+		sign = true
+		m = uint64(-int64(int32(v)))
+	}
+	if m == 0 {
+		return packZero(f, false), 0
+	}
+	sh := uint(bits.LeadingZeros64(m))
+	return roundPack(f, sign, 63-int32(sh), m<<sh, rm)
+}
+
+// cvtFormat converts between binary32 and binary64.
+func cvtFormat(from, to *fmt, a uint64, rm RM) (uint64, Flags) {
+	u := unpack(from, a)
+	switch u.cls {
+	case clsQNaN, clsSNaN:
+		return propagateNaN(to, u)
+	case clsInf:
+		return packInf(to, u.sign), 0
+	case clsZero:
+		return packZero(to, u.sign), 0
+	}
+	return roundPack(to, u.sign, u.exp, u.sig, rm)
+}

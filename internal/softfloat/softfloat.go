@@ -1,0 +1,91 @@
+// Package softfloat implements IEEE-754 binary32 and binary64 arithmetic in
+// integer arithmetic, with the five RISC-V rounding modes and the five
+// RISC-V accrued exception flags. It provides the floating-point semantics
+// of the F and D extensions for the instruction-set simulators in this
+// repository: every simulator variant shares this one implementation, so
+// signature divergence between simulators can only come from deliberately
+// seeded defects, never from host floating-point differences.
+//
+// NaN handling follows the RISC-V convention: results that are NaN are
+// always the canonical quiet NaN, and signaling-NaN inputs raise the
+// invalid flag.
+//
+// Tininess is detected before rounding (Berkeley softfloat's classic
+// default). The RISC-V specification asks for after-rounding detection;
+// the two differ only in whether UF accompanies the one boundary case that
+// rounds up to the smallest normal, which no experiment in this repository
+// observes (flags never enter test signatures).
+package softfloat
+
+// RM is an IEEE-754 rounding mode, numbered as in the RISC-V fcsr.frm
+// field.
+type RM uint8
+
+const (
+	// RNE rounds to nearest, ties to even.
+	RNE RM = iota
+	// RTZ rounds towards zero.
+	RTZ
+	// RDN rounds down (towards negative infinity).
+	RDN
+	// RUP rounds up (towards positive infinity).
+	RUP
+	// RMM rounds to nearest, ties to max magnitude (away from zero).
+	RMM
+	// DYN in an instruction's rm field selects the dynamic rounding mode
+	// from fcsr.frm; it is not itself a rounding mode.
+	DYN RM = 7
+)
+
+// Valid reports whether the value is one of the five actual rounding modes.
+func (rm RM) Valid() bool { return rm <= RMM }
+
+// Flags is the accrued-exception bitmask, in RISC-V fflags bit order.
+type Flags uint8
+
+const (
+	// NX: inexact.
+	NX Flags = 1 << iota
+	// UF: underflow.
+	UF
+	// OF: overflow.
+	OF
+	// DZ: divide by zero.
+	DZ
+	// NV: invalid operation.
+	NV
+)
+
+// Canonical quiet NaNs per the RISC-V specification.
+const (
+	QNaN32 uint32 = 0x7fc00000
+	QNaN64 uint64 = 0x7ff8000000000000
+)
+
+// fmt describes one binary interchange format.
+type fmt struct {
+	sigBits uint  // fraction bits (23 or 52)
+	bias    int32 // exponent bias
+	maxExp  int32 // all-ones biased exponent (0xff or 0x7ff)
+	qnan    uint64
+}
+
+var (
+	fmt32 = &fmt{sigBits: 23, bias: 127, maxExp: 0xff, qnan: uint64(QNaN32)}
+	fmt64 = &fmt{sigBits: 52, bias: 1023, maxExp: 0x7ff, qnan: QNaN64}
+)
+
+// FClass bits produced by Class32/Class64, matching the FCLASS.S/FCLASS.D
+// result encoding.
+const (
+	ClassNegInf uint32 = 1 << iota
+	ClassNegNormal
+	ClassNegSubnormal
+	ClassNegZero
+	ClassPosZero
+	ClassPosSubnormal
+	ClassPosNormal
+	ClassPosInf
+	ClassSNaN
+	ClassQNaN
+)

@@ -1,0 +1,144 @@
+// Package rvnegtest is a fuzzing-based negative-testing framework for
+// RISC-V compliance, reproducing "Closing the RISC-V Compliance Gap:
+// Looking from the Negative Testing Side" (Herdt, Große, Drechsler —
+// DAC 2020).
+//
+// The library generates compliance-format test suites with a
+// coverage-guided fuzzer (Phase A) and runs them across RISC-V simulator
+// models, comparing signatures against a reference simulator (Phase B).
+// Unlike the hand-written official compliance suite, the generated suites
+// emphasize *negative* testing: illegal, reserved and invalid encodings
+// must raise an illegal-instruction exception rather than execute some
+// accidental behaviour.
+//
+// # Quick start
+//
+//	cfg := rvnegtest.DefaultFuzzConfig()
+//	suite, stats, err := rvnegtest.GenerateSuite(cfg, 200000, 0)
+//	report, err := rvnegtest.RunCompliance(suite, nil)
+//	fmt.Print(report.Render())
+//
+// The package is a thin facade over the implementation packages:
+// internal/fuzz (the engine), internal/filter (the static bytestream
+// filter), internal/coverage (guidance signals), internal/sim (the
+// simulator models with the paper's seeded defects), internal/compliance
+// (Phase B) and the substrates (isa, exec, hart, mem, softfloat, asm, elf,
+// template).
+package rvnegtest
+
+import (
+	"time"
+
+	"rvnegtest/internal/compliance"
+	"rvnegtest/internal/core"
+	"rvnegtest/internal/coverage"
+	"rvnegtest/internal/fuzz"
+	"rvnegtest/internal/isa"
+	"rvnegtest/internal/sim"
+)
+
+// Re-exported types. See the internal packages for full documentation.
+type (
+	// FuzzConfig parameterizes Phase A (suite generation).
+	FuzzConfig = fuzz.Config
+	// FuzzStats summarizes a campaign, including the Fig. 4 growth trace.
+	FuzzStats = fuzz.Stats
+	// Suite is a generated compliance test suite.
+	Suite = compliance.Suite
+	// Report is a Table-I style compliance result.
+	Report = compliance.Report
+	// Runner configures Phase B (reference, SUTs, ISA configurations).
+	Runner = compliance.Runner
+	// Simulator model (reference or a variant with seeded defects).
+	Simulator = sim.Variant
+	// ISAConfig is an RV32 ISA configuration.
+	ISAConfig = isa.Config
+	// GrowthResult is one configuration's outcome of the Fig. 4
+	// experiment.
+	GrowthResult = core.GrowthResult
+)
+
+// Predefined ISA configurations.
+var (
+	RV32I   = isa.RV32I
+	RV32IMC = isa.RV32IMC
+	RV32GC  = isa.RV32GC
+)
+
+// ParseISA parses an RV32 configuration name such as "RV32IMC".
+func ParseISA(s string) (ISAConfig, error) { return isa.ParseConfig(s) }
+
+// Simulators returns all simulator models (the reference plus the five
+// modelled real-world simulators).
+func Simulators() []*Simulator { return sim.All }
+
+// SimulatorByName finds a simulator model ("reference", "riscvOVPsim",
+// "Spike", "VP", "GRIFT", "sail-riscv").
+func SimulatorByName(name string) (*Simulator, bool) { return sim.ByName(name) }
+
+// DefaultFuzzConfig mirrors the paper's campaign settings with the v3
+// coverage configuration (code coverage + custom rules + 16384-point hash
+// coverage).
+func DefaultFuzzConfig() FuzzConfig { return fuzz.DefaultConfig() }
+
+// CoverageConfig selects one of the paper's coverage configurations
+// ("v0".."v3") on a fuzzing configuration.
+func CoverageConfig(cfg FuzzConfig, name string) (FuzzConfig, bool) {
+	opts, ok := coverage.ByName(name)
+	if !ok {
+		return cfg, false
+	}
+	cfg.Coverage = opts
+	return cfg, true
+}
+
+// GenerateSuite runs Phase A: a fuzzing campaign bounded by execution
+// count and/or wall time (zero disables a bound; at least one must be
+// set).
+func GenerateSuite(cfg FuzzConfig, maxExecs uint64, maxDur time.Duration) (*Suite, FuzzStats, error) {
+	return core.GenerateSuite(cfg, maxExecs, maxDur)
+}
+
+// DefaultRunner reproduces the paper's Table I setup: riscvOVPsim as the
+// reference, Spike/VP/sail-riscv/GRIFT under test, on RV32I, RV32IMC and
+// RV32GC.
+func DefaultRunner() *Runner { return compliance.DefaultRunner() }
+
+// RunCompliance runs Phase B over a suite. A nil runner uses
+// DefaultRunner.
+func RunCompliance(suite *Suite, r *Runner) (*Report, error) {
+	if r == nil {
+		r = compliance.DefaultRunner()
+	}
+	return r.Run(suite)
+}
+
+// GrowthExperiment reproduces Fig. 4: the v0..v3 coverage configurations
+// with an identical budget; each result's trace is the
+// test-cases-vs-executions curve.
+func GrowthExperiment(maxExecs uint64, maxDur time.Duration, seed int64) ([]GrowthResult, error) {
+	return core.GrowthExperiment(maxExecs, maxDur, seed)
+}
+
+// Pipeline runs both phases back to back.
+func Pipeline(cfg FuzzConfig, maxExecs uint64, maxDur time.Duration, r *Runner) (*Suite, *Report, FuzzStats, error) {
+	return core.Pipeline(cfg, maxExecs, maxDur, r)
+}
+
+// LoadSuite reads a serialized suite file; see Suite.Save.
+func LoadSuite(path string) (*Suite, error) { return compliance.LoadSuite(path) }
+
+// OfficialStyleSuite builds the directed positive suite modelling the
+// official hand-written compliance test suite for one configuration
+// (per-extension, valid instructions only). Per the paper, such suites
+// catch only GRIFT's SC.W defect among the modelled bugs.
+func OfficialStyleSuite(cfg ISAConfig) *Suite { return compliance.OfficialStyleSuite(cfg) }
+
+// ContinuousResult aggregates repeated generate-and-compare rounds.
+type ContinuousResult = core.ContinuousResult
+
+// Continuous runs the paper's continuous negative-testing mode: `rounds`
+// pipeline iterations with fresh seeds, accumulating distinct findings.
+func Continuous(cfg FuzzConfig, rounds int, execsPerRound uint64, r *Runner) (*ContinuousResult, error) {
+	return core.Continuous(cfg, rounds, execsPerRound, r)
+}
