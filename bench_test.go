@@ -117,6 +117,31 @@ func BenchmarkTableI(b *testing.B) {
 	}
 }
 
+// E2b — parallel Table I scaling: the same workload as BenchmarkTableI on
+// the sharded engine. The report is bit-identical at every worker count
+// (asserted in internal/compliance's tests); the metric of interest here
+// is near-linear cases/s scaling with the worker count.
+func benchTableIWorkers(b *testing.B, workers int) {
+	suite := sharedSuite(b)
+	b.ResetTimer()
+	var st compliance.RunStats
+	for i := 0; i < b.N; i++ {
+		r := compliance.DefaultRunner()
+		r.Workers = workers
+		if _, err := r.Run(suite); err != nil {
+			b.Fatal(err)
+		}
+		st = r.Stats
+	}
+	b.ReportMetric(st.CasesPerSec, "cases/s")
+	b.ReportMetric(float64(len(suite.Cases)), "cases")
+}
+
+func BenchmarkTableIParallel1(b *testing.B) { benchTableIWorkers(b, 1) }
+func BenchmarkTableIParallel2(b *testing.B) { benchTableIWorkers(b, 2) }
+func BenchmarkTableIParallel4(b *testing.B) { benchTableIWorkers(b, 4) }
+func BenchmarkTableIParallel8(b *testing.B) { benchTableIWorkers(b, 8) }
+
 // E3 — fuzzer throughput (the paper: 45,873 executions/second average on
 // an i5-7200U, with the template pre-compiled and the memory restored
 // between runs).

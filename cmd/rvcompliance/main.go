@@ -41,11 +41,14 @@ func main() {
 		exportDir = flag.String("export-sigs", "", "write the reference signatures for the suite into this directory and exit")
 		verifyDir = flag.String("verify-sigs", "", "compare simulators against reference signature files in this directory")
 		asJSON    = flag.Bool("json", false, "emit the report as JSON (for CI pipelines)")
+		workers   = flag.Int("workers", -1, "compliance engine workers: 1 = serial, N = fixed pool, -1 = one per CPU (report is identical for any value)")
+		stats     = flag.Bool("stats", false, "print engine throughput and per-worker execution counts to stderr")
+		progress  = flag.Bool("progress", false, "log per-shard completion to stderr while the engine runs")
 	)
 	flag.Parse()
 
 	if *positive || *tortureN > 0 {
-		runPositiveBaseline(*positive, *tortureN, *seed, *isasFlag, *refName, *simsFlag)
+		runPositiveBaseline(*positive, *tortureN, *seed, *isasFlag, *refName, *simsFlag, *workers)
 		return
 	}
 	if *rounds > 0 {
@@ -80,7 +83,17 @@ func main() {
 		fatalf("need -suite FILE or -generate N")
 	}
 
-	runner := &compliance.Runner{MaxExamples: 10}
+	runner := &compliance.Runner{MaxExamples: 10, Workers: *workers}
+	if *progress {
+		runner.Progress = func(ev compliance.ProgressEvent) {
+			name := ev.Sim
+			if name == "" {
+				name = "reference"
+			}
+			fmt.Fprintf(os.Stderr, "  [w%d] %v %-12s cases %d..%d (%d executed)\n",
+				ev.Worker, ev.Config, name, ev.Lo, ev.Hi, ev.Execs)
+		}
+	}
 	ref, ok := sim.ByName(*refName)
 	if !ok {
 		fatalf("unknown reference simulator %q", *refName)
@@ -127,6 +140,9 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "engine: %s\n", runner.Stats)
+	}
 	if *asJSON {
 		raw, err := rep.JSON()
 		if err != nil {
@@ -156,7 +172,7 @@ func main() {
 // runPositiveBaseline runs positive-testing suites (the official-style
 // directed suite or the torture-style random baseline) per configuration —
 // these are per-extension suites, so each configuration gets its own.
-func runPositiveBaseline(official bool, tortureN int, seed int64, isas, refName, sims string) {
+func runPositiveBaseline(official bool, tortureN int, seed int64, isas, refName, sims string, workers int) {
 	for _, name := range strings.Split(isas, ",") {
 		cfg, err := isa.ParseConfig(strings.TrimSpace(name))
 		if err != nil {
@@ -168,7 +184,7 @@ func runPositiveBaseline(official bool, tortureN int, seed int64, isas, refName,
 		} else {
 			suite = torture.Suite(seed, cfg, tortureN, 16)
 		}
-		runner := &compliance.Runner{Configs: []isa.Config{cfg}, MaxExamples: 10}
+		runner := &compliance.Runner{Configs: []isa.Config{cfg}, MaxExamples: 10, Workers: workers}
 		ref, ok := sim.ByName(refName)
 		if !ok {
 			fatalf("unknown reference %q", refName)

@@ -23,8 +23,9 @@ import (
 
 func main() {
 	var (
-		execs = flag.Uint64("execs", 300000, "fuzzer execution budget for the main suite")
-		seed  = flag.Int64("seed", 1, "campaign seed")
+		execs   = flag.Uint64("execs", 300000, "fuzzer execution budget for the main suite")
+		seed    = flag.Int64("seed", 1, "campaign seed")
+		workers = flag.Int("workers", -1, "compliance engine workers (-1 = one per CPU; the report is identical for any value)")
 	)
 	flag.Parse()
 
@@ -56,7 +57,9 @@ func main() {
 
 	fmt.Println("## Table I — signature mismatches against riscvOVPsim")
 	fmt.Println()
-	rep, err := rvnegtest.RunCompliance(suite, nil)
+	tableRunner := compliance.DefaultRunner()
+	tableRunner.Workers = *workers
+	rep, err := rvnegtest.RunCompliance(suite, tableRunner)
 	check(err)
 	fmt.Println("```")
 	fmt.Print(rep.Render())
@@ -74,6 +77,7 @@ func main() {
 	fmt.Println("## Throughput (paper: 45,873 execs/s average)")
 	fmt.Println()
 	fmt.Printf("Measured: %.0f executions/second (v3 configuration).\n\n", st.ExecsPerSec)
+	fmt.Printf("Compliance engine: %s.\n\n", tableRunner.Stats)
 
 	fmt.Println("## Suite composition")
 	fmt.Println()
@@ -95,6 +99,7 @@ func main() {
 	}
 	for _, c := range []isa.Config{isa.RV32I, isa.RV32IMC, isa.RV32GC} {
 		r := compliance.DefaultRunner()
+		r.Workers = *workers
 		r.Configs = []isa.Config{c}
 		tr, err := r.Run(torture.Suite(*seed, c, 400, 16))
 		check(err)

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"rvnegtest/internal/isa"
 	"rvnegtest/internal/sig"
@@ -80,9 +81,14 @@ func Classify(ref, got []uint32) Category {
 			hasCause = true
 		case d == 26:
 			hasX26 = true
-		case d < 30:
+		case d < 32:
+			// Words 0..29 are x0..x29 (x26 and the word-30 trap-cause
+			// slot handled above); word 31 is the register-file sentinel
+			// slot, also an integer-side diff. Only words >= 32 belong to
+			// the FP signature, so a {31, fp} diff set stays
+			// register-class instead of being misfiled as fp-value.
 			hasReg = true
-		case d >= 32:
+		default:
 			hasFP = true
 		}
 	}
@@ -105,10 +111,33 @@ type Cell struct {
 	Mismatches int
 	Crashes    int
 	Timeouts   int
+	// Skipped counts cases excluded from the comparison because the
+	// reference run itself crashed or timed out; it keeps the mismatch
+	// denominator honest (Cases - Skipped cases were actually compared).
+	Skipped int
 	// Categories histogram over mismatching cases.
 	Categories [catCount]int
 	// Examples lists up to a few mismatching case indexes for triage.
 	Examples []int
+}
+
+// merge folds a later shard's partial cell into c, preserving the serial
+// engine's semantics: counters add up and example indexes concatenate in
+// shard (= case) order up to the maxEx bound.
+func (c *Cell) merge(p *Cell, maxEx int) {
+	c.Mismatches += p.Mismatches
+	c.Crashes += p.Crashes
+	c.Timeouts += p.Timeouts
+	c.Skipped += p.Skipped
+	for k, n := range p.Categories {
+		c.Categories[k] += n
+	}
+	for _, idx := range p.Examples {
+		if len(c.Examples) >= maxEx {
+			break
+		}
+		c.Examples = append(c.Examples, idx)
+	}
 }
 
 // String renders the cell the way Table I does: "/" for unsupported
@@ -132,6 +161,9 @@ type Report struct {
 	// Cells[i][j] is configuration i on simulator j.
 	Cells [][]Cell
 	Cases int
+	// Skipped[i] counts the cases of configuration i whose reference run
+	// crashed or timed out, making them unusable for comparison.
+	Skipped []int
 }
 
 // Render prints the report in the layout of Table I.
@@ -149,6 +181,12 @@ func (r *Report) Render() string {
 			fmt.Fprintf(&b, " %12s", r.Cells[i][j])
 		}
 		b.WriteByte('\n')
+	}
+	for i, cfg := range r.Configs {
+		if i < len(r.Skipped) && r.Skipped[i] > 0 {
+			fmt.Fprintf(&b, "%v: %d of %d cases skipped (reference run crashed or timed out)\n",
+				cfg, r.Skipped[i], r.Cases)
+		}
 	}
 	return b.String()
 }
@@ -168,6 +206,17 @@ type Runner struct {
 	DontCare *sig.DontCare
 	// MaxExamples bounds the per-cell example list.
 	MaxExamples int
+	// Workers selects the execution engine: 0 or 1 runs the serial
+	// engine, N > 1 shards the suite across N concurrent workers, and a
+	// negative value uses GOMAXPROCS. The report is bit-identical for
+	// every worker count (see parallel.go for the determinism argument).
+	Workers int
+	// Progress, when non-nil, is called after each completed shard of
+	// work (serialized; never concurrently).
+	Progress func(ProgressEvent)
+	// Stats describes the most recent Run (workers, executions,
+	// throughput). It is overwritten by each Run call.
+	Stats RunStats
 }
 
 // DefaultRunner reproduces the paper's Table I setup.
@@ -180,16 +229,105 @@ func DefaultRunner() *Runner {
 	}
 }
 
-// Run executes the whole suite on every (configuration, simulator) pair.
+// Run executes the whole suite on every (configuration, simulator) pair,
+// dispatching to the serial or the sharded parallel engine according to
+// Workers. Both engines produce bit-identical reports.
 func (r *Runner) Run(suite *Suite) (*Report, error) {
+	workers := r.workerCount()
+	// More workers than cases only buys idle shards at the price of one
+	// simulator-fleet clone each; extra workers would change nothing in
+	// the output (empty shards merge as empty cells).
+	if workers > len(suite.Cases) {
+		workers = len(suite.Cases)
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	start := time.Now()
+	r.Stats = RunStats{Workers: workers, PerWorker: make([]WorkerStats, workers)}
+	var rep *Report
+	var err error
+	if workers <= 1 {
+		rep, err = r.runSerial(suite)
+	} else {
+		rep, err = r.runParallel(suite, workers)
+	}
+	if err != nil {
+		return nil, err
+	}
+	r.Stats.Duration = time.Since(start)
+	if s := r.Stats.Duration.Seconds(); s > 0 {
+		r.Stats.CasesPerSec = float64(r.Stats.Execs) / s
+	}
+	return rep, nil
+}
+
+// maxExamples resolves the example-list bound.
+func (r *Runner) maxExamples() int {
+	if r.MaxExamples > 0 {
+		return r.MaxExamples
+	}
+	return 10
+}
+
+// newReport builds the report skeleton shared by both engines.
+func (r *Runner) newReport(suite *Suite) *Report {
 	rep := &Report{RefName: r.Ref.Name, Configs: r.Configs, Cases: len(suite.Cases)}
 	for _, v := range r.SUTs {
 		rep.Sims = append(rep.Sims, v.Name)
 	}
-	maxEx := r.MaxExamples
-	if maxEx <= 0 {
-		maxEx = 10
+	return rep
+}
+
+// runCase executes one suite case on one simulator under test and folds
+// the outcome into the cell. It reports whether the SUT actually ran:
+// cases whose reference run failed are recorded as skipped and never
+// execute.
+func runCase(cell *Cell, ref sim.Outcome, sut *sim.Simulator, bs []byte, i, maxEx int, dc *sig.DontCare) bool {
+	if ref.Crashed || ref.TimedOut {
+		// A reference failure makes the case unusable for signature
+		// comparison; record it so the mismatch denominator stays honest.
+		cell.Skipped++
+		return false
 	}
+	out := sut.Run(bs)
+	var cat Category
+	switch {
+	case out.Crashed:
+		cell.Crashes++
+		cat = CatCrash
+	case out.TimedOut:
+		cell.Timeouts++
+		cat = CatTimeout
+	default:
+		if len(sig.Compare(sig.Signature(ref.Signature), sig.Signature(out.Signature), dc)) == 0 {
+			return true
+		}
+		cat = Classify(ref.Signature, out.Signature)
+	}
+	cell.Mismatches++
+	cell.Categories[cat]++
+	if len(cell.Examples) < maxEx {
+		cell.Examples = append(cell.Examples, i)
+	}
+	return true
+}
+
+// countSkipped tallies the reference failures of one configuration.
+func countSkipped(refOuts []sim.Outcome) int {
+	n := 0
+	for _, o := range refOuts {
+		if o.Crashed || o.TimedOut {
+			n++
+		}
+	}
+	return n
+}
+
+// runSerial is the single-goroutine engine (Workers <= 1).
+func (r *Runner) runSerial(suite *Suite) (*Report, error) {
+	rep := r.newReport(suite)
+	maxEx := r.maxExamples()
 	for _, cfg := range r.Configs {
 		p := template.Platform{Layout: template.DefaultLayout, Cfg: cfg}
 		refSim, err := sim.New(r.Ref, p)
@@ -203,6 +341,8 @@ func (r *Runner) Run(suite *Suite) (*Report, error) {
 		for i, bs := range suite.Cases {
 			refOuts[i] = refSim.Run(bs)
 		}
+		r.addExecs(0, len(suite.Cases))
+		r.emitProgress(ProgressEvent{Config: cfg, Worker: 0, Hi: len(suite.Cases), Execs: len(suite.Cases)})
 
 		row := make([]Cell, len(r.SUTs))
 		for j, v := range r.SUTs {
@@ -215,37 +355,17 @@ func (r *Runner) Run(suite *Suite) (*Report, error) {
 			if err != nil {
 				return nil, fmt.Errorf("compliance: %s on %v: %w", v.Name, cfg, err)
 			}
+			execs := 0
 			for i, bs := range suite.Cases {
-				ref := refOuts[i]
-				if ref.Crashed || ref.TimedOut {
-					// A reference failure makes the case unusable for
-					// signature comparison; skip it (none occur with the
-					// modelled reference defects).
-					continue
-				}
-				out := sut.Run(bs)
-				var cat Category
-				switch {
-				case out.Crashed:
-					cell.Crashes++
-					cat = CatCrash
-				case out.TimedOut:
-					cell.Timeouts++
-					cat = CatTimeout
-				default:
-					if len(sig.Compare(sig.Signature(ref.Signature), sig.Signature(out.Signature), r.DontCare)) == 0 {
-						continue
-					}
-					cat = Classify(ref.Signature, out.Signature)
-				}
-				cell.Mismatches++
-				cell.Categories[cat]++
-				if len(cell.Examples) < maxEx {
-					cell.Examples = append(cell.Examples, i)
+				if runCase(cell, refOuts[i], sut, bs, i, maxEx, r.DontCare) {
+					execs++
 				}
 			}
+			r.addExecs(0, execs)
+			r.emitProgress(ProgressEvent{Config: cfg, Sim: v.Name, Worker: 0, Hi: len(suite.Cases), Execs: execs})
 		}
 		rep.Cells = append(rep.Cells, row)
+		rep.Skipped = append(rep.Skipped, countSkipped(refOuts))
 	}
 	return rep, nil
 }

@@ -44,6 +44,24 @@ func handSuite() *Suite {
 	}
 }
 
+// skippingSuite mixes clean cases with ones that crash or hang the
+// sail-riscv model — used with Sail as the *reference* to exercise the
+// skip-accounting path.
+func skippingSuite() *Suite {
+	return &Suite{
+		Origin: "reference-failure triggers",
+		Cases: [][]byte{
+			stream(enc(isa.Inst{Op: isa.OpADD, Rd: 5, Rs1: 1, Rs2: 2})), // clean
+			stream(0x0000505b), // sail 32-bit crash pattern
+			stream(enc(isa.Inst{Op: isa.OpADD, Rd: 6, Rs1: 2, Rs2: 3})), // clean
+			stream(0x00002063 | isa.PutImmB(-4)&^(7<<12)),               // sail non-termination
+			stream(0xffffffff), // clean illegal
+			stream(0x0000505b), // second crash
+			stream(enc(isa.Inst{Op: isa.OpADD, Rd: 7, Rs1: 3, Rs2: 4})), // clean
+		},
+	}
+}
+
 func TestTableIShape(t *testing.T) {
 	rep, err := DefaultRunner().Run(handSuite())
 	if err != nil {
@@ -162,6 +180,79 @@ func TestClassify(t *testing.T) {
 	}
 	if c := Classify(ref, ref[:10]); c != CatMissing {
 		t.Errorf("missing: %v", c)
+	}
+
+	// Regression: word 31 (the sentinel slot on the integer side of the
+	// signature) is a register-class diff. It used to set no flag at all,
+	// so an x31-only diff classified correctly only by fall-through and a
+	// {31, fp} diff was misfiled as fp-value.
+	got = make([]uint32, 96)
+	got[31] = 5
+	if c := Classify(ref, got); c != CatRegisterValue {
+		t.Errorf("word-31-only diff: %v, want register-value", c)
+	}
+	got = make([]uint32, 96)
+	got[31] = 5
+	got[33] = 7
+	if c := Classify(ref, got); c != CatRegisterValue {
+		t.Errorf("word 31 + fp diff: %v, want register-value", c)
+	}
+	// x26 and the trap-cause word keep their priority over word 31.
+	got = make([]uint32, 96)
+	got[31] = 5
+	got[30] = 2
+	if c := Classify(ref, got); c != CatTrapCause {
+		t.Errorf("word 31 + cause diff: %v, want trap-cause", c)
+	}
+}
+
+// TestSkippedAccounting: cases whose reference run crashes or times out
+// are excluded from the comparison but must be *counted* — on the cells,
+// on the per-config report totals, and in the render — instead of being
+// silently absorbed into an unchanged Cases denominator.
+func TestSkippedAccounting(t *testing.T) {
+	suite := skippingSuite()
+	r := &Runner{Ref: sim.Sail, SUTs: []*sim.Variant{sim.Reference}, Configs: []isa.Config{isa.RV32I}}
+	rep, err := r.Run(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two crash cases + one non-terminating case fail on the sail
+	// reference.
+	if len(rep.Skipped) != 1 || rep.Skipped[0] != 3 {
+		t.Fatalf("report skipped = %v, want [3]", rep.Skipped)
+	}
+	cell := rep.Cells[0][0]
+	if cell.Skipped != 3 {
+		t.Errorf("cell skipped = %d, want 3", cell.Skipped)
+	}
+	if rep.Cases != len(suite.Cases) {
+		t.Errorf("cases = %d", rep.Cases)
+	}
+	text := rep.Render()
+	if !strings.Contains(text, "3 of 7 cases skipped") {
+		t.Errorf("render does not surface skips:\n%s", text)
+	}
+	raw, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"skipped": 3`) {
+		t.Errorf("JSON does not surface skips:\n%s", raw)
+	}
+
+	// A run without reference failures renders no skip line.
+	clean, err := DefaultRunner().Run(handSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(clean.Render(), "skipped") {
+		t.Errorf("clean run mentions skips:\n%s", clean.Render())
+	}
+	for _, n := range clean.Skipped {
+		if n != 0 {
+			t.Errorf("clean run skipped = %v", clean.Skipped)
+		}
 	}
 }
 

@@ -9,13 +9,15 @@ type jsonCell struct {
 	Mismatches int            `json:"mismatches"`
 	Crashes    int            `json:"crashes,omitempty"`
 	Timeouts   int            `json:"timeouts,omitempty"`
+	Skipped    int            `json:"skipped,omitempty"`
 	Categories map[string]int `json:"categories,omitempty"`
 	Examples   []int          `json:"examples,omitempty"`
 }
 
 type jsonRow struct {
-	ISA   string     `json:"isa"`
-	Cells []jsonCell `json:"cells"`
+	ISA     string     `json:"isa"`
+	Skipped int        `json:"skipped,omitempty"`
+	Cells   []jsonCell `json:"cells"`
 }
 
 type jsonReport struct {
@@ -29,6 +31,9 @@ func (r *Report) JSON() ([]byte, error) {
 	out := jsonReport{Reference: r.RefName, Cases: r.Cases}
 	for i, cfg := range r.Configs {
 		row := jsonRow{ISA: cfg.String()}
+		if i < len(r.Skipped) {
+			row.Skipped = r.Skipped[i]
+		}
 		for j, name := range r.Sims {
 			c := r.Cells[i][j]
 			jc := jsonCell{
@@ -37,6 +42,7 @@ func (r *Report) JSON() ([]byte, error) {
 				Mismatches: c.Mismatches,
 				Crashes:    c.Crashes,
 				Timeouts:   c.Timeouts,
+				Skipped:    c.Skipped,
 				Examples:   c.Examples,
 			}
 			for k, n := range c.Categories {

@@ -1,0 +1,229 @@
+// The sharded parallel compliance engine.
+//
+// Phase B is embarrassingly parallel: every test-case execution owns a
+// pre-loaded simulator image, so case i on clone A never observes case j
+// on clone B. The engine shards suite.Cases into one contiguous
+// index range per worker and gives every worker a private clone of the
+// reference and of each supported SUT for the configuration (the paper's
+// "pre-loaded template" setup, cloned per worker instead of re-assembled).
+//
+// Determinism argument (the report is bit-identical for every worker
+// count): each worker computes its shard's reference outcomes and then
+// its shard's per-SUT partial Cells; a shard's comparison reads only the
+// reference outcomes the same worker just produced, so there is no
+// cross-shard data flow at all. The partial cells are merged in shard
+// order — and shards are contiguous ascending case ranges, so counter
+// sums and example-index concatenation reproduce exactly the serial
+// engine's case-order traversal. Reference runs overlap SUT runs across
+// workers (worker 0 can be comparing while worker 1 still generates
+// references), which is safe for the same reason.
+package compliance
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"rvnegtest/internal/isa"
+	"rvnegtest/internal/sim"
+	"rvnegtest/internal/template"
+)
+
+// WorkerStats is one worker's share of a Run.
+type WorkerStats struct {
+	// Execs counts the simulator executions (reference + SUT runs) the
+	// worker performed. Skipped cases do not execute.
+	Execs int
+}
+
+// RunStats summarizes the execution engine's work for one Runner.Run.
+type RunStats struct {
+	Workers     int
+	Execs       int // total simulator executions across all workers
+	Duration    time.Duration
+	CasesPerSec float64 // case executions per wall-clock second
+	PerWorker   []WorkerStats
+}
+
+// String renders a one-line throughput summary plus the per-worker
+// execution counts.
+func (s RunStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d workers, %d executions in %v (%.0f cases/s)",
+		s.Workers, s.Execs, s.Duration.Round(time.Millisecond), s.CasesPerSec)
+	if len(s.PerWorker) > 1 {
+		b.WriteString("; per-worker execs:")
+		for _, w := range s.PerWorker {
+			fmt.Fprintf(&b, " %d", w.Execs)
+		}
+	}
+	return b.String()
+}
+
+// ProgressEvent reports one completed shard of work: the reference pass
+// (Sim == "") or one SUT pass over the worker's case range [Lo, Hi).
+type ProgressEvent struct {
+	Config isa.Config
+	Sim    string
+	Worker int
+	Lo, Hi int
+	// Execs is the number of cases actually executed in the shard
+	// (excludes skipped cases).
+	Execs int
+}
+
+// workerCount resolves the Workers knob: <=1 serial, N parallel,
+// negative = one worker per available CPU.
+func (r *Runner) workerCount() int {
+	if r.Workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if r.Workers == 0 {
+		return 1
+	}
+	return r.Workers
+}
+
+// addExecs accumulates execution counts into the per-worker stats.
+func (r *Runner) addExecs(worker, n int) {
+	r.Stats.PerWorker[worker].Execs += n
+	r.Stats.Execs += n
+}
+
+// emitProgress invokes the Progress hook if set (single-goroutine path).
+func (r *Runner) emitProgress(ev ProgressEvent) {
+	if r.Progress != nil {
+		r.Progress(ev)
+	}
+}
+
+// shard is a contiguous [Lo, Hi) range of case indexes.
+type shard struct{ lo, hi int }
+
+// shardRanges splits n cases into `workers` near-equal contiguous ranges
+// (the first n%workers shards are one case longer). Empty shards are
+// produced when workers > n, keeping worker indexes stable.
+func shardRanges(n, workers int) []shard {
+	out := make([]shard, workers)
+	base, rem := n/workers, n%workers
+	lo := 0
+	for w := range out {
+		size := base
+		if w < rem {
+			size++
+		}
+		out[w] = shard{lo, lo + size}
+		lo += size
+	}
+	return out
+}
+
+// cloneFleet builds one simulator per worker: the base instance plus
+// worker-private clones of its pre-loaded image.
+func cloneFleet(base *sim.Simulator, workers int) []*sim.Simulator {
+	fleet := make([]*sim.Simulator, workers)
+	fleet[0] = base
+	for w := 1; w < workers; w++ {
+		fleet[w] = base.Clone()
+	}
+	return fleet
+}
+
+// runParallel is the sharded engine (Workers > 1).
+func (r *Runner) runParallel(suite *Suite, workers int) (*Report, error) {
+	rep := r.newReport(suite)
+	maxEx := r.maxExamples()
+	shards := shardRanges(len(suite.Cases), workers)
+
+	// The Progress hook is documented as never being called
+	// concurrently; serialize emissions from the worker goroutines.
+	var progressMu sync.Mutex
+	emit := func(ev ProgressEvent) {
+		if r.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		r.Progress(ev)
+	}
+
+	for _, cfg := range r.Configs {
+		p := template.Platform{Layout: template.DefaultLayout, Cfg: cfg}
+		refBase, err := sim.New(r.Ref, p)
+		if err != nil {
+			return nil, fmt.Errorf("compliance: reference %s on %v: %w", r.Ref.Name, cfg, err)
+		}
+		refFleet := cloneFleet(refBase, workers)
+		// suts[j] is nil for unsupported simulators, else one clone per
+		// worker.
+		suts := make([][]*sim.Simulator, len(r.SUTs))
+		for j, v := range r.SUTs {
+			if !v.Supports(cfg) {
+				continue
+			}
+			base, err := sim.New(v, p)
+			if err != nil {
+				return nil, fmt.Errorf("compliance: %s on %v: %w", v.Name, cfg, err)
+			}
+			suts[j] = cloneFleet(base, workers)
+		}
+
+		refOuts := make([]sim.Outcome, len(suite.Cases))
+		partials := make([][]Cell, workers) // partials[w][j]
+		execs := make([]int, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				sh := shards[w]
+				// Reference pass for this shard. Other workers may
+				// already be in their SUT passes — safe, because a
+				// shard's comparisons read only its own refOuts range.
+				for i := sh.lo; i < sh.hi; i++ {
+					refOuts[i] = refFleet[w].Run(suite.Cases[i])
+				}
+				execs[w] += sh.hi - sh.lo
+				emit(ProgressEvent{Config: cfg, Worker: w, Lo: sh.lo, Hi: sh.hi, Execs: sh.hi - sh.lo})
+
+				cells := make([]Cell, len(r.SUTs))
+				for j := range r.SUTs {
+					if suts[j] == nil {
+						continue
+					}
+					cells[j].Supported = true
+					n := 0
+					for i := sh.lo; i < sh.hi; i++ {
+						if runCase(&cells[j], refOuts[i], suts[j][w], suite.Cases[i], i, maxEx, r.DontCare) {
+							n++
+						}
+					}
+					execs[w] += n
+					emit(ProgressEvent{Config: cfg, Sim: r.SUTs[j].Name, Worker: w, Lo: sh.lo, Hi: sh.hi, Execs: n})
+				}
+				partials[w] = cells
+			}(w)
+		}
+		wg.Wait()
+
+		// Deterministic merge: shard order equals ascending case order.
+		row := make([]Cell, len(r.SUTs))
+		for j := range r.SUTs {
+			if suts[j] == nil {
+				continue
+			}
+			row[j].Supported = true
+			for w := 0; w < workers; w++ {
+				row[j].merge(&partials[w][j], maxEx)
+			}
+		}
+		rep.Cells = append(rep.Cells, row)
+		rep.Skipped = append(rep.Skipped, countSkipped(refOuts))
+		for w, n := range execs {
+			r.addExecs(w, n)
+		}
+	}
+	return rep, nil
+}

@@ -274,3 +274,65 @@ func TestHashStability(t *testing.T) {
 }
 
 var _ exec.Hook = (*Collector)(nil)
+
+// TestRunFootprintMatchesMergeNew: replaying footprints through
+// MergeFootprint in run order must reproduce MergeNew's greedy decisions
+// and final bitmap exactly.
+func TestRunFootprintMatchesMergeNew(t *testing.T) {
+	runs := [][]uint32{
+		{1, 1, 2},       // novel: points 1 (x2), 2
+		{1, 1, 2},       // identical: nothing new
+		{1, 2, 2, 2, 3}, // new point 3, new bucket for 2
+		{},              // empty run
+		{3, 3, 3, 3},    // new bucket for 3
+	}
+	serial := NewMap(8)
+	replay := NewMap(8)
+	var footprints [][]RunPoint
+	for _, run := range runs {
+		scratch := NewMap(8) // per-"worker" map, as in the parallel replay
+		for _, id := range run {
+			scratch.Hit(id)
+		}
+		footprints = append(footprints, scratch.RunFootprint())
+		scratch.DiscardRun()
+
+		for _, id := range run {
+			serial.Hit(id)
+		}
+		want := serial.MergeNew()
+		got := replay.MergeFootprint(footprints[len(footprints)-1])
+		if got != want {
+			t.Errorf("run %v: MergeFootprint=%v MergeNew=%v", run, got, want)
+		}
+	}
+	if serial.BucketBits() != replay.BucketBits() {
+		t.Errorf("bucket bits: serial %d, replay %d", serial.BucketBits(), replay.BucketBits())
+	}
+	if got, want := serial.PointsCovered(), replay.PointsCovered(); got != want {
+		t.Errorf("points covered: serial %d, replay %d", want, got)
+	}
+}
+
+// TestRunFootprintLeavesRunPending: taking a footprint must not consume
+// the run — MergeNew afterwards still works.
+func TestRunFootprintLeavesRunPending(t *testing.T) {
+	m := NewMap(4)
+	m.Hit(1)
+	m.Hit(1)
+	fp := m.RunFootprint()
+	if len(fp) != 1 || fp[0].ID != 1 || fp[0].Bucket == 0 {
+		t.Fatalf("footprint: %+v", fp)
+	}
+	if !m.MergeNew() {
+		t.Error("MergeNew after RunFootprint must still merge the run")
+	}
+	if m.RunFootprint() != nil {
+		t.Error("footprint of an empty pending run must be nil")
+	}
+	// Out-of-range IDs in a foreign footprint are ignored.
+	small := NewMap(2)
+	if small.MergeFootprint([]RunPoint{{ID: 99, Bucket: 1}}) {
+		t.Error("out-of-range footprint point must not merge")
+	}
+}

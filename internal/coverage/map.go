@@ -81,6 +81,50 @@ func (m *Map) MergeNew() bool {
 	return novel
 }
 
+// RunPoint is one coverage point the current run touched, paired with the
+// bucket bit its hit count maps to.
+type RunPoint struct {
+	ID     uint32
+	Bucket uint8
+}
+
+// RunFootprint captures the current run's coverage as sparse
+// (point, bucket-bit) pairs without folding it into the persistent map.
+// A footprint depends only on the run itself, so runs replayed
+// concurrently on independent maps yield identical footprints; feeding
+// them to MergeFootprint in case order reproduces MergeNew's greedy
+// semantics exactly. The run stays pending: follow with MergeNew or
+// DiscardRun.
+func (m *Map) RunFootprint() []RunPoint {
+	if len(m.touched) == 0 {
+		return nil
+	}
+	fp := make([]RunPoint, 0, len(m.touched))
+	for _, id := range m.touched {
+		fp = append(fp, RunPoint{ID: id, Bucket: bucketBit(m.counts[id])})
+	}
+	return fp
+}
+
+// MergeFootprint folds a footprint (from RunFootprint, possibly taken on
+// a different map of the same size) into the persistent bitmap,
+// reporting whether any new bucket bit appeared — the replayed
+// counterpart of MergeNew.
+func (m *Map) MergeFootprint(fp []RunPoint) bool {
+	novel := false
+	for _, p := range fp {
+		if int(p.ID) >= len(m.global) {
+			continue
+		}
+		if m.global[p.ID]&p.Bucket == 0 {
+			m.global[p.ID] |= p.Bucket
+			m.bits++
+			novel = true
+		}
+	}
+	return novel
+}
+
 // DiscardRun drops the current run's counts without merging.
 func (m *Map) DiscardRun() {
 	for _, id := range m.touched {

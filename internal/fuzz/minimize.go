@@ -1,6 +1,8 @@
 package fuzz
 
 import (
+	"sync"
+
 	"rvnegtest/internal/coverage"
 	"rvnegtest/internal/sim"
 	"rvnegtest/internal/template"
@@ -32,6 +34,70 @@ func Minimize(cases [][]byte, cfg Config) ([][]byte, error) {
 		}
 		if col.Map.MergeNew() {
 			kept = append(kept, bs)
+		}
+	}
+	return kept, nil
+}
+
+// MinimizeParallel is Minimize with the replay phase sharded across
+// `workers` goroutines, each owning a cloned pre-loaded simulator and a
+// private collector. Each case's coverage footprint depends only on the
+// case itself, so the footprints are computed concurrently and then
+// greedily merged in case order — reproducing Minimize's sequential
+// semantics bit-for-bit (same kept subset, same order) at any worker
+// count.
+func MinimizeParallel(cases [][]byte, cfg Config, workers int) ([][]byte, error) {
+	if workers <= 1 || len(cases) < 2 {
+		return Minimize(cases, cfg)
+	}
+	if workers > len(cases) {
+		workers = len(cases)
+	}
+	if cfg.ISA.Ext == 0 {
+		cfg.ISA = DefaultConfig().ISA
+	}
+	base, err := sim.New(sim.Reference, template.Platform{
+		Layout: template.DefaultLayout,
+		Cfg:    cfg.ISA,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// footprints[i] is case i's coverage; nil for crashed/timed-out or
+	// zero-coverage cases (equivalent under the greedy merge: neither can
+	// contribute a new bit).
+	footprints := make([][]coverage.RunPoint, len(cases))
+	// All clones must exist before any worker starts: cloning copies the
+	// base image's memory, which a running worker mutates.
+	targets := make([]*sim.Simulator, workers)
+	targets[0] = base
+	for w := 1; w < workers; w++ {
+		targets[w] = base.Clone()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int, target *sim.Simulator) {
+			defer wg.Done()
+			col := coverage.NewCollector(cfg.Coverage)
+			for i := w; i < len(cases); i += workers {
+				out := target.RunHooked(cases[i], col)
+				if out.Crashed || out.TimedOut {
+					col.Map.DiscardRun()
+					continue
+				}
+				footprints[i] = col.Map.RunFootprint()
+				col.Map.DiscardRun()
+			}
+		}(w, targets[w])
+	}
+	wg.Wait()
+
+	global := coverage.NewCollector(cfg.Coverage).Map
+	var kept [][]byte
+	for i, fp := range footprints {
+		if global.MergeFootprint(fp) {
+			kept = append(kept, cases[i])
 		}
 	}
 	return kept, nil

@@ -112,3 +112,67 @@ func TestParallelCampaign(t *testing.T) {
 		t.Errorf("4 workers reached %d bits < 1 worker's %d", mBits, sBits)
 	}
 }
+
+// TestMinimizeParallelBitIdentical: the sharded replay must keep exactly
+// the same subset in the same order as the serial Minimize, for any
+// worker count.
+func TestMinimizeParallelBitIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Run(30000, 0)
+	// Duplicate the corpus so minimization has real work to do.
+	cases := append(append([][]byte{}, f.Corpus()...), f.Corpus()...)
+	want, err := Minimize(cases, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 || len(want) >= len(cases) {
+		t.Fatalf("degenerate minimization: %d -> %d", len(cases), len(want))
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, err := MinimizeParallel(cases, cfg, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: kept %d cases, serial kept %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if string(got[i]) != string(want[i]) {
+				t.Errorf("workers=%d: case %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestParallelCampaignDeterministic: for each worker count, two runs with
+// the same (seed, workers, budget) triple produce byte-identical corpora.
+func TestParallelCampaignDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 3
+	for _, workers := range []int{1, 2, 8} {
+		a, _, err := ParallelCampaign(cfg, workers, 6000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := ParallelCampaign(cfg, workers, 6000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) == 0 {
+			t.Fatalf("workers=%d: empty corpus", workers)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("workers=%d: %d vs %d cases across runs", workers, len(a), len(b))
+		}
+		for i := range a {
+			if string(a[i]) != string(b[i]) {
+				t.Errorf("workers=%d: case %d differs across runs", workers, i)
+			}
+		}
+	}
+}

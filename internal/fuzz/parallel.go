@@ -7,7 +7,9 @@ import "sync"
 // worker order, so the overall result is deterministic for a given
 // (seed, workers, budget) triple. The merged corpus is minimized against
 // the configuration's coverage so redundant cases from different workers
-// collapse.
+// collapse; the minimization replay is sharded across the same worker
+// count (MinimizeParallel), keeping the post-merge step off the critical
+// path instead of re-executing the whole merged corpus serially.
 func ParallelCampaign(cfg Config, workers int, execsEach uint64) ([][]byte, []Stats, error) {
 	if workers < 1 {
 		workers = 1
@@ -45,7 +47,7 @@ func ParallelCampaign(cfg Config, workers int, execsEach uint64) ([][]byte, []St
 		merged = append(merged, r.corpus...)
 		stats = append(stats, r.stats)
 	}
-	minimized, err := Minimize(merged, cfg)
+	minimized, err := MinimizeParallel(merged, cfg, workers)
 	if err != nil {
 		return nil, nil, err
 	}

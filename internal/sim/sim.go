@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"rvnegtest/internal/exec"
@@ -177,6 +178,33 @@ func New(v *Variant, p template.Platform) (*Simulator, error) {
 	}, nil
 }
 
+// Clone returns an independent simulator for the same variant and
+// platform: it shares nothing mutable with the original (own pre-loaded
+// image, own decoder), so clones can run test cases concurrently — one
+// clone per worker in the parallel compliance engine. Cloning copies the
+// preloaded memory image instead of re-assembling the template.
+func (s *Simulator) Clone() *Simulator {
+	return &Simulator{
+		Variant:  s.Variant,
+		Platform: s.Platform,
+		Limit:    s.Limit,
+		img:      s.img.Clone(),
+		dec:      &isa.Decoder{Quirks: s.Variant.DecQuirks},
+		eff:      s.eff,
+	}
+}
+
+// classifyRunError maps an executor Run error to an outcome class:
+// instruction-limit exhaustion means the test case did not terminate
+// (TimedOut); any other executor error is a crash whose message must be
+// preserved for triage.
+func classifyRunError(err error) (timedOut bool, crashMsg string) {
+	if errors.Is(err, exec.ErrTimeout) {
+		return true, ""
+	}
+	return false, err.Error()
+}
+
 // Run executes one bytestream test case and extracts its signature.
 // Decoder crashes (the modelled sail-riscv defect) are captured as a
 // crashed outcome rather than propagating the panic.
@@ -197,7 +225,8 @@ func (s *Simulator) RunHooked(bs []byte, hook exec.Hook) (out Outcome) {
 	err := e.Run(s.Limit)
 	out.Insts = e.InstCount
 	if err != nil {
-		out.TimedOut = true
+		out.TimedOut, out.CrashMsg = classifyRunError(err)
+		out.Crashed = !out.TimedOut
 		return out
 	}
 	signature, err := s.img.Signature()

@@ -1,8 +1,12 @@
 package sim
 
 import (
+	"errors"
+	"fmt"
+	"sync"
 	"testing"
 
+	"rvnegtest/internal/exec"
 	"rvnegtest/internal/isa"
 	"rvnegtest/internal/template"
 )
@@ -275,5 +279,107 @@ func TestVariantsAgreeOnCleanPrograms(t *testing.T) {
 				expectMatch(t, v, cfg, bs)
 			}
 		}
+	}
+}
+
+// TestClone: a clone runs independently of the original — identical
+// results, no shared mutable state, usable concurrently.
+func TestClone(t *testing.T) {
+	orig := newSim(t, Reference, isa.RV32IMC)
+	clone := orig.Clone()
+	if clone.Variant != orig.Variant || clone.Platform != orig.Platform || clone.Limit != orig.Limit {
+		t.Fatalf("clone metadata differs: %+v vs %+v", clone, orig)
+	}
+	cases := [][]byte{
+		stream(enc(isa.Inst{Op: isa.OpADD, Rd: 5, Rs1: 1, Rs2: 2})),
+		stream(0xffffffff),
+		stream(0x00000073),
+	}
+	// Interleave runs on original and clone; outcomes must match a fresh
+	// simulator's on every case (no cross-contamination of the images).
+	fresh := newSim(t, Reference, isa.RV32IMC)
+	for _, bs := range cases {
+		want := fresh.Run(bs)
+		a, b := orig.Run(bs), clone.Run(bs)
+		for name, got := range map[string]Outcome{"orig": a, "clone": b} {
+			if got.Crashed != want.Crashed || got.TimedOut != want.TimedOut ||
+				len(got.Signature) != len(want.Signature) {
+				t.Fatalf("%s outcome differs: %+v vs %+v", name, got, want)
+			}
+			for i := range want.Signature {
+				if got.Signature[i] != want.Signature[i] {
+					t.Fatalf("%s signature word %d differs", name, i)
+				}
+			}
+		}
+	}
+}
+
+// TestCloneConcurrent drives many clones of one simulator from separate
+// goroutines (run with -race to validate the parallel-engine invariant
+// that clones share no mutable state).
+func TestCloneConcurrent(t *testing.T) {
+	base := newSim(t, Grift, isa.RV32IMC)
+	cases := [][]byte{
+		stream(enc(isa.Inst{Op: isa.OpADD, Rd: 5, Rs1: 1, Rs2: 2})),
+		stream(enc(isa.Inst{Op: isa.OpJAL, Rd: 1, Imm: 6})),
+		stream(0xffffffff),
+		{0x02, 0x40, 0, 0},
+	}
+	want := make([]Outcome, len(cases))
+	for i, bs := range cases {
+		want[i] = newSim(t, Grift, isa.RV32IMC).Run(bs)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		clone := base.Clone()
+		wg.Add(1)
+		go func(s *Simulator) {
+			defer wg.Done()
+			for round := 0; round < 4; round++ {
+				for i, bs := range cases {
+					got := s.Run(bs)
+					if got.Crashed != want[i].Crashed || got.TimedOut != want[i].TimedOut {
+						t.Errorf("case %d: %+v vs %+v", i, got, want[i])
+						return
+					}
+					for k := range want[i].Signature {
+						if got.Signature[k] != want[i].Signature[k] {
+							t.Errorf("case %d word %d differs", i, k)
+							return
+						}
+					}
+				}
+			}
+		}(clone)
+	}
+	wg.Wait()
+}
+
+// TestRunErrorClassification: instruction-limit exhaustion is a timeout;
+// any other executor error is a crash with its message preserved.
+func TestRunErrorClassification(t *testing.T) {
+	if timedOut, msg := classifyRunError(exec.ErrTimeout); !timedOut || msg != "" {
+		t.Errorf("ErrTimeout: timedOut=%v msg=%q", timedOut, msg)
+	}
+	wrapped := fmt.Errorf("run aborted: %w", exec.ErrTimeout)
+	if timedOut, _ := classifyRunError(wrapped); !timedOut {
+		t.Error("wrapped ErrTimeout must classify as timeout")
+	}
+	other := errors.New("bus error at 0xdead")
+	if timedOut, msg := classifyRunError(other); timedOut || msg != "bus error at 0xdead" {
+		t.Errorf("generic error: timedOut=%v msg=%q", timedOut, msg)
+	}
+
+	// End to end: a never-terminating body exhausts the limit and must
+	// surface as TimedOut, not Crashed.
+	s := newSim(t, Reference, isa.RV32I)
+	loop := stream(enc(isa.Inst{Op: isa.OpJAL, Rd: 0, Imm: 0})) // jal x0, 0 — tight self-loop
+	out := s.Run(loop)
+	if !out.TimedOut || out.Crashed {
+		t.Errorf("self-loop outcome: %+v", out)
+	}
+	if out.Insts < s.Limit {
+		t.Errorf("timed out after %d instructions (limit %d)", out.Insts, s.Limit)
 	}
 }
