@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"rvnegtest"
+	"rvnegtest/internal/analysis"
 	"rvnegtest/internal/compliance"
 	"rvnegtest/internal/fuzz"
 	"rvnegtest/internal/template"
@@ -37,6 +38,7 @@ func main() {
 		minimize  = flag.Bool("minimize", false, "minimize the suite to coverage-unique cases before saving")
 		seedSuite = flag.String("seed-suite", "", "seed the campaign with a previously generated suite")
 		stats     = flag.Bool("stats", false, "print the generated suite's composition statistics")
+		fltStats  = flag.Bool("filter-stats", false, "print the static filter's drop-reason histogram and acceptance rate")
 	)
 	flag.Parse()
 	if *execs == 0 && *seconds == 0 {
@@ -81,8 +83,10 @@ func main() {
 			fatalf("%v", err)
 		}
 		var totalExecs uint64
+		var merged analysis.Stats
 		for _, s := range stats {
 			totalExecs += s.Execs
+			merged.Merge(s.Filter)
 		}
 		suite = &rvnegtest.Suite{
 			Cases:  cases,
@@ -91,6 +95,9 @@ func main() {
 		fmt.Printf("configuration %s on %v (seed %d, %d workers)\n", *cov, isaCfg, *seed, *workers)
 		fmt.Printf("executions:     %d total\n", totalExecs)
 		fmt.Printf("test cases:     %d (merged + minimized)\n", len(cases))
+		if *fltStats {
+			fmt.Print(merged.String())
+		}
 	} else {
 		var st rvnegtest.FuzzStats
 		suite, st, err = rvnegtest.GenerateSuite(cfg, *execs, dur)
@@ -104,6 +111,9 @@ func main() {
 		fmt.Printf("coverage:       %d bucket bits over %d points\n", st.CovBits, st.CovPoints)
 		if st.Crashes+st.Timeouts > 0 {
 			fmt.Printf("crashes: %d, timeouts: %d\n", st.Crashes, st.Timeouts)
+		}
+		if *fltStats {
+			fmt.Print(st.Filter.String())
 		}
 		if *minimize {
 			min, err := fuzz.Minimize(suite.Cases, cfg)

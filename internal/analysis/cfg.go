@@ -1,0 +1,249 @@
+package analysis
+
+import "rvnegtest/internal/isa"
+
+// nodeKind classifies an instruction site for control-flow purposes.
+type nodeKind uint8
+
+const (
+	// kindFall: exactly one successor, the next instruction (pc+size).
+	kindFall nodeKind = iota
+	// kindJump: unconditional static jump (JAL), successor pc+imm.
+	kindJump
+	// kindBranch: conditional branch, successors pc+size and pc+imm
+	// (folded to one by the fixpoint when the outcome is static).
+	kindBranch
+	// kindExit: the path ends deterministically here (illegal encoding or
+	// ECALL — both trap into the template's handler, which ends the test).
+	kindExit
+	// kindForbidden: a forbidden instruction; reachable ⇒ drop. No
+	// successors are modelled (the stream is rejected anyway, and JALR-like
+	// members have no static successor at all).
+	kindForbidden
+	// kindStraddle: a 32-bit encoding whose upper half lies beyond the
+	// bytestream; reachable ⇒ drop.
+	kindStraddle
+)
+
+// node is one decoded instruction site. Distinct sites may overlap in the
+// byte stream (a branch into the middle of a 32-bit word starts a second,
+// overlapping instruction stream); the CFG models each site separately at
+// halfword granularity.
+type node struct {
+	pc   int32
+	inst isa.Inst
+	kind nodeKind
+	// blk is the basic block the node belongs to.
+	blk *block
+	// cleanMask is the bitmask of Clean registers in the node's final
+	// in-state, filled by the post-fixpoint walk (mutator guidance).
+	cleanMask uint32
+}
+
+// staticTargets writes the node's static successor offsets into ts and
+// returns how many there are, ignoring feasibility. Targets may lie
+// outside [0, n] (bounds are a reachability check, not a decode error)
+// and n itself means "fall off the end" (accepted exit).
+func (nd *node) staticTargets() (ts [2]int32, n int) {
+	switch nd.kind {
+	case kindFall:
+		ts[0] = nd.pc + int32(nd.inst.Size)
+		return ts, 1
+	case kindJump:
+		ts[0] = nd.pc + nd.inst.Imm
+		return ts, 1
+	case kindBranch:
+		ts[0] = nd.pc + int32(nd.inst.Size)
+		ts[1] = nd.pc + nd.inst.Imm
+		return ts, 2
+	}
+	return ts, 0
+}
+
+// feasibleTargets returns the successor offsets the fixpoint considers
+// live given the node's in-state: a branch whose operands are known
+// constants folds to a single unconditional edge.
+func (nd *node) feasibleTargets(s *regState) ([2]int32, int) {
+	if nd.kind == kindBranch {
+		if taken, folded := branchOutcome(nd.inst, s); folded {
+			var ts [2]int32
+			if taken {
+				ts[0] = nd.pc + nd.inst.Imm
+			} else {
+				ts[0] = nd.pc + int32(nd.inst.Size)
+			}
+			return ts, 1
+		}
+	}
+	return nd.staticTargets()
+}
+
+// terminal reports whether the node ends its path unconditionally (no
+// modelled successors).
+func (nd *node) terminal() bool {
+	return nd.kind == kindExit || nd.kind == kindForbidden || nd.kind == kindStraddle
+}
+
+// block is one basic block: a maximal straight-line chain of nodes. Only
+// the last node may transfer control; in is the fixpoint's joined
+// abstract state at the block head.
+type block struct {
+	id    int
+	nodes []*node
+	in    regState
+}
+
+func (b *block) head() *node { return b.nodes[0] }
+func (b *block) last() *node { return b.nodes[len(b.nodes)-1] }
+
+// cfg is the control-flow graph over the padded bytestream.
+type cfg struct {
+	n      int32   // padded length
+	padded []byte  // zero-padded copy of the bytestream
+	sites  []*node // indexed pc/2; nil where no instruction starts
+
+	// store, blocks and chain are fixed-capacity arenas (site count is at
+	// most n/2, leader count at most the site count, and every node joins
+	// exactly one block's chain), so append never reallocates and interior
+	// pointers stay valid. blocks is addressed by index == block id;
+	// block.nodes slices are windows into chain.
+	store  []node
+	blocks []block
+	chain  []*node
+}
+
+func (g *cfg) at(pc int32) *node {
+	if pc < 0 || pc >= g.n {
+		return nil
+	}
+	return g.sites[pc/2]
+}
+
+// decodeNode decodes the instruction site at pc and classifies it.
+func (g *cfg) decodeNode(pc int32) *node {
+	g.store = append(g.store, node{pc: pc})
+	nd := &g.store[len(g.store)-1]
+	lo := uint32(g.padded[pc]) | uint32(g.padded[pc+1])<<8
+	if lo&3 == 3 {
+		if pc+4 > g.n {
+			nd.kind = kindStraddle
+			return nd
+		}
+		word := lo | uint32(g.padded[pc+2])<<16 | uint32(g.padded[pc+3])<<24
+		nd.inst = isa.Ref.Decode32(word)
+	} else {
+		nd.inst = isa.Ref.DecodeC(uint16(lo))
+	}
+	info := nd.inst.Info()
+	switch {
+	case info == nil:
+		// Illegal encoding: the exception ends execution deterministically.
+		nd.kind = kindExit
+	case info.Flags.Is(isa.FlagForbidden):
+		nd.kind = kindForbidden
+	case nd.inst.Op == isa.OpECALL:
+		// Deterministic trap into the handler: path ends.
+		nd.kind = kindExit
+	case nd.inst.Op == isa.OpJAL:
+		nd.kind = kindJump
+	case info.Flags.Is(isa.FlagBranch):
+		nd.kind = kindBranch
+	default:
+		nd.kind = kindFall
+	}
+	return nd
+}
+
+// build discovers every instruction site statically reachable from
+// offset 0 (following all edges, feasible or not) and partitions the
+// sites into basic blocks. bs is the raw bytestream; it is padded to a
+// whole word with zero bytes, as the template's injection area does.
+func (g *cfg) build(bs []byte) {
+	n := int32(len(bs)+3) &^ 3
+	g.n = n
+	if n == 0 {
+		return
+	}
+	// One buffer serves the padded stream and the two per-halfword
+	// leader/predecessor byte maps used below.
+	buf := make([]byte, 2*n)
+	g.padded = buf[:n]
+	copy(g.padded, bs)
+	g.sites = make([]*node, n/2)
+	g.store = make([]node, 0, n/2)
+
+	// Discovery: worklist over instruction offsets. Branch/jump offsets
+	// are always even, so sites live on halfword boundaries.
+	work := make([]int32, 1, n/2)
+	g.sites[0] = g.decodeNode(0)
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		ts, nt := g.sites[pc/2].staticTargets()
+		for _, t := range ts[:nt] {
+			if t < 0 || t >= n || g.sites[t/2] != nil {
+				continue // out of range (checked later) or already decoded
+			}
+			g.sites[t/2] = g.decodeNode(t)
+			work = append(work, t)
+		}
+	}
+
+	// Leader identification: offset 0, every target of a branch or jump,
+	// and every site with more than one static predecessor.
+	leader := buf[n : n+n/2]
+	preds := buf[n+n/2:]
+	leader[0] = 1
+	for i := range g.store {
+		nd := &g.store[i]
+		fromBranch := nd.kind == kindBranch || nd.kind == kindJump
+		ts, nt := nd.staticTargets()
+		for _, t := range ts[:nt] {
+			if t < 0 || t >= n {
+				continue
+			}
+			if fromBranch {
+				leader[t/2] = 1
+			}
+			if preds[t/2] < 2 {
+				preds[t/2]++
+			}
+		}
+	}
+	nLeaders := 0
+	for i, p := range preds {
+		if p > 1 {
+			leader[i] = 1
+		}
+		if leader[i] != 0 && g.sites[i] != nil {
+			nLeaders++
+		}
+	}
+
+	// Chain formation: from each leader, follow single fall-through
+	// successors until a terminator, a control transfer, or the next
+	// leader.
+	g.blocks = make([]block, 0, nLeaders)
+	g.chain = make([]*node, 0, len(g.store))
+	for i, nd := range g.sites {
+		if nd == nil || leader[i] == 0 {
+			continue
+		}
+		g.blocks = append(g.blocks, block{id: len(g.blocks)})
+		b := &g.blocks[len(g.blocks)-1]
+		start := len(g.chain)
+		for {
+			nd.blk = b
+			g.chain = append(g.chain, nd)
+			if nd.kind != kindFall {
+				break
+			}
+			t := nd.pc + int32(nd.inst.Size)
+			if t >= g.n || g.sites[t/2] == nil || leader[t/2] != 0 {
+				break
+			}
+			nd = g.sites[t/2]
+		}
+		b.nodes = g.chain[start:len(g.chain):len(g.chain)]
+	}
+}

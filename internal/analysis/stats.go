@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Stats is the per-corpus filter telemetry layer: a histogram of drop
+// reasons plus the acceptance count, accumulated over a fuzzing campaign
+// so reports can say WHY candidate bytestreams died before execution.
+// The zero value is ready to use; Record(ReasonNone) counts an acceptance.
+type Stats struct {
+	Counts [NumReasons]uint64
+}
+
+// Record counts one filter decision.
+func (s *Stats) Record(r Reason) {
+	if r < NumReasons {
+		s.Counts[r]++
+	}
+}
+
+// Merge adds another campaign's counters (parallel workers).
+func (s *Stats) Merge(o Stats) {
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+}
+
+// Accepted returns the number of accepted bytestreams.
+func (s *Stats) Accepted() uint64 { return s.Counts[ReasonNone] }
+
+// Dropped returns the number of dropped bytestreams.
+func (s *Stats) Dropped() uint64 { return s.Total() - s.Accepted() }
+
+// Total returns the number of recorded decisions.
+func (s *Stats) Total() uint64 {
+	var t uint64
+	for _, c := range s.Counts {
+		t += c
+	}
+	return t
+}
+
+// AcceptanceRate returns accepted/total in [0,1] (0 when empty).
+func (s *Stats) AcceptanceRate() float64 {
+	t := s.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Accepted()) / float64(t)
+}
+
+// String renders the drop-reason histogram, most frequent reason first.
+func (s *Stats) String() string {
+	t := s.Total()
+	if t == 0 {
+		return "filter: no decisions recorded\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "filter: %d checked, %d accepted (%.1f%%), %d dropped\n",
+		t, s.Accepted(), 100*s.AcceptanceRate(), s.Dropped())
+	// Stable order: descending count, ties by reason value.
+	order := make([]Reason, 0, NumReasons-1)
+	for r := ReasonNone + 1; r < NumReasons; r++ {
+		if s.Counts[r] > 0 {
+			order = append(order, r)
+		}
+	}
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if s.Counts[order[j]] > s.Counts[order[i]] {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	for _, r := range order {
+		fmt.Fprintf(&b, "  %-28s %10d (%.1f%%)\n", r.String(), s.Counts[r],
+			100*float64(s.Counts[r])/float64(t))
+	}
+	return b.String()
+}
+
+// MarshalJSON serializes the counters with reason names as keys, plus the
+// aggregate fields campaign reports consume.
+func (s Stats) MarshalJSON() ([]byte, error) {
+	drops := make(map[string]uint64)
+	for r := ReasonNone + 1; r < NumReasons; r++ {
+		if s.Counts[r] > 0 {
+			drops[r.String()] = s.Counts[r]
+		}
+	}
+	return json.Marshal(struct {
+		Checked        uint64            `json:"checked"`
+		Accepted       uint64            `json:"accepted"`
+		AcceptanceRate float64           `json:"acceptance_rate"`
+		Dropped        map[string]uint64 `json:"dropped,omitempty"`
+	}{s.Total(), s.Accepted(), s.AcceptanceRate(), drops})
+}

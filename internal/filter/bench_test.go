@@ -45,3 +45,82 @@ func BenchmarkCheckRandom(b *testing.B) {
 		flt.Check(inputs[i%len(inputs)])
 	}
 }
+
+// denseStream builds a branch-dense input: nForks consecutive conditional
+// branches (2^nForks-ish paths) ending in an illegal word. The enumeration
+// engine forks at every branch and burns its step budget; the fixpoint
+// engine decides it in one pass per block.
+func denseStream(nForks int) []byte {
+	var words []uint32
+	for i := 0; i < nForks; i++ {
+		words = append(words, enc(isa.Inst{Op: isa.OpBEQ, Rs1: 1, Rs2: 2, Imm: 8}))
+	}
+	words = append(words, 0xffffffff)
+	return stream(words...)
+}
+
+// BenchmarkFilterDense compares the two engines on the branch-dense
+// workload that motivated the fixpoint rewrite. The fixpoint engine must
+// not be slower — and it accepts the input, where path enumeration gives
+// up with ReasonPathBudget.
+func BenchmarkFilterDense(b *testing.B) {
+	// 21 words (84 bytes): inside the exhaustive engine's 128-byte visited
+	// window, beyond any practical fork budget. No MaxLen so the length
+	// check does not short-circuit either engine.
+	bs := denseStream(20)
+	b.Run("fixpoint", func(b *testing.B) {
+		flt := &Filter{}
+		for i := 0; i < b.N; i++ {
+			if !flt.Check(bs).Accepted {
+				b.Fatal("fixpoint must accept the branch-dense input")
+			}
+		}
+	})
+	b.Run("exhaustive", func(b *testing.B) {
+		exh := &Exhaustive{}
+		for i := 0; i < b.N; i++ {
+			if r := exh.Check(bs); r.Reason != ReasonPathBudget {
+				b.Fatalf("exhaustive should exhaust its budget, got %v", r)
+			}
+		}
+	})
+}
+
+// BenchmarkCheckAcceptedExhaustive is the enumeration-engine baseline for
+// BenchmarkCheckAccepted.
+func BenchmarkCheckAcceptedExhaustive(b *testing.B) {
+	bs := stream(
+		enc(isa.Inst{Op: isa.OpADD, Rd: 31, Rs1: 2, Rs2: 3}),
+		enc(isa.Inst{Op: isa.OpJAL, Rd: 2, Imm: 20}),
+		enc(isa.Inst{Op: isa.OpWFI}),
+		enc(isa.Inst{Op: isa.OpADD, Rd: 30, Rs1: 2, Rs2: 3}),
+		enc(isa.Inst{Op: isa.OpBLT, Rs1: 30, Rs2: 31, Imm: 12}),
+		0xffffffff,
+		enc(isa.Inst{Op: isa.OpBEQ, Rs1: 1, Rs2: 2, Imm: -8}),
+		enc(isa.Inst{Op: isa.OpLW, Rd: 5, Rs1: 30, Imm: -16}),
+	)
+	exh := &Exhaustive{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !exh.Check(bs).Accepted {
+			b.Fatal("must accept")
+		}
+	}
+}
+
+// BenchmarkCheckRandomExhaustive is the enumeration-engine baseline for
+// BenchmarkCheckRandom.
+func BenchmarkCheckRandomExhaustive(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	inputs := make([][]byte, 256)
+	for i := range inputs {
+		bs := make([]byte, 4*(1+rng.Intn(16)))
+		rng.Read(bs)
+		inputs[i] = bs
+	}
+	exh := &Exhaustive{MaxLen: 64}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exh.Check(inputs[i%len(inputs)])
+	}
+}

@@ -1,0 +1,140 @@
+package filter
+
+import "rvnegtest/internal/isa"
+
+// Exhaustive is the original path-enumeration filter engine: it forks an
+// abstract state at every conditional branch and walks every control-flow
+// path under a global step budget. It is kept in-tree as the differential
+// oracle for the fixpoint engine (Filter): Filter must accept a superset
+// of what Exhaustive accepts — Exhaustive is strictly more conservative
+// because it cannot fold statically decided branches and drops
+// branch-dense inputs when the fork budget runs out (ReasonPathBudget).
+type Exhaustive struct {
+	// MaxLen, when nonzero, drops bytestreams longer than this many bytes.
+	MaxLen int
+}
+
+// maxSteps bounds the total abstract-execution work; exceeding it drops
+// the bytestream conservatively (a defence against exponential branch
+// lattices, which the fuzzer would otherwise be able to construct).
+const maxSteps = 1 << 14
+
+// cleanInit marks x30 and x31 as the only clean registers: the test-case
+// template initializes them with the data-window address (section IV-B).
+const cleanInit = 1<<30 | 1<<31
+
+// state is one abstract execution state of the path enumeration.
+type state struct {
+	pc      int32
+	clean   uint32 // bitmask of clean registers
+	visited uint64 // bitmask over pc/2 positions
+}
+
+// Check runs the path-enumerating abstract execution over the bytestream.
+func (f *Exhaustive) Check(bs []byte) Result {
+	if f.MaxLen > 0 && len(bs) > f.MaxLen {
+		return Result{Reason: ReasonTooLong, PC: int32(len(bs))}
+	}
+	// The injection area pads the bytestream to a whole word with zero
+	// bytes; analyze what actually executes.
+	n := int32(len(bs)+3) &^ 3
+	padded := make([]byte, n)
+	copy(padded, bs)
+	if n/2 > 64 {
+		// visited is a 64-bit set over half-word positions; the template
+		// injection area (<= 80 bytes = 40 positions) always fits, but
+		// guard against misuse.
+		return Result{Reason: ReasonOutOfBounds, PC: n}
+	}
+
+	work := []state{{pc: 0, clean: cleanInit}}
+	paths, steps := 0, 0
+	drop := func(r Reason, pc int32, op isa.Op) Result {
+		return Result{Reason: r, PC: pc, Op: op}
+	}
+	for len(work) > 0 {
+		st := work[len(work)-1]
+		work = work[:len(work)-1]
+		for {
+			if steps++; steps > maxSteps {
+				return drop(ReasonPathBudget, st.pc, isa.OpIllegal)
+			}
+			if st.pc == n {
+				paths++ // fell off the end: the template's jump slots finish the test
+				break
+			}
+			if st.pc < 0 || st.pc > n {
+				return drop(ReasonOutOfBounds, st.pc, isa.OpIllegal)
+			}
+			bit := uint64(1) << uint(st.pc/2)
+			if st.visited&bit != 0 {
+				return drop(ReasonLoop, st.pc, isa.OpIllegal)
+			}
+			st.visited |= bit
+
+			lo := uint32(padded[st.pc]) | uint32(padded[st.pc+1])<<8
+			var inst isa.Inst
+			if lo&3 == 3 {
+				if st.pc+4 > n {
+					return drop(ReasonStraddle, st.pc, isa.OpIllegal)
+				}
+				word := lo | uint32(padded[st.pc+2])<<16 | uint32(padded[st.pc+3])<<24
+				inst = isa.Ref.Decode32(word)
+			} else {
+				inst = isa.Ref.DecodeC(uint16(lo))
+			}
+
+			info := inst.Info()
+			if info == nil {
+				// Illegal encoding: execution takes the exception and the
+				// trap handler ends the test. The path is accepted.
+				paths++
+				break
+			}
+			if info.Flags.Is(isa.FlagForbidden) {
+				return drop(ReasonForbidden, st.pc, inst.Op)
+			}
+			if inst.Op == isa.OpECALL {
+				// Deterministic trap into the handler: path accepted.
+				paths++
+				break
+			}
+
+			// Memory access discipline.
+			if info.Flags.Any(isa.FlagLoad | isa.FlagStore) {
+				if st.clean&(1<<inst.Rs1) == 0 {
+					return drop(ReasonDirtyAddress, st.pc, inst.Op)
+				}
+				if info.MemSize > 1 && inst.Imm&int32(info.MemSize-1) != 0 {
+					return drop(ReasonUnalignedImm, st.pc, inst.Op)
+				}
+			}
+
+			switch {
+			case inst.Op == isa.OpJAL:
+				st.clean &^= regBit(inst.Rd)
+				st.pc += inst.Imm
+				continue
+			case info.Flags.Is(isa.FlagBranch):
+				taken := st
+				taken.pc += inst.Imm
+				work = append(work, taken)
+				st.pc += int32(inst.Size)
+				continue
+			}
+
+			if info.Flags.Is(isa.FlagWritesRD) {
+				st.clean &^= regBit(inst.Rd)
+			}
+			st.pc += int32(inst.Size)
+		}
+	}
+	return Result{Accepted: true, Paths: paths}
+}
+
+func regBit(r isa.Reg) uint32 {
+	if r == 0 {
+		return 0
+	}
+	return 1 << r
+}

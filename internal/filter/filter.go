@@ -1,63 +1,57 @@
 // Package filter implements the static-analysis filter of the paper
-// (section IV-C): an abstract local execution of a fuzzer-generated
+// (section IV-C): an abstract interpretation of a fuzzer-generated
 // bytestream that conservatively drops inputs which could loop forever or
 // behave differently between platforms, so that compliance testing stays
 // fully automatic (no spurious signature mismatches to triage by hand).
 //
-// The abstract state is the local program counter, a clean/dirty mark per
-// integer register (clean = usable as a memory address; only x30/x31 start
-// clean, any write dirties its destination) and the set of visited PCs
-// (revisiting one means a potential loop). Conditional branches fork the
-// state; a path is accepted when it reaches an illegal instruction (the
-// exception ends execution deterministically) or falls off the end of the
-// bytestream. The whole bytestream is dropped if any path reaches a
-// forbidden instruction (JALR, xRET, WFI, EBREAK, SFENCE.VMA, any CSR
-// instruction), leaves the local bounds, loops, or performs a memory
-// access whose base register is dirty or whose immediate is not
-// access-size aligned.
+// The filter drops a bytestream if a forbidden instruction (JALR, xRET,
+// WFI, EBREAK, SFENCE.VMA, any CSR instruction) is reachable, control
+// flow can leave the local bounds or loop, or a memory access uses a base
+// register that no longer holds the data-window address (only x30/x31
+// start clean; any write dirties its destination) or an immediate that is
+// not access-size aligned.
+//
+// Since the fixpoint rewrite the decision engine is internal/analysis: a
+// basic-block CFG plus a worklist fixpoint over a per-register lattice,
+// linear in blocks x registers where the original enumerated control-flow
+// paths (exponential in branches, requiring a conservative fork budget).
+// The historical path-enumeration engine survives as Exhaustive, serving
+// as the differential-testing oracle: Filter accepts a superset of what
+// Exhaustive accepts, and never drops for budget reasons.
 package filter
 
 import (
 	"fmt"
 
+	"rvnegtest/internal/analysis"
 	"rvnegtest/internal/isa"
 )
 
-// Reason classifies why a bytestream was dropped.
-type Reason uint8
+// Reason classifies why a bytestream was dropped. It is the analysis
+// package's taxonomy; the names below keep the historical filter API.
+type Reason = analysis.Reason
 
 const (
 	// ReasonNone: the bytestream was accepted.
-	ReasonNone Reason = iota
+	ReasonNone = analysis.ReasonNone
 	// ReasonForbidden: a forbidden instruction is reachable.
-	ReasonForbidden
-	// ReasonLoop: a PC can be revisited on some path.
-	ReasonLoop
+	ReasonForbidden = analysis.ReasonForbidden
+	// ReasonLoop: control flow can revisit an instruction.
+	ReasonLoop = analysis.ReasonLoop
 	// ReasonOutOfBounds: control flow can leave the bytestream.
-	ReasonOutOfBounds
+	ReasonOutOfBounds = analysis.ReasonOutOfBounds
 	// ReasonDirtyAddress: a memory access uses a dirty base register.
-	ReasonDirtyAddress
+	ReasonDirtyAddress = analysis.ReasonDirtyAddress
 	// ReasonUnalignedImm: a memory access immediate is not size-aligned.
-	ReasonUnalignedImm
-	// ReasonStraddle: a 32-bit encoding straddles the bytestream end (its
-	// upper half would come from the template, which the filter does not
-	// model).
-	ReasonStraddle
-	// ReasonPathBudget: the path fork budget was exhausted (conservative).
-	ReasonPathBudget
+	ReasonUnalignedImm = analysis.ReasonUnalignedImm
+	// ReasonStraddle: a 32-bit encoding straddles the bytestream end.
+	ReasonStraddle = analysis.ReasonStraddle
+	// ReasonPathBudget: the path fork budget was exhausted (only the
+	// Exhaustive oracle can report this; Filter never does).
+	ReasonPathBudget = analysis.ReasonPathBudget
+	// ReasonTooLong: the bytestream exceeds MaxLen.
+	ReasonTooLong = analysis.ReasonTooLong
 )
-
-var reasonNames = [...]string{
-	"accepted", "forbidden instruction", "potential loop", "control flow out of bounds",
-	"dirty address register", "unaligned immediate", "straddling encoding", "path budget exhausted",
-}
-
-func (r Reason) String() string {
-	if int(r) < len(reasonNames) {
-		return reasonNames[r]
-	}
-	return "unknown"
-}
 
 // Result reports the filter decision for one bytestream.
 type Result struct {
@@ -78,134 +72,25 @@ func (r Result) String() string {
 	return fmt.Sprintf("dropped at +%d: %s (%v)", r.PC, r.Reason, r.Op)
 }
 
-// maxSteps bounds the total abstract-execution work; exceeding it drops
-// the bytestream conservatively (a defence against exponential branch
-// lattices, which the fuzzer would otherwise be able to construct).
-const maxSteps = 1 << 14
-
-// cleanInit marks x30 and x31 as the only clean registers: the test-case
-// template initializes them with the data-window address (section IV-B).
-const cleanInit = 1<<30 | 1<<31
-
-// state is one abstract execution state.
-type state struct {
-	pc      int32
-	clean   uint32 // bitmask of clean registers
-	visited uint64 // bitmask over pc/2 positions
-}
-
-// Filter checks bytestreams. The zero value is ready to use.
+// Filter checks bytestreams with the fixpoint dataflow engine. The zero
+// value is ready to use.
 type Filter struct {
 	// MaxLen, when nonzero, drops bytestreams longer than this many bytes
 	// (the injection area limit).
 	MaxLen int
 }
 
-// Check runs the abstract execution over the bytestream.
+// Check analyses the bytestream and returns the accept/drop decision.
 func (f *Filter) Check(bs []byte) Result {
 	if f.MaxLen > 0 && len(bs) > f.MaxLen {
-		return Result{Reason: ReasonOutOfBounds, PC: int32(len(bs))}
+		return Result{Reason: ReasonTooLong, PC: int32(len(bs))}
 	}
-	// The injection area pads the bytestream to a whole word with zero
-	// bytes; analyze what actually executes.
-	n := int32(len(bs)+3) &^ 3
-	padded := make([]byte, n)
-	copy(padded, bs)
-	if n/2 > 64 {
-		// visited is a 64-bit set over half-word positions; the template
-		// injection area (<= 80 bytes = 40 positions) always fits, but
-		// guard against misuse.
-		return Result{Reason: ReasonOutOfBounds, PC: n}
+	v := analysis.Analyze(bs).Verdict
+	return Result{
+		Accepted: v.Reason == analysis.ReasonNone,
+		Reason:   v.Reason,
+		PC:       v.PC,
+		Op:       v.Op,
+		Paths:    v.Paths,
 	}
-
-	work := []state{{pc: 0, clean: cleanInit}}
-	paths, steps := 0, 0
-	drop := func(r Reason, pc int32, op isa.Op) Result {
-		return Result{Reason: r, PC: pc, Op: op}
-	}
-	for len(work) > 0 {
-		st := work[len(work)-1]
-		work = work[:len(work)-1]
-		for {
-			if steps++; steps > maxSteps {
-				return drop(ReasonPathBudget, st.pc, isa.OpIllegal)
-			}
-			if st.pc == n {
-				paths++ // fell off the end: the template's jump slots finish the test
-				break
-			}
-			if st.pc < 0 || st.pc > n {
-				return drop(ReasonOutOfBounds, st.pc, isa.OpIllegal)
-			}
-			bit := uint64(1) << uint(st.pc/2)
-			if st.visited&bit != 0 {
-				return drop(ReasonLoop, st.pc, isa.OpIllegal)
-			}
-			st.visited |= bit
-
-			lo := uint32(padded[st.pc]) | uint32(padded[st.pc+1])<<8
-			var inst isa.Inst
-			if lo&3 == 3 {
-				if st.pc+4 > n {
-					return drop(ReasonStraddle, st.pc, isa.OpIllegal)
-				}
-				word := lo | uint32(padded[st.pc+2])<<16 | uint32(padded[st.pc+3])<<24
-				inst = isa.Ref.Decode32(word)
-			} else {
-				inst = isa.Ref.DecodeC(uint16(lo))
-			}
-
-			info := inst.Info()
-			if info == nil {
-				// Illegal encoding: execution takes the exception and the
-				// trap handler ends the test. The path is accepted.
-				paths++
-				break
-			}
-			if info.Flags.Is(isa.FlagForbidden) {
-				return drop(ReasonForbidden, st.pc, inst.Op)
-			}
-			if inst.Op == isa.OpECALL {
-				// Deterministic trap into the handler: path accepted.
-				paths++
-				break
-			}
-
-			// Memory access discipline.
-			if info.Flags.Any(isa.FlagLoad | isa.FlagStore) {
-				if st.clean&(1<<inst.Rs1) == 0 {
-					return drop(ReasonDirtyAddress, st.pc, inst.Op)
-				}
-				if info.MemSize > 1 && inst.Imm&int32(info.MemSize-1) != 0 {
-					return drop(ReasonUnalignedImm, st.pc, inst.Op)
-				}
-			}
-
-			switch {
-			case inst.Op == isa.OpJAL:
-				st.clean &^= regBit(inst.Rd)
-				st.pc += inst.Imm
-				continue
-			case info.Flags.Is(isa.FlagBranch):
-				taken := st
-				taken.pc += inst.Imm
-				work = append(work, taken)
-				st.pc += int32(inst.Size)
-				continue
-			}
-
-			if info.Flags.Is(isa.FlagWritesRD) {
-				st.clean &^= regBit(inst.Rd)
-			}
-			st.pc += int32(inst.Size)
-		}
-	}
-	return Result{Accepted: true, Paths: paths}
-}
-
-func regBit(r isa.Reg) uint32 {
-	if r == 0 {
-		return 0
-	}
-	return 1 << r
 }

@@ -277,6 +277,123 @@ func TestMaxLen(t *testing.T) {
 	}
 }
 
+// TestMaxLenReason: overlong bytestreams are a distinct drop class, not
+// an out-of-bounds control-flow violation.
+func TestMaxLenReason(t *testing.T) {
+	g := &Filter{MaxLen: 8}
+	res := g.Check(make([]byte, 12))
+	if res.Reason != ReasonTooLong {
+		t.Errorf("overlong drop reason = %v, want ReasonTooLong", res.Reason)
+	}
+	if res.PC != 12 {
+		t.Errorf("overlong drop PC = %d, want the stream length", res.PC)
+	}
+	e := &Exhaustive{MaxLen: 8}
+	if res := e.Check(make([]byte, 12)); res.Reason != ReasonTooLong {
+		t.Errorf("exhaustive overlong drop reason = %v, want ReasonTooLong", res.Reason)
+	}
+	if got := ReasonTooLong.String(); got != "bytestream too long" {
+		t.Errorf("ReasonTooLong.String() = %q, want %q", got, "bytestream too long")
+	}
+	// Exactly MaxLen is fine.
+	if res := g.Check(stream(0xffffffff, 0xffffffff)); !res.Accepted {
+		t.Errorf("stream at MaxLen: %v", res)
+	}
+}
+
+// TestFixpointPrecision pins the acceptance gains of the fixpoint engine
+// over path enumeration: statically decided branches fold away, so
+// infeasible loops, dead forbidden instructions and dead wild targets no
+// longer cause drops — and the path budget is gone entirely.
+func TestFixpointPrecision(t *testing.T) {
+	exh := &Exhaustive{}
+	cases := []struct {
+		name   string
+		bs     []byte
+		oldRes Reason // what path enumeration says
+	}{
+		{
+			"infeasible-loop",
+			stream(
+				enc(isa.Inst{Op: isa.OpADDI, Rd: 5, Rs1: 0, Imm: 0}),
+				enc(isa.Inst{Op: isa.OpBNE, Rs1: 5, Rs2: 0, Imm: -4}),
+				0xffffffff,
+			),
+			ReasonLoop,
+		},
+		{
+			"dead-forbidden",
+			stream(
+				enc(isa.Inst{Op: isa.OpADDI, Rd: 5, Rs1: 0, Imm: 1}),
+				enc(isa.Inst{Op: isa.OpBNE, Rs1: 5, Rs2: 0, Imm: 8}),
+				enc(isa.Inst{Op: isa.OpWFI}),
+				0xffffffff,
+			),
+			ReasonForbidden,
+		},
+		{
+			"dead-wild-target",
+			stream(
+				enc(isa.Inst{Op: isa.OpADDI, Rd: 5, Rs1: 0, Imm: 1}),
+				enc(isa.Inst{Op: isa.OpBEQ, Rs1: 5, Rs2: 0, Imm: 4000}),
+				0xffffffff,
+			),
+			ReasonOutOfBounds,
+		},
+	}
+	for _, tc := range cases {
+		if res := f.Check(tc.bs); !res.Accepted {
+			t.Errorf("%s: fixpoint dropped %v", tc.name, res)
+		}
+		if res := exh.Check(tc.bs); res.Reason != tc.oldRes {
+			t.Errorf("%s: exhaustive gave %v, want %v (test premise)", tc.name, res, tc.oldRes)
+		}
+	}
+}
+
+// TestNoPathBudgetDrops: the fixpoint engine never rejects for budget
+// reasons, even on inputs engineered to blow up path enumeration.
+func TestNoPathBudgetDrops(t *testing.T) {
+	var words []uint32
+	for i := 0; i < 24; i++ {
+		words = append(words, enc(isa.Inst{Op: isa.OpBEQ, Rs1: 1, Rs2: 2, Imm: 8}))
+	}
+	words = append(words, 0xffffffff)
+	bs := stream(words...)
+	exh := &Exhaustive{}
+	if res := exh.Check(bs); res.Reason != ReasonPathBudget {
+		t.Fatalf("exhaustive should exhaust its budget, got %v (test premise)", res)
+	}
+	if res := f.Check(bs); !res.Accepted || res.Reason == ReasonPathBudget {
+		t.Errorf("fixpoint on branch-dense input: %v", res)
+	}
+}
+
+// TestExhaustiveSubsetRandom: quick random differential between the two
+// engines (the fuzz target FuzzFilterDifferential is the deep version).
+func TestExhaustiveSubsetRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	flt := &Filter{MaxLen: 64}
+	exh := &Exhaustive{MaxLen: 64}
+	for i := 0; i < 20000; i++ {
+		bs := make([]byte, rng.Intn(65))
+		rng.Read(bs)
+		// Half the time, seed real opcode patterns for deeper penetration.
+		if len(bs) >= 4 && rng.Intn(2) == 0 {
+			in := &isa.Instructions[rng.Intn(len(isa.Instructions))]
+			w := rng.Uint32()&^in.Mask | in.Match
+			bs[0], bs[1], bs[2], bs[3] = byte(w), byte(w>>8), byte(w>>16), byte(w>>24)
+		}
+		fr := flt.Check(bs)
+		if fr.Reason == ReasonPathBudget {
+			t.Fatalf("fixpoint path-budget drop on %x", bs)
+		}
+		if er := exh.Check(bs); er.Accepted && !fr.Accepted {
+			t.Fatalf("superset violated on %x: exhaustive accepted, fixpoint %v", bs, fr)
+		}
+	}
+}
+
 func TestEmptyStream(t *testing.T) {
 	if res := f.Check(nil); !res.Accepted || res.Paths != 1 {
 		t.Errorf("empty: %v", res)

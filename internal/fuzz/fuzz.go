@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"time"
 
+	"rvnegtest/internal/analysis"
 	"rvnegtest/internal/coverage"
 	"rvnegtest/internal/filter"
 	"rvnegtest/internal/isa"
@@ -76,16 +77,17 @@ type TracePoint struct {
 
 // Stats summarizes a campaign.
 type Stats struct {
-	Execs       uint64
-	Dropped     uint64 // filtered out before execution
-	TestCases   int
-	Crashes     uint64
-	Timeouts    uint64
-	Duration    time.Duration
-	ExecsPerSec float64
-	CovPoints   int // coverage points defined
-	CovBits     int // bucket bits discovered
-	Trace       []TracePoint
+	Execs       uint64         `json:"execs"`
+	Dropped     uint64         `json:"dropped"` // filtered out before execution
+	TestCases   int            `json:"test_cases"`
+	Crashes     uint64         `json:"crashes"`
+	Timeouts    uint64         `json:"timeouts"`
+	Duration    time.Duration  `json:"duration_ns"`
+	ExecsPerSec float64        `json:"execs_per_sec"`
+	CovPoints   int            `json:"cov_points"` // coverage points defined
+	CovBits     int            `json:"cov_bits"`   // bucket bits discovered
+	Trace       []TracePoint   `json:"trace,omitempty"`
+	Filter      analysis.Stats `json:"filter"` // drop-reason histogram / acceptance
 }
 
 // Fuzzer drives one campaign.
@@ -100,6 +102,7 @@ type Fuzzer struct {
 	pending [][]byte // seed corpus not yet replayed
 	corpus  [][]byte
 	trace   []TracePoint
+	fstats  analysis.Stats
 	execs   uint64
 	dropped uint64
 	crashes uint64
@@ -162,7 +165,9 @@ func (f *Fuzzer) Step() bool {
 
 	input := f.nextInput()
 	if !f.cfg.DisableFilter {
-		if res := f.flt.Check(input); !res.Accepted {
+		res := f.flt.Check(input)
+		f.fstats.Record(res.Reason)
+		if !res.Accepted {
 			// Dropped inputs return no coverage, so the fuzzer never
 			// collects them (the paper's key automation property).
 			f.dropped++
@@ -256,5 +261,6 @@ func (f *Fuzzer) Stats() Stats {
 		CovPoints:   f.col.NumPoints(),
 		CovBits:     f.col.Map.BucketBits(),
 		Trace:       f.trace,
+		Filter:      f.fstats,
 	}
 }

@@ -1,10 +1,12 @@
 package fuzz
 
 import (
+	"encoding/json"
 	"math/rand"
 	"testing"
 	"time"
 
+	"rvnegtest/internal/analysis"
 	"rvnegtest/internal/coverage"
 	"rvnegtest/internal/filter"
 	"rvnegtest/internal/isa"
@@ -179,6 +181,61 @@ func TestFilterAblationProducesHazards(t *testing.T) {
 	// Without the filter, non-terminating inputs reach the simulator.
 	if st.Timeouts == 0 {
 		t.Error("expected timeouts without the filter (infinite loops reach the target)")
+	}
+}
+
+// TestFilterStatsConsistency: the per-reason histogram must tie out with
+// the campaign's aggregate counters — every execution is classified once,
+// and the dropped count equals the sum of the drop reasons.
+func TestFilterStatsConsistency(t *testing.T) {
+	f, err := New(smallConfig(coverage.V1(), 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Run(10000, 0)
+	st := f.Stats()
+	if st.Filter.Total() != st.Execs {
+		t.Errorf("filter checked %d inputs, campaign ran %d", st.Filter.Total(), st.Execs)
+	}
+	if st.Filter.Dropped() != st.Dropped {
+		t.Errorf("filter histogram drops %d, campaign counted %d", st.Filter.Dropped(), st.Dropped)
+	}
+	if st.Filter.Accepted() != st.Execs-st.Dropped {
+		t.Errorf("accepted mismatch: %d vs %d", st.Filter.Accepted(), st.Execs-st.Dropped)
+	}
+	if st.Filter.Counts[analysis.ReasonPathBudget] != 0 {
+		t.Error("the fixpoint filter must never drop for budget reasons")
+	}
+	if st.Filter.Counts[analysis.ReasonTooLong] != 0 {
+		t.Error("the mutators bound lengths; no stream should trip MaxLen")
+	}
+	// JSON embeds the histogram under "filter".
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["filter"]; !ok {
+		t.Errorf("stats JSON lacks the filter histogram: %s", raw)
+	}
+}
+
+// TestFilterStatsDisabled: with the filter ablated no classifications
+// happen at all.
+func TestFilterStatsDisabled(t *testing.T) {
+	cfg := smallConfig(coverage.V0(), 78)
+	cfg.DisableFilter = true
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Run(500, 0)
+	st := f.Stats()
+	if tot := st.Filter.Total(); tot != 0 {
+		t.Errorf("filter stats recorded %d checks while disabled", tot)
 	}
 }
 

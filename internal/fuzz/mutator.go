@@ -1,8 +1,10 @@
 package fuzz
 
 import (
+	"math/bits"
 	"math/rand"
 
+	"rvnegtest/internal/analysis"
 	"rvnegtest/internal/isa"
 )
 
@@ -11,8 +13,14 @@ import (
 // custom instruction-aware mutator of section IV-D: it walks the
 // bytestream word by word injecting valid opcode patterns while leaving
 // the remaining fields random (Fig. 3), with the operand constraints that
-// keep the result filter-acceptable (loads/stores based on x30/x31 with
-// aligned immediates; small branch/jump offsets).
+// keep the result filter-acceptable (loads/stores based on clean address
+// registers with aligned immediates; small branch/jump offsets).
+//
+// Injection sites are picked against the static analysis of the base
+// input: memory accesses use a register the analysis proves clean at that
+// offset, and injected writes avoid clobbering registers that a later
+// instruction still needs as a clean memory base — so mutation tends to
+// preserve filter acceptance instead of fighting it.
 type mutator struct {
 	rng *rand.Rand
 	// injectable is the weighted op pool for instruction injection.
@@ -121,6 +129,24 @@ func (m *mutator) instructionAware(base []byte, maxLen int) []byte {
 			out = out[:maxLen]
 		}
 	}
+	// Analyse the base input once: per-site clean-register masks guide
+	// base-register choice, and the backward base-usage scan tells each
+	// site which registers a LATER memory access still needs clean. The
+	// analysis goes stale as injections land, but the filter arbitrates
+	// the final stream either way — this only biases mutation toward
+	// acceptable results.
+	a := analysis.Analyze(out)
+	type baseUse struct {
+		pc   int32
+		base isa.Reg
+	}
+	var uses []baseUse
+	a.EachInst(func(pc int32, inst isa.Inst, reachable bool) {
+		if info := inst.Info(); reachable && info != nil && info.Flags.Any(isa.FlagLoad|isa.FlagStore) {
+			uses = append(uses, baseUse{pc, inst.Rs1})
+		}
+	})
+
 	// The custom mutator uses a 4-byte stride (the paper: "we use a 4
 	// byte format").
 	for p := 0; p+4 <= len(out); p += 4 {
@@ -129,10 +155,56 @@ func (m *mutator) instructionAware(base []byte, maxLen int) []byte {
 		}
 		pos := p / 4
 		limitWords := (maxLen - p) / 4 // words after this one stay in bounds
-		w := m.validWord(pos, limitWords)
+		clean := a.CleanAt(int32(p))
+		var avoid uint32 // regs a memory access beyond this word still needs clean
+		for _, u := range uses {
+			if u.pc >= int32(p)+4 {
+				avoid |= 1 << u.base
+			}
+		}
+		w := m.validWord(pos, limitWords, clean, avoid)
 		out[p], out[p+1], out[p+2], out[p+3] = byte(w), byte(w>>8), byte(w>>16), byte(w>>24)
 	}
 	return out
+}
+
+// pickCleanBase selects a memory-access base register from the clean
+// mask, falling back to the template-initialized x30/x31 when the
+// analysis has nothing cleaner to offer (empty mask, unreachable site).
+func (m *mutator) pickCleanBase(clean uint32) isa.Reg {
+	clean &^= 1 // x0 is never an address register
+	n := bits.OnesCount32(clean)
+	if n == 0 {
+		return isa.Reg(30 + m.rng.Intn(2))
+	}
+	k := m.rng.Intn(n)
+	for r := 1; r < 32; r++ {
+		if clean&(1<<r) == 0 {
+			continue
+		}
+		if k == 0 {
+			return isa.Reg(r)
+		}
+		k--
+	}
+	return isa.Reg(31)
+}
+
+// steerRD rewrites the rd field of an encoded instruction word when it
+// would dirty a register that a later memory access still needs clean.
+func (m *mutator) steerRD(w uint32, avoid uint32) uint32 {
+	inst := isa.Ref.Decode32(w)
+	info := inst.Info()
+	if info == nil || !info.Flags.Is(isa.FlagWritesRD) || avoid&(1<<inst.Rd) == 0 {
+		return w
+	}
+	for try := 0; try < 4; try++ {
+		rd := uint32(m.rng.Intn(32))
+		if avoid&(1<<rd) == 0 {
+			return w&^(0x1f<<7) | rd<<7
+		}
+	}
+	return w &^ (0x1f << 7) // x0: discard the result rather than dirty a live base
 }
 
 // compressedHalf builds one valid computational RVC encoding (always
@@ -177,8 +249,10 @@ func (m *mutator) compressedHalf() uint16 {
 
 // validWord builds one valid (though operand-randomized) instruction word.
 // pos is the word index within the bytestream; limitWords bounds forward
-// branch targets so the filter's bounds check passes more often.
-func (m *mutator) validWord(pos, limitWords int) uint32 {
+// branch targets so the filter's bounds check passes more often. clean is
+// the analysis' clean-register mask at this site (candidate memory bases)
+// and avoid the registers later memory accesses still need clean.
+func (m *mutator) validWord(pos, limitWords int, clean, avoid uint32) uint32 {
 	if m.rng.Intn(5) == 0 {
 		// A pair of valid compressed instructions in one 4-byte slot,
 		// exercising the C-extension decode paths with well-formed
@@ -190,9 +264,9 @@ func (m *mutator) validWord(pos, limitWords int) uint32 {
 	fl := in.Flags
 	switch {
 	case fl.Any(isa.FlagLoad | isa.FlagStore):
-		// Address register x30 or x31, size-aligned immediate.
+		// A provably clean address register, size-aligned immediate.
 		inst := isa.Inst{Op: in.Op}
-		inst.Rs1 = isa.Reg(30 + m.rng.Intn(2))
+		inst.Rs1 = m.pickCleanBase(clean)
 		inst.Rd = isa.Reg(m.rng.Intn(32))
 		inst.Rs2 = isa.Reg(m.rng.Intn(32))
 		if in.Fmt != isa.FmtAMO {
@@ -206,7 +280,7 @@ func (m *mutator) validWord(pos, limitWords int) uint32 {
 		if err != nil {
 			return in.Match
 		}
-		return w
+		return m.steerRD(w, avoid)
 	case fl.Is(isa.FlagBranch) || in.Op == isa.OpJAL:
 		// Small offsets keep targets inside the bytestream most of the
 		// time (the filter still arbitrates).
@@ -233,9 +307,11 @@ func (m *mutator) validWord(pos, limitWords int) uint32 {
 		if err != nil {
 			return in.Match
 		}
-		return w
+		return m.steerRD(w, avoid)
 	default:
-		// Fig. 3: opcode pattern fixed, every other field random.
-		return m.rng.Uint32()&^in.Mask | in.Match
+		// Fig. 3: opcode pattern fixed, every other field random — except
+		// that a destination a later memory access depends on is steered
+		// away so the injection does not break the clean-address chain.
+		return m.steerRD(m.rng.Uint32()&^in.Mask|in.Match, avoid)
 	}
 }
