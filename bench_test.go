@@ -315,10 +315,15 @@ func BenchmarkBaselineComparison(b *testing.B) {
 		cfgs := []isa.Config{isa.RV32I, isa.RV32IMC, isa.RV32GC}
 		// Positive suites are per-extension; run each on its own config.
 		for _, cfg := range cfgs {
-			for _, s := range []*compliance.Suite{
-				torture.Suite(int64(i+1), cfg, 400, 16),
-				compliance.OfficialStyleSuite(cfg),
-			} {
+			tortureSuite, err := torture.Suite(int64(i+1), cfg, 400, 16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			officialSuite, err := compliance.OfficialStyleSuite(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, s := range []*compliance.Suite{tortureSuite, officialSuite} {
 				r := compliance.DefaultRunner()
 				r.Configs = []isa.Config{cfg}
 				rep, err := r.Run(s)

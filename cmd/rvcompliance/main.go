@@ -10,10 +10,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"rvnegtest"
@@ -44,6 +48,12 @@ func main() {
 		workers   = flag.Int("workers", -1, "compliance engine workers: 1 = serial, N = fixed pool, -1 = one per CPU (report is identical for any value)")
 		stats     = flag.Bool("stats", false, "print engine throughput and per-worker execution counts to stderr")
 		progress  = flag.Bool("progress", false, "log per-shard completion to stderr while the engine runs")
+
+		checkpoint = flag.String("checkpoint", "", "checkpoint campaign state under this directory (enables resume)")
+		resume     = flag.String("resume", "", "resume a checkpointed campaign from this directory")
+		caseSecs   = flag.Float64("case-timeout", 0, "per-case wall-clock watchdog in seconds (0 disables)")
+		breaker    = flag.Int("breaker", 0, "consecutive harness faults before an instance is marked unhealthy (0 = default, <0 disables)")
+		quarantine = flag.String("quarantine", "", "save inputs that trigger harness faults into this directory")
 	)
 	flag.Parse()
 
@@ -83,7 +93,13 @@ func main() {
 		fatalf("need -suite FILE or -generate N")
 	}
 
-	runner := &compliance.Runner{MaxExamples: 10, Workers: *workers}
+	runner := &compliance.Runner{
+		MaxExamples:      10,
+		Workers:          *workers,
+		CaseTimeout:      time.Duration(*caseSecs * float64(time.Second)),
+		BreakerThreshold: *breaker,
+		QuarantineDir:    *quarantine,
+	}
 	if *progress {
 		runner.Progress = func(ev compliance.ProgressEvent) {
 			name := ev.Sim
@@ -136,7 +152,29 @@ func main() {
 		return
 	}
 
-	rep, err := runner.Run(suite)
+	ckptDir := *checkpoint
+	if *resume != "" {
+		if ckptDir != "" && ckptDir != *resume {
+			fatalf("-checkpoint and -resume name different directories")
+		}
+		ckptDir = *resume
+		if !compliance.HasCheckpoint(ckptDir) {
+			fatalf("no checkpoint found under %s", ckptDir)
+		}
+	}
+	var rep *compliance.Report
+	var err error
+	if ckptDir != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		rep, err = runner.RunResumable(ctx, suite, ckptDir)
+		if errors.Is(err, compliance.ErrInterrupted) {
+			fmt.Fprintf(os.Stderr, "rvcompliance: interrupted, state checkpointed; continue with: rvcompliance -resume %s (plus the original flags)\n", ckptDir)
+			os.Exit(130)
+		}
+	} else {
+		rep, err = runner.Run(suite)
+	}
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -149,6 +187,7 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Printf("%s\n", raw)
+		exitDegraded(rep)
 		return
 	}
 	fmt.Print(rep.Render())
@@ -167,6 +206,17 @@ func main() {
 			}
 		}
 	}
+	exitDegraded(rep)
+}
+
+// exitDegraded exits with status 2 when the report contains cells degraded
+// by harness faults: the comparison completed, but some results are
+// Crashed/Timeout/Skipped(sut-unhealthy) rather than real verdicts.
+func exitDegraded(rep *compliance.Report) {
+	if rep.Degraded() {
+		fmt.Fprintln(os.Stderr, "rvcompliance: run degraded by harness faults (crashed, wedged, or unhealthy simulators; see report)")
+		os.Exit(2)
+	}
 }
 
 // runPositiveBaseline runs positive-testing suites (the official-style
@@ -180,9 +230,12 @@ func runPositiveBaseline(official bool, tortureN int, seed int64, isas, refName,
 		}
 		var suite *rvnegtest.Suite
 		if official {
-			suite = rvnegtest.OfficialStyleSuite(cfg)
+			suite, err = rvnegtest.OfficialStyleSuite(cfg)
 		} else {
-			suite = torture.Suite(seed, cfg, tortureN, 16)
+			suite, err = torture.Suite(seed, cfg, tortureN, 16)
+		}
+		if err != nil {
+			fatalf("%v", err)
 		}
 		runner := &compliance.Runner{Configs: []isa.Config{cfg}, MaxExamples: 10, Workers: workers}
 		ref, ok := sim.ByName(refName)

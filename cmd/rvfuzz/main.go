@@ -10,9 +10,15 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 	"time"
 
 	"rvnegtest"
@@ -24,21 +30,27 @@ import (
 
 func main() {
 	var (
-		cov       = flag.String("cov", "v3", "coverage configuration: v0|v1|v2|v3")
-		execs     = flag.Uint64("execs", 0, "execution budget (0 = unbounded)")
-		seconds   = flag.Float64("seconds", 0, "wall-time budget (0 = unbounded)")
-		seed      = flag.Int64("seed", 1, "fuzzer seed")
-		isaName   = flag.String("isa", "RV32GC", "foundation simulator ISA configuration")
-		out       = flag.String("out", "", "write the generated suite to this file")
-		asmDir    = flag.String("asm-dir", "", "export the suite as assembler sources into this directory")
-		fig4      = flag.Bool("fig4", false, "run the Fig. 4 experiment (all four coverage configurations)")
-		noMut     = flag.Bool("no-custom-mutator", false, "ablation: disable the instruction-aware mutator")
-		noFlt     = flag.Bool("no-filter", false, "ablation: disable the static filter")
-		workers   = flag.Int("workers", 1, "parallel fuzzer workers (corpora are merged and minimized)")
-		minimize  = flag.Bool("minimize", false, "minimize the suite to coverage-unique cases before saving")
-		seedSuite = flag.String("seed-suite", "", "seed the campaign with a previously generated suite")
-		stats     = flag.Bool("stats", false, "print the generated suite's composition statistics")
-		fltStats  = flag.Bool("filter-stats", false, "print the static filter's drop-reason histogram and acceptance rate")
+		cov        = flag.String("cov", "v3", "coverage configuration: v0|v1|v2|v3")
+		execs      = flag.Uint64("execs", 0, "execution budget (0 = unbounded)")
+		seconds    = flag.Float64("seconds", 0, "wall-time budget (0 = unbounded)")
+		seed       = flag.Int64("seed", 1, "fuzzer seed")
+		isaName    = flag.String("isa", "RV32GC", "foundation simulator ISA configuration")
+		out        = flag.String("out", "", "write the generated suite to this file")
+		asmDir     = flag.String("asm-dir", "", "export the suite as assembler sources into this directory")
+		fig4       = flag.Bool("fig4", false, "run the Fig. 4 experiment (all four coverage configurations)")
+		noMut      = flag.Bool("no-custom-mutator", false, "ablation: disable the instruction-aware mutator")
+		noFlt      = flag.Bool("no-filter", false, "ablation: disable the static filter")
+		workers    = flag.Int("workers", 1, "parallel fuzzer workers (corpora are merged and minimized)")
+		minimize   = flag.Bool("minimize", false, "minimize the suite to coverage-unique cases before saving")
+		seedSuite  = flag.String("seed-suite", "", "seed the campaign with a previously generated suite")
+		stats      = flag.Bool("stats", false, "print the generated suite's composition statistics")
+		fltStats   = flag.Bool("filter-stats", false, "print the static filter's drop-reason histogram and acceptance rate")
+		checkpoint = flag.String("checkpoint", "", "checkpoint campaign state under this directory (enables resume)")
+		resume     = flag.String("resume", "", "resume a checkpointed campaign from this directory")
+		ckptEvery  = flag.Uint64("checkpoint-every", 100000, "executions between periodic checkpoints")
+		quarantine = flag.String("quarantine", "", "save inputs that trigger harness faults into this directory")
+		caseSecs   = flag.Float64("case-timeout", 0, "per-case wall-clock watchdog in seconds (0 disables)")
+		statsJSON  = flag.String("stats-json", "", "write deterministic per-worker campaign stats as JSON to this file")
 	)
 	flag.Parse()
 	if *execs == 0 && *seconds == 0 {
@@ -64,6 +76,8 @@ func main() {
 	cfg.Seed = *seed
 	cfg.DisableCustomMutator = *noMut
 	cfg.DisableFilter = *noFlt
+	cfg.CaseTimeout = time.Duration(*caseSecs * float64(time.Second))
+	cfg.QuarantineDir = *quarantine
 	if *seedSuite != "" {
 		prior, err := rvnegtest.LoadSuite(*seedSuite)
 		if err != nil {
@@ -73,19 +87,52 @@ func main() {
 		fmt.Printf("seeded with %d prior test cases\n", len(prior.Cases))
 	}
 
-	var suite *rvnegtest.Suite
-	if *workers > 1 {
-		if *execs == 0 {
-			fatalf("-workers needs -execs (the per-worker budget)")
+	ckptDir := *checkpoint
+	if *resume != "" {
+		if ckptDir != "" && ckptDir != *resume {
+			fatalf("-checkpoint and -resume name different directories")
 		}
-		cases, stats, err := fuzz.ParallelCampaign(cfg, *workers, *execs)
+		ckptDir = *resume
+		if !fuzz.HasCheckpoint(filepath.Join(ckptDir, "worker-000")) {
+			fatalf("no checkpoint found under %s", ckptDir)
+		}
+	}
+
+	var suite *rvnegtest.Suite
+	var workerStats []fuzz.Stats
+	if ckptDir != "" || *workers > 1 {
+		if ckptDir != "" && *seconds != 0 {
+			fatalf("-seconds cannot be combined with checkpointing; resume needs a deterministic -execs bound")
+		}
+		if *execs == 0 {
+			fatalf("campaign mode needs -execs (the per-worker budget)")
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		cases, cstats, err := fuzz.Campaign(ctx, cfg, fuzz.CampaignConfig{
+			Workers:         *workers,
+			ExecsEach:       *execs,
+			CheckpointDir:   ckptDir,
+			CheckpointEvery: *ckptEvery,
+			Minimize:        *workers > 1 || *minimize,
+		})
+		if errors.Is(err, fuzz.ErrInterrupted) {
+			if ckptDir != "" {
+				fmt.Fprintf(os.Stderr, "rvfuzz: interrupted, state checkpointed; continue with: rvfuzz -resume %s (plus the original flags)\n", ckptDir)
+			} else {
+				fmt.Fprintln(os.Stderr, "rvfuzz: interrupted (no -checkpoint directory, progress discarded)")
+			}
+			os.Exit(130)
+		}
 		if err != nil {
 			fatalf("%v", err)
 		}
-		var totalExecs uint64
+		workerStats = cstats
+		var totalExecs, totalFaults uint64
 		var merged analysis.Stats
-		for _, s := range stats {
+		for _, s := range cstats {
 			totalExecs += s.Execs
+			totalFaults += s.HarnessFaults
 			merged.Merge(s.Filter)
 		}
 		suite = &rvnegtest.Suite{
@@ -94,7 +141,10 @@ func main() {
 		}
 		fmt.Printf("configuration %s on %v (seed %d, %d workers)\n", *cov, isaCfg, *seed, *workers)
 		fmt.Printf("executions:     %d total\n", totalExecs)
-		fmt.Printf("test cases:     %d (merged + minimized)\n", len(cases))
+		fmt.Printf("test cases:     %d (merged)\n", len(cases))
+		if totalFaults > 0 {
+			fmt.Printf("harness faults: %d (see quarantine directory)\n", totalFaults)
+		}
 		if *fltStats {
 			fmt.Print(merged.String())
 		}
@@ -112,9 +162,13 @@ func main() {
 		if st.Crashes+st.Timeouts > 0 {
 			fmt.Printf("crashes: %d, timeouts: %d\n", st.Crashes, st.Timeouts)
 		}
+		if st.HarnessFaults > 0 {
+			fmt.Printf("harness faults: %d (see quarantine directory)\n", st.HarnessFaults)
+		}
 		if *fltStats {
 			fmt.Print(st.Filter.String())
 		}
+		workerStats = []fuzz.Stats{st}
 		if *minimize {
 			min, err := fuzz.Minimize(suite.Cases, cfg)
 			if err != nil {
@@ -138,6 +192,24 @@ func main() {
 			fatalf("exporting ASM: %v", err)
 		}
 		fmt.Printf("assembler sources written to %s\n", *asmDir)
+	}
+	if *statsJSON != "" {
+		det := make([]fuzz.Stats, len(workerStats))
+		for i, s := range workerStats {
+			det[i] = s.Deterministic()
+		}
+		payload := struct {
+			Workers []fuzz.Stats `json:"workers"`
+			Cases   int          `json:"cases"`
+		}{det, len(suite.Cases)}
+		raw, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			fatalf("encoding stats: %v", err)
+		}
+		if err := os.WriteFile(*statsJSON, append(raw, '\n'), 0o644); err != nil {
+			fatalf("writing stats: %v", err)
+		}
+		fmt.Printf("campaign stats written to %s\n", *statsJSON)
 	}
 }
 

@@ -65,6 +65,12 @@ func main() {
 	fmt.Print(rep.Render())
 	fmt.Println("```")
 	fmt.Println()
+	if rep.Degraded() {
+		fmt.Println("**Warning:** this run is degraded — some cells carry harness faults")
+		fmt.Println("(`unhealthy` entries or skipped cases); their values are not real")
+		fmt.Println("verdicts. See the fault notes under the table above.")
+		fmt.Println()
+	}
 	fmt.Println("Paper: Spike 7/9/9; VP 5/32//; sail crash/crash//; GRIFT 124/1047/141.")
 	fmt.Println()
 	fmt.Println("### Findings by mismatch category (section V-B)")
@@ -101,9 +107,13 @@ func main() {
 		r := compliance.DefaultRunner()
 		r.Workers = *workers
 		r.Configs = []isa.Config{c}
-		tr, err := r.Run(torture.Suite(*seed, c, 400, 16))
+		tortureSuite, err := torture.Suite(*seed, c, 400, 16)
 		check(err)
-		or, err := r.Run(compliance.OfficialStyleSuite(c))
+		tr, err := r.Run(tortureSuite)
+		check(err)
+		officialSuite, err := compliance.OfficialStyleSuite(c)
+		check(err)
+		or, err := r.Run(officialSuite)
 		check(err)
 		for j := range tr.Sims {
 			tortureTotal += tr.Cells[0][j].Mismatches

@@ -10,12 +10,15 @@
 package compliance
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
 
 	"rvnegtest/internal/isa"
+	"rvnegtest/internal/resilience"
 	"rvnegtest/internal/sig"
 	"rvnegtest/internal/sim"
 	"rvnegtest/internal/template"
@@ -119,6 +122,35 @@ type Cell struct {
 	Categories [catCount]int
 	// Examples lists up to a few mismatching case indexes for triage.
 	Examples []int
+
+	// HarnessFaults counts runs that failed at the harness level — a
+	// panic isolated by the resilience layer or a wall-clock watchdog
+	// timeout — as opposed to crash/timeout outcomes the simulator
+	// reported through its own error handling.
+	HarnessFaults int `json:",omitempty"`
+	// SkippedUnhealthy counts cases never run because the simulator's
+	// circuit breaker had tripped (consecutive harness faults).
+	SkippedUnhealthy int `json:",omitempty"`
+	// Unhealthy marks a tripped breaker: the cell's counts cover only the
+	// cases run before (and during) the fault streak.
+	Unhealthy bool `json:",omitempty"`
+	// FaultMsgs preserves up to a few distinct harness-fault messages
+	// (e.g. the panic text) for triage.
+	FaultMsgs []string `json:",omitempty"`
+}
+
+// maxFaultMsgs bounds the per-cell fault-message list.
+const maxFaultMsgs = 4
+
+func (c *Cell) addFaultMsg(msg string) {
+	for _, m := range c.FaultMsgs {
+		if m == msg {
+			return
+		}
+	}
+	if len(c.FaultMsgs) < maxFaultMsgs {
+		c.FaultMsgs = append(c.FaultMsgs, msg)
+	}
 }
 
 // merge folds a later shard's partial cell into c, preserving the serial
@@ -138,14 +170,23 @@ func (c *Cell) merge(p *Cell, maxEx int) {
 		}
 		c.Examples = append(c.Examples, idx)
 	}
+	c.HarnessFaults += p.HarnessFaults
+	c.SkippedUnhealthy += p.SkippedUnhealthy
+	c.Unhealthy = c.Unhealthy || p.Unhealthy
+	for _, m := range p.FaultMsgs {
+		c.addFaultMsg(m)
+	}
 }
 
 // String renders the cell the way Table I does: "/" for unsupported
-// configurations, "crash" when the simulator crashed during the run.
+// configurations, "unhealthy" when the circuit breaker gave up on the
+// simulator, "crash" when the simulator crashed during the run.
 func (c Cell) String() string {
 	switch {
 	case !c.Supported:
 		return "/"
+	case c.Unhealthy:
+		return "unhealthy"
 	case c.Crashes > 0:
 		return "crash"
 	default:
@@ -188,7 +229,39 @@ func (r *Report) Render() string {
 				cfg, r.Skipped[i], r.Cases)
 		}
 	}
+	for i, cfg := range r.Configs {
+		for j, name := range r.Sims {
+			c := r.Cells[i][j]
+			if c.HarnessFaults == 0 && c.SkippedUnhealthy == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%v/%s: %d harness fault(s)", cfg, name, c.HarnessFaults)
+			if c.SkippedUnhealthy > 0 {
+				fmt.Fprintf(&b, ", %d case(s) skipped (sut-unhealthy)", c.SkippedUnhealthy)
+			}
+			for _, m := range c.FaultMsgs {
+				fmt.Fprintf(&b, "\n    %s", m)
+			}
+			b.WriteByte('\n')
+		}
+	}
 	return b.String()
+}
+
+// Degraded reports whether any cell was affected by harness-level faults
+// (isolated panics, watchdog timeouts, or breaker-skipped cases). A
+// degraded report is complete — every cell is rendered — but the affected
+// simulator's numbers cover fewer cases than the suite holds. Modeled
+// crash/timeout outcomes do not degrade a report; they are findings.
+func (r *Report) Degraded() bool {
+	for _, row := range r.Cells {
+		for _, c := range row {
+			if c.HarnessFaults > 0 || c.SkippedUnhealthy > 0 || c.Unhealthy {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Runner executes compliance testing for a suite.
@@ -217,6 +290,66 @@ type Runner struct {
 	// Stats describes the most recent Run (workers, executions,
 	// throughput). It is overwritten by each Run call.
 	Stats RunStats
+
+	// CaseTimeout is a wall-clock watchdog per simulator run, on top of
+	// the instruction limit: a wedged run is reaped, classified as a
+	// Timeout, and counted as a harness fault. Zero disables it.
+	CaseTimeout time.Duration
+	// BreakerThreshold is the number of consecutive harness faults that
+	// trips a simulator instance's circuit breaker, skipping its
+	// remaining cases as sut-unhealthy. Zero means
+	// DefaultBreakerThreshold; negative disables the breaker. Each
+	// parallel worker owns its own breaker, so a faulting simulator may
+	// classify slightly differently across worker counts — healthy
+	// simulators' cells stay bit-identical regardless.
+	BreakerThreshold int
+	// QuarantineDir, when set, receives every input that triggered a
+	// harness fault, with the fault detail, for triage.
+	QuarantineDir string
+	// NewSim overrides the simulator factory (resilience tests inject
+	// sim.Faulty here). It must be safe for concurrent calls. Nil uses
+	// sim.New.
+	NewSim func(v *sim.Variant, p template.Platform) (sim.Sim, error)
+}
+
+// DefaultBreakerThreshold is the consecutive-harness-fault count that
+// marks a simulator unhealthy when Runner.BreakerThreshold is zero.
+const DefaultBreakerThreshold = 5
+
+func (r *Runner) breakerThreshold() int {
+	switch {
+	case r.BreakerThreshold < 0:
+		return 0 // disabled
+	case r.BreakerThreshold == 0:
+		return DefaultBreakerThreshold
+	}
+	return r.BreakerThreshold
+}
+
+// newInstances builds one harnessed instance per worker for a variant on
+// a platform. The default factory clones from a pristine base that is
+// never itself run, so post-wedge rebuilds can never copy poisoned state.
+func (r *Runner) newInstances(v *sim.Variant, p template.Platform, workers int) ([]*instance, error) {
+	var factory func() (sim.Sim, error)
+	if r.NewSim != nil {
+		factory = func() (sim.Sim, error) { return r.NewSim(v, p) }
+	} else {
+		base, err := sim.New(v, p)
+		if err != nil {
+			return nil, err
+		}
+		factory = func() (sim.Sim, error) { return base.Clone(), nil }
+	}
+	quar := resilience.NewQuarantine(r.QuarantineDir)
+	out := make([]*instance, workers)
+	for w := range out {
+		in, err := newInstance(v.Name, factory, r.breakerThreshold(), r.CaseTimeout, quar)
+		if err != nil {
+			return nil, err
+		}
+		out[w] = in
+	}
+	return out, nil
 }
 
 // DefaultRunner reproduces the paper's Table I setup.
@@ -229,10 +362,40 @@ func DefaultRunner() *Runner {
 	}
 }
 
+// ErrInterrupted reports that a run stopped on context cancellation
+// (operator SIGINT/SIGTERM). With a checkpoint directory, every
+// configuration row completed before the interruption was persisted and
+// a resumed run continues from the first unfinished row.
+var ErrInterrupted = errors.New("compliance: run interrupted")
+
 // Run executes the whole suite on every (configuration, simulator) pair,
 // dispatching to the serial or the sharded parallel engine according to
 // Workers. Both engines produce bit-identical reports.
 func (r *Runner) Run(suite *Suite) (*Report, error) {
+	return r.RunContext(context.Background(), suite)
+}
+
+// RunContext is Run with cancellation: the engines stop cleanly between
+// cases when ctx is cancelled and RunContext returns ErrInterrupted.
+func (r *Runner) RunContext(ctx context.Context, suite *Suite) (*Report, error) {
+	return r.run(ctx, suite, "")
+}
+
+// RunResumable is RunContext with checkpoint/resume: completed
+// configuration rows are persisted under dir (atomically, versioned) as
+// the run progresses, and a fresh call with the same suite and runner
+// configuration picks up after the last completed row.
+func (r *Runner) RunResumable(ctx context.Context, suite *Suite, dir string) (*Report, error) {
+	if dir == "" {
+		return nil, errors.New("compliance: RunResumable needs a checkpoint directory")
+	}
+	return r.run(ctx, suite, dir)
+}
+
+// run is the engine dispatcher shared by every entry point: it iterates
+// configurations, computing each Table I row with the serial or parallel
+// engine, optionally persisting rows to a checkpoint as they complete.
+func (r *Runner) run(ctx context.Context, suite *Suite, dir string) (*Report, error) {
 	workers := r.workerCount()
 	// More workers than cases only buys idle shards at the price of one
 	// simulator-fleet clone each; extra workers would change nothing in
@@ -245,15 +408,49 @@ func (r *Runner) Run(suite *Suite) (*Report, error) {
 	}
 	start := time.Now()
 	r.Stats = RunStats{Workers: workers, PerWorker: make([]WorkerStats, workers)}
-	var rep *Report
-	var err error
-	if workers <= 1 {
-		rep, err = r.runSerial(suite)
-	} else {
-		rep, err = r.runParallel(suite, workers)
+
+	var ckpt *campaignCheckpoint
+	if dir != "" {
+		var err error
+		ckpt, err = loadOrInitCheckpoint(r, suite, dir)
+		if err != nil {
+			return nil, err
+		}
 	}
-	if err != nil {
-		return nil, err
+
+	rep := r.newReport(suite)
+	for i, cfg := range r.Configs {
+		if ckpt != nil && i < len(ckpt.Rows) {
+			// Row already computed by an earlier, interrupted run.
+			rep.Cells = append(rep.Cells, ckpt.Rows[i].Cells)
+			rep.Skipped = append(rep.Skipped, ckpt.Rows[i].Skipped)
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, ErrInterrupted
+		}
+		var row []Cell
+		var skipped int
+		var err error
+		if workers <= 1 {
+			row, skipped, err = r.runConfigSerial(ctx, suite, cfg)
+		} else {
+			row, skipped, err = r.runConfigParallel(ctx, suite, cfg, workers)
+		}
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, ErrInterrupted
+			}
+			return nil, err
+		}
+		rep.Cells = append(rep.Cells, row)
+		rep.Skipped = append(rep.Skipped, skipped)
+		if ckpt != nil {
+			ckpt.Rows = append(ckpt.Rows, savedRow{Config: cfg.String(), Cells: row, Skipped: skipped})
+			if err := ckpt.save(dir); err != nil {
+				return nil, err
+			}
+		}
 	}
 	r.Stats.Duration = time.Since(start)
 	if s := r.Stats.Duration.Seconds(); s > 0 {
@@ -282,15 +479,30 @@ func (r *Runner) newReport(suite *Suite) *Report {
 // runCase executes one suite case on one simulator under test and folds
 // the outcome into the cell. It reports whether the SUT actually ran:
 // cases whose reference run failed are recorded as skipped and never
-// execute.
-func runCase(cell *Cell, ref sim.Outcome, sut *sim.Simulator, bs []byte, i, maxEx int, dc *sig.DontCare) bool {
+// execute, and a SUT whose breaker tripped skips its remaining cases as
+// sut-unhealthy.
+func runCase(cell *Cell, ref sim.Outcome, in *instance, bs []byte, i, maxEx int, dc *sig.DontCare) bool {
 	if ref.Crashed || ref.TimedOut {
 		// A reference failure makes the case unusable for signature
 		// comparison; record it so the mismatch denominator stays honest.
 		cell.Skipped++
 		return false
 	}
-	out := sut.Run(bs)
+	if in.breaker.Tripped() {
+		cell.Unhealthy = true
+		cell.SkippedUnhealthy++
+		return false
+	}
+	out, harnessFault := in.run(bs)
+	if harnessFault {
+		cell.HarnessFaults++
+		if out.CrashMsg != "" {
+			cell.addFaultMsg(out.CrashMsg)
+		}
+		if in.breaker.Tripped() {
+			cell.Unhealthy = true
+		}
+	}
 	var cat Category
 	switch {
 	case out.Crashed:
@@ -313,6 +525,25 @@ func runCase(cell *Cell, ref sim.Outcome, sut *sim.Simulator, bs []byte, i, maxE
 	return true
 }
 
+// runRefRange computes the reference outcomes for cases [lo, hi) with one
+// harnessed reference instance. A reference harness fault surfaces as a
+// crashed outcome, which downstream comparison records as a skipped case;
+// a tripped reference breaker marks the remaining range the same way.
+func runRefRange(ctx context.Context, refIn *instance, cases [][]byte, refOuts []sim.Outcome, lo, hi int) error {
+	for i := lo; i < hi; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if refIn.breaker.Tripped() {
+			refOuts[i] = sim.Outcome{Crashed: true, CrashMsg: "reference unhealthy (breaker tripped)"}
+			continue
+		}
+		out, _ := refIn.run(cases[i])
+		refOuts[i] = out
+	}
+	return nil
+}
+
 // countSkipped tallies the reference failures of one configuration.
 func countSkipped(refOuts []sim.Outcome) int {
 	n := 0
@@ -324,50 +555,49 @@ func countSkipped(refOuts []sim.Outcome) int {
 	return n
 }
 
-// runSerial is the single-goroutine engine (Workers <= 1).
-func (r *Runner) runSerial(suite *Suite) (*Report, error) {
-	rep := r.newReport(suite)
+// runConfigSerial is the single-goroutine engine (Workers <= 1) for one
+// configuration row.
+func (r *Runner) runConfigSerial(ctx context.Context, suite *Suite, cfg isa.Config) ([]Cell, int, error) {
 	maxEx := r.maxExamples()
-	for _, cfg := range r.Configs {
-		p := template.Platform{Layout: template.DefaultLayout, Cfg: cfg}
-		refSim, err := sim.New(r.Ref, p)
-		if err != nil {
-			return nil, fmt.Errorf("compliance: reference %s on %v: %w", r.Ref.Name, cfg, err)
-		}
-		// Reference signatures are generated once per configuration
-		// (the paper's "separate set of reference outputs per ISA
-		// config").
-		refOuts := make([]sim.Outcome, len(suite.Cases))
-		for i, bs := range suite.Cases {
-			refOuts[i] = refSim.Run(bs)
-		}
-		r.addExecs(0, len(suite.Cases))
-		r.emitProgress(ProgressEvent{Config: cfg, Worker: 0, Hi: len(suite.Cases), Execs: len(suite.Cases)})
-
-		row := make([]Cell, len(r.SUTs))
-		for j, v := range r.SUTs {
-			cell := &row[j]
-			if !v.Supports(cfg) {
-				continue
-			}
-			cell.Supported = true
-			sut, err := sim.New(v, p)
-			if err != nil {
-				return nil, fmt.Errorf("compliance: %s on %v: %w", v.Name, cfg, err)
-			}
-			execs := 0
-			for i, bs := range suite.Cases {
-				if runCase(cell, refOuts[i], sut, bs, i, maxEx, r.DontCare) {
-					execs++
-				}
-			}
-			r.addExecs(0, execs)
-			r.emitProgress(ProgressEvent{Config: cfg, Sim: v.Name, Worker: 0, Hi: len(suite.Cases), Execs: execs})
-		}
-		rep.Cells = append(rep.Cells, row)
-		rep.Skipped = append(rep.Skipped, countSkipped(refOuts))
+	p := template.Platform{Layout: template.DefaultLayout, Cfg: cfg}
+	refIns, err := r.newInstances(r.Ref, p, 1)
+	if err != nil {
+		return nil, 0, fmt.Errorf("compliance: reference %s on %v: %w", r.Ref.Name, cfg, err)
 	}
-	return rep, nil
+	// Reference signatures are generated once per configuration
+	// (the paper's "separate set of reference outputs per ISA
+	// config").
+	refOuts := make([]sim.Outcome, len(suite.Cases))
+	if err := runRefRange(ctx, refIns[0], suite.Cases, refOuts, 0, len(suite.Cases)); err != nil {
+		return nil, 0, err
+	}
+	r.addExecs(0, len(suite.Cases))
+	r.emitProgress(ProgressEvent{Config: cfg, Worker: 0, Hi: len(suite.Cases), Execs: len(suite.Cases)})
+
+	row := make([]Cell, len(r.SUTs))
+	for j, v := range r.SUTs {
+		cell := &row[j]
+		if !v.Supports(cfg) {
+			continue
+		}
+		cell.Supported = true
+		suts, err := r.newInstances(v, p, 1)
+		if err != nil {
+			return nil, 0, fmt.Errorf("compliance: %s on %v: %w", v.Name, cfg, err)
+		}
+		execs := 0
+		for i, bs := range suite.Cases {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
+			if runCase(cell, refOuts[i], suts[0], bs, i, maxEx, r.DontCare) {
+				execs++
+			}
+		}
+		r.addExecs(0, execs)
+		r.emitProgress(ProgressEvent{Config: cfg, Sim: v.Name, Worker: 0, Hi: len(suite.Cases), Execs: execs})
+	}
+	return row, countSkipped(refOuts), nil
 }
 
 // BugFindings renders the per-simulator mismatch-category breakdown, the

@@ -385,7 +385,11 @@ func TestAnalyzeSuite(t *testing.T) {
 	}
 	// The official positive suite has zero negative payload; a fuzzer
 	// suite has plenty (checked in the fuzz package's stats usage).
-	pos := AnalyzeSuite(OfficialStyleSuite(isa.RV32GC))
+	official, err := OfficialStyleSuite(isa.RV32GC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := AnalyzeSuite(official)
 	if pos.IllegalWords != 0 || pos.CasesWithIllegal != 0 {
 		t.Errorf("positive suite has negative payload: %+v", pos)
 	}

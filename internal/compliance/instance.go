@@ -1,0 +1,78 @@
+package compliance
+
+import (
+	"fmt"
+	"time"
+
+	"rvnegtest/internal/resilience"
+	"rvnegtest/internal/sim"
+)
+
+// instance is one simulator under the resilience harness: every run is
+// guarded (panic isolation + wall-clock watchdog), consecutive harness
+// faults feed a circuit breaker, and faulting inputs are quarantined.
+// Each engine worker owns a private instance, so none of this needs
+// locking.
+type instance struct {
+	name string
+	// make builds a fresh simulator: called once up front and again after
+	// a wedge, when the abandoned goroutine still owns the old one.
+	make    func() (sim.Sim, error)
+	s       sim.Sim
+	breaker resilience.Breaker
+	timeout time.Duration
+	quar    *resilience.Quarantine
+}
+
+func newInstance(name string, make func() (sim.Sim, error), threshold int, timeout time.Duration, quar *resilience.Quarantine) (*instance, error) {
+	s, err := make()
+	if err != nil {
+		return nil, err
+	}
+	return &instance{
+		name:    name,
+		make:    make,
+		s:       s,
+		breaker: resilience.Breaker{Threshold: threshold},
+		timeout: timeout,
+		quar:    quar,
+	}, nil
+}
+
+// run executes one case under the harness. harnessFault reports that the
+// outcome was synthesized by the harness (isolated panic or reaped wedge)
+// rather than returned by the simulator's own error handling — only those
+// count against the breaker, because modeled Crashed/TimedOut outcomes
+// are the measurements Phase B exists to take.
+func (in *instance) run(bs []byte) (out sim.Outcome, harnessFault bool) {
+	// Capture the simulator locally: after a wedge in.s is replaced while
+	// the abandoned goroutine still holds the closure.
+	s := in.s
+	out, rec, timedOut := resilience.Guard(in.timeout, func() sim.Outcome {
+		return s.Run(bs)
+	})
+	switch {
+	case rec != nil:
+		in.breaker.RecordFault()
+		in.quarantineWarn(bs, fmt.Sprintf("%s panic: %s\n\n%s", in.name, rec.Msg, rec.Stack))
+		return sim.Outcome{Crashed: true, CrashMsg: rec.Msg}, true
+	case timedOut:
+		in.breaker.RecordFault()
+		in.quarantineWarn(bs, fmt.Sprintf("%s watchdog: no result within %v", in.name, in.timeout))
+		// The reaped goroutine still owns the old simulator; replace it.
+		if s, err := in.make(); err == nil {
+			in.s = s
+		} else {
+			in.breaker.Trip()
+		}
+		return sim.Outcome{TimedOut: true}, true
+	}
+	in.breaker.RecordOK()
+	return out, false
+}
+
+func (in *instance) quarantineWarn(bs []byte, detail string) {
+	if err := in.quar.Save(bs, detail); err != nil {
+		fmt.Printf("compliance: quarantine: %v\n", err)
+	}
+}

@@ -12,6 +12,14 @@ type jsonCell struct {
 	Skipped    int            `json:"skipped,omitempty"`
 	Categories map[string]int `json:"categories,omitempty"`
 	Examples   []int          `json:"examples,omitempty"`
+
+	// Degradation markers: harness-level faults and breaker action, kept
+	// separate from the modeled crash/timeout counts above so dashboards
+	// can tell findings from infrastructure failures.
+	HarnessFaults    int      `json:"harness_faults,omitempty"`
+	SkippedUnhealthy int      `json:"skipped_unhealthy,omitempty"`
+	Unhealthy        bool     `json:"unhealthy,omitempty"`
+	FaultMsgs        []string `json:"fault_msgs,omitempty"`
 }
 
 type jsonRow struct {
@@ -23,12 +31,13 @@ type jsonRow struct {
 type jsonReport struct {
 	Reference string    `json:"reference"`
 	Cases     int       `json:"cases"`
+	Degraded  bool      `json:"degraded,omitempty"`
 	Rows      []jsonRow `json:"rows"`
 }
 
 // JSON serializes the report for CI pipelines and dashboards.
 func (r *Report) JSON() ([]byte, error) {
-	out := jsonReport{Reference: r.RefName, Cases: r.Cases}
+	out := jsonReport{Reference: r.RefName, Cases: r.Cases, Degraded: r.Degraded()}
 	for i, cfg := range r.Configs {
 		row := jsonRow{ISA: cfg.String()}
 		if i < len(r.Skipped) {
@@ -44,6 +53,11 @@ func (r *Report) JSON() ([]byte, error) {
 				Timeouts:   c.Timeouts,
 				Skipped:    c.Skipped,
 				Examples:   c.Examples,
+
+				HarnessFaults:    c.HarnessFaults,
+				SkippedUnhealthy: c.SkippedUnhealthy,
+				Unhealthy:        c.Unhealthy,
+				FaultMsgs:        c.FaultMsgs,
 			}
 			for k, n := range c.Categories {
 				if n > 0 {

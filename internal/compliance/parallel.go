@@ -20,6 +20,7 @@
 package compliance
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -120,20 +121,11 @@ func shardRanges(n, workers int) []shard {
 	return out
 }
 
-// cloneFleet builds one simulator per worker: the base instance plus
-// worker-private clones of its pre-loaded image.
-func cloneFleet(base *sim.Simulator, workers int) []*sim.Simulator {
-	fleet := make([]*sim.Simulator, workers)
-	fleet[0] = base
-	for w := 1; w < workers; w++ {
-		fleet[w] = base.Clone()
-	}
-	return fleet
-}
-
-// runParallel is the sharded engine (Workers > 1).
-func (r *Runner) runParallel(suite *Suite, workers int) (*Report, error) {
-	rep := r.newReport(suite)
+// runConfigParallel is the sharded engine (Workers > 1) for one
+// configuration row. Every worker owns private harnessed instances of
+// the reference and each supported SUT — breakers and watchdog rebuilds
+// included — so the resilience machinery needs no locking.
+func (r *Runner) runConfigParallel(ctx context.Context, suite *Suite, cfg isa.Config, workers int) ([]Cell, int, error) {
 	maxEx := r.maxExamples()
 	shards := shardRanges(len(suite.Cases), workers)
 
@@ -149,81 +141,87 @@ func (r *Runner) runParallel(suite *Suite, workers int) (*Report, error) {
 		r.Progress(ev)
 	}
 
-	for _, cfg := range r.Configs {
-		p := template.Platform{Layout: template.DefaultLayout, Cfg: cfg}
-		refBase, err := sim.New(r.Ref, p)
+	p := template.Platform{Layout: template.DefaultLayout, Cfg: cfg}
+	refIns, err := r.newInstances(r.Ref, p, workers)
+	if err != nil {
+		return nil, 0, fmt.Errorf("compliance: reference %s on %v: %w", r.Ref.Name, cfg, err)
+	}
+	// suts[j] is nil for unsupported simulators, else one instance per
+	// worker.
+	suts := make([][]*instance, len(r.SUTs))
+	for j, v := range r.SUTs {
+		if !v.Supports(cfg) {
+			continue
+		}
+		ins, err := r.newInstances(v, p, workers)
 		if err != nil {
-			return nil, fmt.Errorf("compliance: reference %s on %v: %w", r.Ref.Name, cfg, err)
+			return nil, 0, fmt.Errorf("compliance: %s on %v: %w", v.Name, cfg, err)
 		}
-		refFleet := cloneFleet(refBase, workers)
-		// suts[j] is nil for unsupported simulators, else one clone per
-		// worker.
-		suts := make([][]*sim.Simulator, len(r.SUTs))
-		for j, v := range r.SUTs {
-			if !v.Supports(cfg) {
-				continue
-			}
-			base, err := sim.New(v, p)
-			if err != nil {
-				return nil, fmt.Errorf("compliance: %s on %v: %w", v.Name, cfg, err)
-			}
-			suts[j] = cloneFleet(base, workers)
-		}
+		suts[j] = ins
+	}
 
-		refOuts := make([]sim.Outcome, len(suite.Cases))
-		partials := make([][]Cell, workers) // partials[w][j]
-		execs := make([]int, workers)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				sh := shards[w]
-				// Reference pass for this shard. Other workers may
-				// already be in their SUT passes — safe, because a
-				// shard's comparisons read only its own refOuts range.
+	refOuts := make([]sim.Outcome, len(suite.Cases))
+	partials := make([][]Cell, workers) // partials[w][j]
+	execs := make([]int, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh := shards[w]
+			// Reference pass for this shard. Other workers may
+			// already be in their SUT passes — safe, because a
+			// shard's comparisons read only its own refOuts range.
+			if err := runRefRange(ctx, refIns[w], suite.Cases, refOuts, sh.lo, sh.hi); err != nil {
+				errs[w] = err
+				return
+			}
+			execs[w] += sh.hi - sh.lo
+			emit(ProgressEvent{Config: cfg, Worker: w, Lo: sh.lo, Hi: sh.hi, Execs: sh.hi - sh.lo})
+
+			cells := make([]Cell, len(r.SUTs))
+			for j := range r.SUTs {
+				if suts[j] == nil {
+					continue
+				}
+				cells[j].Supported = true
+				n := 0
 				for i := sh.lo; i < sh.hi; i++ {
-					refOuts[i] = refFleet[w].Run(suite.Cases[i])
-				}
-				execs[w] += sh.hi - sh.lo
-				emit(ProgressEvent{Config: cfg, Worker: w, Lo: sh.lo, Hi: sh.hi, Execs: sh.hi - sh.lo})
-
-				cells := make([]Cell, len(r.SUTs))
-				for j := range r.SUTs {
-					if suts[j] == nil {
-						continue
+					if err := ctx.Err(); err != nil {
+						errs[w] = err
+						return
 					}
-					cells[j].Supported = true
-					n := 0
-					for i := sh.lo; i < sh.hi; i++ {
-						if runCase(&cells[j], refOuts[i], suts[j][w], suite.Cases[i], i, maxEx, r.DontCare) {
-							n++
-						}
+					if runCase(&cells[j], refOuts[i], suts[j][w], suite.Cases[i], i, maxEx, r.DontCare) {
+						n++
 					}
-					execs[w] += n
-					emit(ProgressEvent{Config: cfg, Sim: r.SUTs[j].Name, Worker: w, Lo: sh.lo, Hi: sh.hi, Execs: n})
 				}
-				partials[w] = cells
-			}(w)
-		}
-		wg.Wait()
-
-		// Deterministic merge: shard order equals ascending case order.
-		row := make([]Cell, len(r.SUTs))
-		for j := range r.SUTs {
-			if suts[j] == nil {
-				continue
+				execs[w] += n
+				emit(ProgressEvent{Config: cfg, Sim: r.SUTs[j].Name, Worker: w, Lo: sh.lo, Hi: sh.hi, Execs: n})
 			}
-			row[j].Supported = true
-			for w := 0; w < workers; w++ {
-				row[j].merge(&partials[w][j], maxEx)
-			}
-		}
-		rep.Cells = append(rep.Cells, row)
-		rep.Skipped = append(rep.Skipped, countSkipped(refOuts))
-		for w, n := range execs {
-			r.addExecs(w, n)
+			partials[w] = cells
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
 		}
 	}
-	return rep, nil
+
+	// Deterministic merge: shard order equals ascending case order.
+	row := make([]Cell, len(r.SUTs))
+	for j := range r.SUTs {
+		if suts[j] == nil {
+			continue
+		}
+		row[j].Supported = true
+		for w := 0; w < workers; w++ {
+			row[j].merge(&partials[w][j], maxEx)
+		}
+	}
+	for w, n := range execs {
+		r.addExecs(w, n)
+	}
+	return row, countSkipped(refOuts), nil
 }

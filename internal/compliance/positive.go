@@ -18,12 +18,19 @@ import (
 // Like the official suite, it is per-extension: instructions outside cfg
 // are not emitted (compare torture.Suite and the fuzzer's single
 // all-configuration suite).
-func OfficialStyleSuite(cfg isa.Config) *Suite {
+func OfficialStyleSuite(cfg isa.Config) (*Suite, error) {
 	s := &Suite{Origin: fmt.Sprintf("official-style directed positive suite for %v", cfg)}
+	var encErr error
 	add := func(insts ...isa.Inst) {
 		var bs []byte
 		for _, inst := range insts {
-			w := isa.MustEncode(inst)
+			w, err := isa.Encode(inst)
+			if err != nil {
+				if encErr == nil {
+					encErr = fmt.Errorf("compliance: official-style suite: encoding %s: %w", inst.Op, err)
+				}
+				return
+			}
 			bs = append(bs, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
 		}
 		s.Cases = append(s.Cases, bs)
@@ -132,5 +139,8 @@ func OfficialStyleSuite(cfg isa.Config) *Suite {
 			add(isa.Inst{Op: in.Op})
 		}
 	}
-	return s
+	if encErr != nil {
+		return nil, encErr
+	}
+	return s, nil
 }

@@ -9,7 +9,10 @@ import (
 
 func TestOfficialStyleSuiteWellFormed(t *testing.T) {
 	for _, cfg := range []isa.Config{isa.RV32I, isa.RV32IMC, isa.RV32GC} {
-		suite := OfficialStyleSuite(cfg)
+		suite, err := OfficialStyleSuite(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(suite.Cases) < 100 {
 			t.Fatalf("%v: only %d directed cases", cfg, len(suite.Cases))
 		}
@@ -56,7 +59,10 @@ func TestOfficialSuiteFindsOnlySCW(t *testing.T) {
 	}
 	found := map[key]int{}
 	for _, cfg := range []isa.Config{isa.RV32I, isa.RV32IMC, isa.RV32GC} {
-		suite := OfficialStyleSuite(cfg)
+		suite, err := OfficialStyleSuite(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		r := DefaultRunner()
 		r.Configs = []isa.Config{cfg}
 		rep, err := r.Run(suite)

@@ -70,8 +70,12 @@ func (s *Suite) WriteASM(dir string, l template.Layout) error {
 		return err
 	}
 	for i, bs := range s.Cases {
+		src, err := template.Source(bs, l)
+		if err != nil {
+			return fmt.Errorf("case %d: %w", i, err)
+		}
 		name := filepath.Join(dir, fmt.Sprintf("test_%05d.S", i))
-		if err := os.WriteFile(name, []byte(template.Source(bs, l)), 0o644); err != nil {
+		if err := os.WriteFile(name, []byte(src), 0o644); err != nil {
 			return err
 		}
 	}

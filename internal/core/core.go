@@ -21,7 +21,9 @@ func GenerateSuite(cfg fuzz.Config, maxExecs uint64, maxDur time.Duration) (*com
 	if err != nil {
 		return nil, fuzz.Stats{}, err
 	}
-	f.Run(maxExecs, maxDur)
+	if err := f.Run(maxExecs, maxDur); err != nil {
+		return nil, f.Stats(), err
+	}
 	st := f.Stats()
 	suite := &compliance.Suite{
 		Cases: f.Corpus(),
@@ -51,7 +53,9 @@ func GrowthExperiment(maxExecs uint64, maxDur time.Duration, seed int64) ([]Grow
 		if err != nil {
 			return nil, err
 		}
-		suiteless.Run(maxExecs, maxDur)
+		if err := suiteless.Run(maxExecs, maxDur); err != nil {
+			return nil, err
+		}
 		out = append(out, GrowthResult{Name: name, Stats: suiteless.Stats()})
 	}
 	return out, nil

@@ -1,6 +1,8 @@
 package coverage
 
 import (
+	"fmt"
+
 	"rvnegtest/internal/exec"
 	"rvnegtest/internal/hart"
 	"rvnegtest/internal/isa"
@@ -20,11 +22,13 @@ type Options struct {
 // V0 is code coverage only.
 func V0() Options { return Options{Edges: true} }
 
-// V1 adds the custom coverage rules of DefaultSpec.
+// V1 adds the custom coverage rules of DefaultSpec. DefaultSpec is a
+// compile-time constant validated by tests, so a parse failure is an
+// invariant violation, not an input error — the panic is kept.
 func V1() Options {
 	cfg, err := ParseSpec(DefaultSpec)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("coverage: built-in DefaultSpec failed to parse: %v", err))
 	}
 	return Options{Edges: true, Rules: NewRuleSet(cfg)}
 }

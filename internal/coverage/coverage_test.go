@@ -336,3 +336,49 @@ func TestRunFootprintLeavesRunPending(t *testing.T) {
 		t.Error("out-of-range footprint point must not merge")
 	}
 }
+
+func TestFrontierRoundTrip(t *testing.T) {
+	m := NewMap(64)
+	for i := 0; i < 10; i++ {
+		m.Hit(uint32(i))
+		m.Hit(uint32(i)) // count 2 -> second bucket bit for these points
+	}
+	m.Hit(3)
+	m.MergeNew()
+
+	fr := m.Frontier()
+	bits := m.BucketBits()
+
+	m2 := NewMap(64)
+	m2.Hit(63) // pending run state must be discarded by RestoreFrontier
+	if err := m2.RestoreFrontier(fr); err != nil {
+		t.Fatal(err)
+	}
+	if m2.BucketBits() != bits {
+		t.Fatalf("bits %d != %d after restore", m2.BucketBits(), bits)
+	}
+	// Replaying an input the frontier has seen must not be novel; a new
+	// point must be.
+	for i := 0; i < 10; i++ {
+		m2.Hit(uint32(i))
+		m2.Hit(uint32(i))
+	}
+	m2.Hit(3)
+	if m2.MergeNew() {
+		t.Fatal("already-seen coverage reported novel after restore")
+	}
+	m2.Hit(40)
+	if !m2.MergeNew() {
+		t.Fatal("new point not novel after restore")
+	}
+
+	// Frontier must be a copy, not an alias.
+	fr[0] = 0xff
+	if m.Frontier()[0] == 0xff {
+		t.Fatal("Frontier aliases internal state")
+	}
+
+	if err := m2.RestoreFrontier(make([]byte, 3)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}

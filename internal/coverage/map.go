@@ -11,6 +11,11 @@
 //     values, immediate rules), compiled from a small specification.
 package coverage
 
+import (
+	"fmt"
+	mathbits "math/bits"
+)
+
 // Map is a bucketized hit-count coverage map. Per-run counts are folded
 // into a persistent bucket bitmap; an input is interesting if it sets a
 // bucket bit that no earlier input set (the libFuzzer/AFL notion of new
@@ -147,6 +152,31 @@ func (m *Map) PointsCovered() int {
 		}
 	}
 	return n
+}
+
+// Frontier returns a copy of the persistent bucket bitmap — the coverage
+// frontier a checkpoint must preserve for a resumed campaign to make the
+// same novelty decisions.
+func (m *Map) Frontier() []byte {
+	out := make([]byte, len(m.global))
+	copy(out, m.global)
+	return out
+}
+
+// RestoreFrontier replaces the persistent bitmap with a checkpointed one,
+// recomputing the bucket-bit total and discarding any pending run.
+func (m *Map) RestoreFrontier(frontier []byte) error {
+	if len(frontier) != len(m.global) {
+		return fmt.Errorf("coverage: frontier size %d, map size %d", len(frontier), len(m.global))
+	}
+	copy(m.global, frontier)
+	n := 0
+	for _, g := range m.global {
+		n += mathbits.OnesCount8(g)
+	}
+	m.bits = n
+	m.DiscardRun()
+	return nil
 }
 
 // Reset clears all persistent coverage.

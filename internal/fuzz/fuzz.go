@@ -9,9 +9,16 @@
 // gradual input-length growth when coverage saturates (-len_control), and
 // a custom instruction-aware mutator invoked with equal probability to the
 // generic ones (section IV-D).
+//
+// Campaigns are resilient: a panicking foundation simulator is isolated
+// per step, a wedged run is reaped by a wall-clock watchdog (the target is
+// rebuilt, the coverage frontier preserved), faulting inputs are
+// quarantined for triage, and the whole campaign state checkpoints to
+// disk and resumes bit-identically (checkpoint.go).
 package fuzz
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -20,6 +27,7 @@ import (
 	"rvnegtest/internal/coverage"
 	"rvnegtest/internal/filter"
 	"rvnegtest/internal/isa"
+	"rvnegtest/internal/resilience"
 	"rvnegtest/internal/sim"
 	"rvnegtest/internal/template"
 )
@@ -55,6 +63,19 @@ type Config struct {
 	// libFuzzer's corpus-directory behaviour, the basis of efficient
 	// continuous re-runs.
 	Seeds [][]byte
+
+	// CaseTimeout is a wall-clock watchdog on each simulator run, on top
+	// of the instruction limit: a wedged run is reaped, counted as a
+	// timeout and a harness fault, and the target rebuilt. Zero disables
+	// the watchdog (runs execute inline, panic isolation only).
+	CaseTimeout time.Duration
+	// QuarantineDir, when set, receives every input that triggered a
+	// harness fault (panic or watchdog timeout) together with the fault
+	// detail.
+	QuarantineDir string
+	// NewTarget overrides the foundation-simulator factory (resilience
+	// tests inject sim.Faulty here). Nil uses the reference model.
+	NewTarget func(p template.Platform) (sim.HookedSim, error)
 }
 
 // DefaultConfig mirrors the paper's campaign settings with v3 coverage.
@@ -77,27 +98,44 @@ type TracePoint struct {
 
 // Stats summarizes a campaign.
 type Stats struct {
-	Execs       uint64         `json:"execs"`
-	Dropped     uint64         `json:"dropped"` // filtered out before execution
-	TestCases   int            `json:"test_cases"`
-	Crashes     uint64         `json:"crashes"`
-	Timeouts    uint64         `json:"timeouts"`
-	Duration    time.Duration  `json:"duration_ns"`
-	ExecsPerSec float64        `json:"execs_per_sec"`
-	CovPoints   int            `json:"cov_points"` // coverage points defined
-	CovBits     int            `json:"cov_bits"`   // bucket bits discovered
-	Trace       []TracePoint   `json:"trace,omitempty"`
-	Filter      analysis.Stats `json:"filter"` // drop-reason histogram / acceptance
+	Execs     uint64 `json:"execs"`
+	Dropped   uint64 `json:"dropped"` // filtered out before execution
+	TestCases int    `json:"test_cases"`
+	Crashes   uint64 `json:"crashes"`
+	Timeouts  uint64 `json:"timeouts"`
+	// HarnessFaults counts steps that failed at the harness level — a
+	// panic reaped by the isolation layer or a wall-clock watchdog
+	// timeout — as opposed to modeled crash/timeout outcomes the
+	// simulator reported through its own error handling.
+	HarnessFaults uint64         `json:"harness_faults,omitempty"`
+	Duration      time.Duration  `json:"duration_ns"`
+	ExecsPerSec   float64        `json:"execs_per_sec"`
+	CovPoints     int            `json:"cov_points"` // coverage points defined
+	CovBits       int            `json:"cov_bits"`   // bucket bits discovered
+	Trace         []TracePoint   `json:"trace,omitempty"`
+	Filter        analysis.Stats `json:"filter"` // drop-reason histogram / acceptance
+}
+
+// Deterministic returns the stats with the wall-clock-dependent fields
+// zeroed, so a resumed campaign can be compared byte-for-byte against an
+// uninterrupted one.
+func (s Stats) Deterministic() Stats {
+	s.Duration = 0
+	s.ExecsPerSec = 0
+	return s
 }
 
 // Fuzzer drives one campaign.
 type Fuzzer struct {
-	cfg    Config
-	rng    *rand.Rand
-	flt    *filter.Filter
-	col    *coverage.Collector
-	target *sim.Simulator
-	mut    *mutator
+	cfg      Config
+	src      *resilience.RNG // serializable source behind rng
+	rng      *rand.Rand
+	flt      *filter.Filter
+	col      *coverage.Collector
+	target   sim.HookedSim
+	platform template.Platform
+	mut      *mutator
+	quar     *resilience.Quarantine
 
 	pending [][]byte // seed corpus not yet replayed
 	corpus  [][]byte
@@ -107,13 +145,15 @@ type Fuzzer struct {
 	dropped uint64
 	crashes uint64
 	timeout uint64
+	hfaults uint64
 	stall   int
 	curLen  int
 	elapsed time.Duration
+	broken  error // set when the target could not be rebuilt after a wedge
 }
 
 // New prepares a fuzzer. The foundation simulator is the reference model
-// on the default platform.
+// on the default platform unless Config.NewTarget overrides it.
 func New(cfg Config) (*Fuzzer, error) {
 	if cfg.MaxLen <= 0 {
 		cfg.MaxLen = 64
@@ -131,22 +171,24 @@ func New(cfg Config) (*Fuzzer, error) {
 	if cfg.ISA.Ext == 0 {
 		cfg.ISA = isa.RV32GC
 	}
-	target, err := sim.New(sim.Reference, template.Platform{
-		Layout: template.DefaultLayout,
-		Cfg:    cfg.ISA,
-	})
+	platform := template.Platform{Layout: template.DefaultLayout, Cfg: cfg.ISA}
+	target, err := makeTarget(cfg, platform)
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	src := resilience.NewRNG(cfg.Seed)
+	rng := rand.New(src)
 	f := &Fuzzer{
-		cfg:    cfg,
-		rng:    rng,
-		flt:    &filter.Filter{MaxLen: cfg.MaxLen},
-		col:    coverage.NewCollector(cfg.Coverage),
-		target: target,
-		mut:    newMutator(rng),
-		curLen: 8,
+		cfg:      cfg,
+		src:      src,
+		rng:      rng,
+		flt:      &filter.Filter{MaxLen: cfg.MaxLen},
+		col:      coverage.NewCollector(cfg.Coverage),
+		target:   target,
+		platform: platform,
+		mut:      newMutator(rng),
+		quar:     resilience.NewQuarantine(cfg.QuarantineDir),
+		curLen:   8,
 	}
 	for _, s := range cfg.Seeds {
 		if len(s) <= cfg.MaxLen {
@@ -154,6 +196,33 @@ func New(cfg Config) (*Fuzzer, error) {
 		}
 	}
 	return f, nil
+}
+
+func makeTarget(cfg Config, p template.Platform) (sim.HookedSim, error) {
+	if cfg.NewTarget != nil {
+		return cfg.NewTarget(p)
+	}
+	return sim.New(sim.Reference, p)
+}
+
+// rebuildTarget replaces a target poisoned by an abandoned (wedged) run
+// with a fresh instance and a fresh collector carrying the old coverage
+// frontier. The abandoned goroutine keeps only the old collector's
+// per-run state, so the new one races with nothing.
+func (f *Fuzzer) rebuildTarget() {
+	target, err := makeTarget(f.cfg, f.platform)
+	if err != nil {
+		f.broken = fmt.Errorf("fuzz: rebuilding target after wedge: %w", err)
+		return
+	}
+	frontier := f.col.Map.Frontier()
+	col := coverage.NewCollector(f.cfg.Coverage)
+	if err := col.Map.RestoreFrontier(frontier); err != nil {
+		f.broken = fmt.Errorf("fuzz: restoring frontier after wedge: %w", err)
+		return
+	}
+	f.target = target
+	f.col = col
 }
 
 // Step performs one fuzzer execution; it reports whether the input was
@@ -175,8 +244,27 @@ func (f *Fuzzer) Step() bool {
 		}
 	}
 
-	out := f.target.RunHooked(input, f.col)
+	target, col := f.target, f.col
+	out, rec, timedOut := resilience.Guard(f.cfg.CaseTimeout, func() sim.Outcome {
+		return target.RunHooked(input, col)
+	})
 	switch {
+	case rec != nil:
+		// The simulator unwound past its own recovery — a harness-level
+		// fault, isolated here so the campaign continues.
+		f.crashes++
+		f.hfaults++
+		f.quarantineWarn(input, "panic: "+rec.Msg+"\n\n"+rec.Stack)
+		f.col.Map.DiscardRun()
+		return false
+	case timedOut:
+		// Wedged run reaped by the watchdog; its goroutine still owns the
+		// old target and collector, so both are replaced.
+		f.timeout++
+		f.hfaults++
+		f.quarantineWarn(input, fmt.Sprintf("watchdog: no result within %v", f.cfg.CaseTimeout))
+		f.rebuildTarget()
+		return false
 	case out.Crashed:
 		f.crashes++
 		f.col.Map.DiscardRun()
@@ -198,6 +286,12 @@ func (f *Fuzzer) Step() bool {
 	f.corpus = append(f.corpus, append([]byte(nil), input...))
 	f.trace = append(f.trace, TracePoint{Execs: f.execs, TestCases: len(f.corpus)})
 	return true
+}
+
+func (f *Fuzzer) quarantineWarn(input []byte, detail string) {
+	if err := f.quar.Save(input, detail); err != nil {
+		fmt.Printf("fuzz: quarantine: %v\n", err)
+	}
 }
 
 // nextInput produces the next candidate bytestream.
@@ -224,17 +318,32 @@ func (f *Fuzzer) nextInput() []byte {
 
 // Run executes until maxExecs executions or maxDur wall time (whichever
 // comes first; zero disables a bound, but at least one must be set).
-func (f *Fuzzer) Run(maxExecs uint64, maxDur time.Duration) {
+func (f *Fuzzer) Run(maxExecs uint64, maxDur time.Duration) error {
+	return f.RunContext(context.Background(), maxExecs, maxDur)
+}
+
+// RunContext is Run with cancellation: the loop stops cleanly between
+// steps when ctx is cancelled, returning ctx.Err(). It also stops with an
+// error if the foundation simulator wedged and could not be rebuilt.
+func (f *Fuzzer) RunContext(ctx context.Context, maxExecs uint64, maxDur time.Duration) error {
 	if maxExecs == 0 && maxDur == 0 {
-		panic("fuzz: Run needs a bound")
+		return fmt.Errorf("fuzz: Run needs an execution or duration bound")
 	}
 	deadline := time.Now().Add(maxDur)
 	for {
+		if f.broken != nil {
+			return f.broken
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
 		if maxExecs > 0 && f.execs >= maxExecs {
-			return
+			return nil
 		}
 		if maxDur > 0 && !time.Now().Before(deadline) {
-			return
+			return nil
 		}
 		f.Step()
 	}
@@ -244,6 +353,9 @@ func (f *Fuzzer) Run(maxExecs uint64, maxDur time.Duration) {
 // collection order.
 func (f *Fuzzer) Corpus() [][]byte { return f.corpus }
 
+// Execs returns the number of executions performed so far.
+func (f *Fuzzer) Execs() uint64 { return f.execs }
+
 // Stats returns campaign statistics.
 func (f *Fuzzer) Stats() Stats {
 	eps := 0.0
@@ -251,16 +363,17 @@ func (f *Fuzzer) Stats() Stats {
 		eps = float64(f.execs) / f.elapsed.Seconds()
 	}
 	return Stats{
-		Execs:       f.execs,
-		Dropped:     f.dropped,
-		TestCases:   len(f.corpus),
-		Crashes:     f.crashes,
-		Timeouts:    f.timeout,
-		Duration:    f.elapsed,
-		ExecsPerSec: eps,
-		CovPoints:   f.col.NumPoints(),
-		CovBits:     f.col.Map.BucketBits(),
-		Trace:       f.trace,
-		Filter:      f.fstats,
+		Execs:         f.execs,
+		Dropped:       f.dropped,
+		TestCases:     len(f.corpus),
+		Crashes:       f.crashes,
+		Timeouts:      f.timeout,
+		HarnessFaults: f.hfaults,
+		Duration:      f.elapsed,
+		ExecsPerSec:   eps,
+		CovPoints:     f.col.NumPoints(),
+		CovBits:       f.col.Map.BucketBits(),
+		Trace:         f.trace,
+		Filter:        f.fstats,
 	}
 }

@@ -1,18 +1,55 @@
 package fuzz
 
-import "sync"
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+)
 
-// ParallelCampaign runs `workers` independent fuzzers concurrently (each
-// with its own seed, derived from cfg.Seed) and merges their corpora in
-// worker order, so the overall result is deterministic for a given
-// (seed, workers, budget) triple. The merged corpus is minimized against
-// the configuration's coverage so redundant cases from different workers
-// collapse; the minimization replay is sharded across the same worker
-// count (MinimizeParallel), keeping the post-merge step off the critical
-// path instead of re-executing the whole merged corpus serially.
-func ParallelCampaign(cfg Config, workers int, execsEach uint64) ([][]byte, []Stats, error) {
+// ErrInterrupted reports that a campaign stopped on context cancellation
+// (operator SIGINT/SIGTERM) after checkpointing its state; resuming from
+// the checkpoint directory continues bit-identically.
+var ErrInterrupted = errors.New("fuzz: campaign interrupted")
+
+// CampaignConfig shapes a (possibly parallel, possibly resumable)
+// campaign around the per-fuzzer Config.
+type CampaignConfig struct {
+	// Workers is the number of independent fuzzers (each seeded
+	// cfg.Seed + worker index); values below 1 mean 1.
+	Workers int
+	// ExecsEach is each worker's execution budget.
+	ExecsEach uint64
+	// CheckpointDir, when set, enables checkpoint/resume: each worker
+	// keeps its state under <dir>/worker-NNN, saved every
+	// CheckpointEvery executions and on cancellation, and an existing
+	// checkpoint is resumed instead of starting over.
+	CheckpointDir string
+	// CheckpointEvery is the periodic checkpoint interval in executions
+	// (default 100000 when checkpointing is enabled).
+	CheckpointEvery uint64
+	// Minimize replays the merged corpus and drops cases that add no
+	// coverage (always on for multi-worker merges via ParallelCampaign).
+	Minimize bool
+}
+
+// Campaign runs a campaign of cc.Workers independent fuzzers and merges
+// their corpora in worker order, so the result is deterministic for a
+// given (seed, workers, budget) triple regardless of scheduling — and,
+// with CheckpointDir set, regardless of how many times the campaign was
+// interrupted and resumed in between.
+//
+// On ctx cancellation every worker checkpoints (when enabled) and
+// Campaign returns ErrInterrupted with the partial per-worker stats.
+func Campaign(ctx context.Context, cfg Config, cc CampaignConfig) ([][]byte, []Stats, error) {
+	workers := cc.Workers
 	if workers < 1 {
 		workers = 1
+	}
+	every := cc.CheckpointEvery
+	if every == 0 {
+		every = 100000
 	}
 	type result struct {
 		corpus [][]byte
@@ -27,29 +64,87 @@ func ParallelCampaign(cfg Config, workers int, execsEach uint64) ([][]byte, []St
 			defer wg.Done()
 			c := cfg
 			c.Seed = cfg.Seed + int64(w)
-			f, err := New(c)
+			var dir string
+			if cc.CheckpointDir != "" {
+				dir = filepath.Join(cc.CheckpointDir, fmt.Sprintf("worker-%03d", w))
+			}
+			f, err := newOrResume(c, dir)
 			if err != nil {
 				results[w].err = err
 				return
 			}
-			f.Run(execsEach, 0)
-			results[w] = result{corpus: f.Corpus(), stats: f.Stats()}
+			err = runWorker(ctx, f, dir, cc.ExecsEach, every)
+			results[w] = result{corpus: f.Corpus(), stats: f.Stats(), err: err}
 		}(w)
 	}
 	wg.Wait()
 
 	var merged [][]byte
 	var stats []Stats
+	interrupted := false
 	for _, r := range results {
-		if r.err != nil {
+		switch {
+		case r.err == nil:
+		case errors.Is(r.err, context.Canceled) || errors.Is(r.err, context.DeadlineExceeded):
+			interrupted = true
+		default:
 			return nil, nil, r.err
 		}
 		merged = append(merged, r.corpus...)
 		stats = append(stats, r.stats)
 	}
-	minimized, err := MinimizeParallel(merged, cfg, workers)
-	if err != nil {
-		return nil, nil, err
+	if interrupted {
+		return merged, stats, ErrInterrupted
 	}
-	return minimized, stats, nil
+	if cc.Minimize {
+		minimized, err := MinimizeParallel(merged, cfg, workers)
+		if err != nil {
+			return nil, nil, err
+		}
+		return minimized, stats, nil
+	}
+	return merged, stats, nil
+}
+
+func newOrResume(cfg Config, dir string) (*Fuzzer, error) {
+	if dir != "" && HasCheckpoint(dir) {
+		return Resume(cfg, dir)
+	}
+	return New(cfg)
+}
+
+// runWorker drives one fuzzer to its execution budget in checkpoint-sized
+// chunks, persisting after each chunk and once more on cancellation.
+func runWorker(ctx context.Context, f *Fuzzer, dir string, budget, every uint64) error {
+	if dir == "" {
+		return f.RunContext(ctx, budget, 0)
+	}
+	for f.Execs() < budget {
+		next := f.Execs() + every
+		if next > budget {
+			next = budget
+		}
+		err := f.RunContext(ctx, next, 0)
+		if saveErr := f.SaveCheckpoint(dir); saveErr != nil {
+			return saveErr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParallelCampaign runs `workers` independent fuzzers concurrently and
+// merges their corpora in worker order; the merged corpus is minimized
+// against the configuration's coverage so redundant cases from different
+// workers collapse, with the minimization replay sharded across the same
+// worker count (MinimizeParallel). Kept as the simple non-resumable entry
+// point; Campaign adds cancellation and checkpoint/resume.
+func ParallelCampaign(cfg Config, workers int, execsEach uint64) ([][]byte, []Stats, error) {
+	return Campaign(context.Background(), cfg, CampaignConfig{
+		Workers:   workers,
+		ExecsEach: execsEach,
+		Minimize:  true,
+	})
 }

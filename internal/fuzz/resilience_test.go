@@ -1,0 +1,254 @@
+package fuzz
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rvnegtest/internal/coverage"
+	"rvnegtest/internal/sim"
+	"rvnegtest/internal/template"
+)
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// TestCheckpointResumeBitIdentical interrupts a serial campaign at a
+// checkpoint and proves the resumed continuation reproduces the
+// uninterrupted run exactly: same corpus bytes, same deterministic stats.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	cfg := smallConfig(coverage.V1(), 11)
+	const budget = 12000
+
+	base, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Run(budget, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	f1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.Run(5000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.SaveCheckpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Resume(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f2.Execs(); got != 5000 {
+		t.Fatalf("resumed at %d execs, want 5000", got)
+	}
+	if err := f2.Run(budget, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(base.Corpus(), f2.Corpus()) {
+		t.Fatalf("resumed corpus differs: %d vs %d cases", len(f2.Corpus()), len(base.Corpus()))
+	}
+	want := mustJSON(t, base.Stats().Deterministic())
+	got := mustJSON(t, f2.Stats().Deterministic())
+	if want != got {
+		t.Fatalf("deterministic stats differ:\n  uninterrupted: %s\n  resumed:       %s", want, got)
+	}
+}
+
+// TestCampaignInterruptResumeDeterministic cancels a checkpointed campaign
+// mid-run and resumes it, for 1 and 4 workers; the final merged corpus and
+// per-worker stats must match an uninterrupted campaign byte for byte.
+func TestCampaignInterruptResumeDeterministic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		cfg := smallConfig(coverage.V1(), 33)
+		cc := CampaignConfig{Workers: workers, ExecsEach: 9000}
+
+		wantCases, wantStats, err := Campaign(context.Background(), cfg, cc)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		ckpt := cc
+		ckpt.CheckpointDir = t.TempDir()
+		ckpt.CheckpointEvery = 1500
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		_, _, err = Campaign(ctx, cfg, ckpt)
+		cancel()
+		if err != nil && !errors.Is(err, ErrInterrupted) {
+			t.Fatal(err)
+		}
+		interrupted := err != nil
+
+		gotCases, gotStats, err := Campaign(context.Background(), cfg, ckpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if !reflect.DeepEqual(wantCases, gotCases) {
+			t.Fatalf("workers=%d: resumed corpus differs (%d vs %d cases, interrupted=%t)",
+				workers, len(gotCases), len(wantCases), interrupted)
+		}
+		if len(gotStats) != len(wantStats) {
+			t.Fatalf("workers=%d: %d stats entries, want %d", workers, len(gotStats), len(wantStats))
+		}
+		for w := range wantStats {
+			want := mustJSON(t, wantStats[w].Deterministic())
+			got := mustJSON(t, gotStats[w].Deterministic())
+			if want != got {
+				t.Fatalf("workers=%d worker %d: deterministic stats differ (interrupted=%t):\n  uninterrupted: %s\n  resumed:       %s",
+					workers, w, interrupted, want, got)
+			}
+		}
+		t.Logf("workers=%d: %d cases, interrupted mid-run: %t", workers, len(gotCases), interrupted)
+	}
+}
+
+func TestResumeRejectsDifferentCampaign(t *testing.T) {
+	cfg := smallConfig(coverage.V1(), 3)
+	dir := t.TempDir()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Run(500, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SaveCheckpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Seed = 4
+	if _, err := Resume(other, dir); err == nil {
+		t.Fatal("Resume accepted a checkpoint from a different campaign")
+	}
+	if _, err := Resume(cfg, t.TempDir()); err == nil {
+		t.Fatal("Resume accepted an empty directory")
+	}
+}
+
+func TestRunNeedsABound(t *testing.T) {
+	f, err := New(smallConfig(coverage.V0(), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Run(0, 0); err == nil {
+		t.Fatal("Run without any bound did not error")
+	}
+}
+
+func faultyFactory(plan sim.Schedule, msg string, release <-chan struct{}) func(template.Platform) (sim.HookedSim, error) {
+	return func(p template.Platform) (sim.HookedSim, error) {
+		inner, err := sim.New(sim.Reference, p)
+		if err != nil {
+			return nil, err
+		}
+		return &sim.Faulty{Inner: inner, Plan: plan, PanicMsg: msg, Release: release}, nil
+	}
+}
+
+// TestPanicIsolationQuarantinesInput proves a panicking foundation
+// simulator does not kill the campaign: the panic is counted as a harness
+// fault and the offending input lands in quarantine with its message.
+func TestPanicIsolationQuarantinesInput(t *testing.T) {
+	qdir := t.TempDir()
+	cfg := smallConfig(coverage.V1(), 5)
+	cfg.QuarantineDir = qdir
+	calls := 0
+	cfg.NewTarget = faultyFactory(func([]byte) sim.Fault {
+		calls++
+		if calls%50 == 0 {
+			return sim.FaultPanic
+		}
+		return sim.FaultNone
+	}, "exec: unhandled operation 0xbeef", nil)
+
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Run(2000, 0); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.Execs != 2000 {
+		t.Fatalf("campaign stopped at %d execs", st.Execs)
+	}
+	if st.HarnessFaults == 0 {
+		t.Fatal("no harness faults recorded despite injected panics")
+	}
+	if st.Crashes < st.HarnessFaults {
+		t.Fatalf("crashes %d < harness faults %d", st.Crashes, st.HarnessFaults)
+	}
+	ents, err := os.ReadDir(qdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawDetail bool
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".txt") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(qdir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(data), "exec: unhandled operation 0xbeef") {
+			sawDetail = true
+		}
+	}
+	if !sawDetail {
+		t.Fatalf("quarantine (%d entries) lacks the panic message", len(ents))
+	}
+}
+
+// TestWatchdogReapsWedgedTarget wedges the simulator once; the watchdog
+// must reap it, rebuild the target, and let the campaign finish its budget.
+func TestWatchdogReapsWedgedTarget(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release) // let the abandoned goroutine exit at teardown
+	cfg := smallConfig(coverage.V1(), 6)
+	cfg.CaseTimeout = 50 * time.Millisecond
+	var calls atomic.Int64 // Plan runs on guard goroutines, not the test's
+	cfg.NewTarget = faultyFactory(func([]byte) sim.Fault {
+		if calls.Add(1) == 10 {
+			return sim.FaultWedge
+		}
+		return sim.FaultNone
+	}, "", release)
+
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Run(600, 0); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.Execs != 600 {
+		t.Fatalf("campaign stopped at %d execs after the wedge", st.Execs)
+	}
+	if st.Timeouts == 0 || st.HarnessFaults == 0 {
+		t.Fatalf("wedge not observed: timeouts=%d, harness faults=%d", st.Timeouts, st.HarnessFaults)
+	}
+	if st.TestCases == 0 {
+		t.Fatal("no test cases collected after target rebuild")
+	}
+}

@@ -115,12 +115,15 @@ func Encode(inst Inst) (uint32, error) {
 	return w, nil
 }
 
-// MustEncode is Encode but panics on error; for statically known-good
-// instructions (template generation, tests).
+// MustEncode is Encode but panics on error. It is reserved for
+// statically known-good instructions — struct-literal test streams and
+// init-time tables — where a failure is a programming error, not an
+// input; library code paths that encode generated or caller-supplied
+// instructions must use Encode and return the error.
 func MustEncode(inst Inst) uint32 {
 	w, err := Encode(inst)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("isa: MustEncode on invariant instruction %s: %v", inst.Op, err))
 	}
 	return w
 }

@@ -1,0 +1,42 @@
+package resilience
+
+// Breaker is a consecutive-fault circuit breaker for one simulator
+// instance: harness-level faults (reaped panics, watchdog timeouts)
+// increment a streak that any successful run resets; when the streak
+// reaches Threshold the breaker opens and stays open, and the caller
+// marks the target's remaining work skipped instead of burning the shard
+// on a target that will fault on every input.
+//
+// Modeled defects — a simulator outcome that reports Crashed or TimedOut
+// through its own error handling — are measurements, not harness faults,
+// and must not be recorded here (the paper's sail-riscv "crash" cells are
+// findings, not infrastructure failures).
+type Breaker struct {
+	// Threshold is the consecutive-fault count that opens the breaker;
+	// zero or negative disables it.
+	Threshold int
+
+	streak  int
+	tripped bool
+}
+
+// RecordFault counts one harness-level fault.
+func (b *Breaker) RecordFault() {
+	if b.Threshold <= 0 {
+		return
+	}
+	b.streak++
+	if b.streak >= b.Threshold {
+		b.tripped = true
+	}
+}
+
+// RecordOK resets the consecutive-fault streak.
+func (b *Breaker) RecordOK() { b.streak = 0 }
+
+// Trip opens the breaker unconditionally (e.g. the instance could not be
+// rebuilt after a wedge).
+func (b *Breaker) Trip() { b.tripped = true }
+
+// Tripped reports whether the breaker is open.
+func (b *Breaker) Tripped() bool { return b.tripped }

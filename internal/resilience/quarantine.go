@@ -1,0 +1,52 @@
+package resilience
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Quarantine preserves inputs that triggered harness-level faults so they
+// can be triaged after a campaign. Each fault produces a pair of files:
+//
+//	case-<in12>-<d4>.bin   the raw byte stream that was running
+//	case-<in12>-<d4>.txt   the fault detail (panic message + stack, or
+//	                       a watchdog-timeout note)
+//
+// where <in12> is the first 12 hex digits of the input's SHA-256 and <d4>
+// the first 4 of the detail's, so the same input faulting two different
+// ways yields two entries while exact duplicates overwrite idempotently.
+// A nil *Quarantine or empty Dir disables saving.
+type Quarantine struct {
+	Dir string
+}
+
+// NewQuarantine returns a quarantine rooted at dir, or nil when dir is
+// empty (quarantine disabled).
+func NewQuarantine(dir string) *Quarantine {
+	if dir == "" {
+		return nil
+	}
+	return &Quarantine{Dir: dir}
+}
+
+// Save records one faulting input with its fault detail. Errors are
+// returned for the caller to surface as warnings; a full disk must not
+// kill the campaign the quarantine exists to protect.
+func (q *Quarantine) Save(input []byte, detail string) error {
+	if q == nil || q.Dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(q.Dir, 0o755); err != nil {
+		return err
+	}
+	in := sha256.Sum256(input)
+	dt := sha256.Sum256([]byte(detail))
+	base := fmt.Sprintf("case-%s-%s", hex.EncodeToString(in[:6]), hex.EncodeToString(dt[:2]))
+	if err := WriteFileAtomic(filepath.Join(q.Dir, base+".bin"), input); err != nil {
+		return err
+	}
+	return WriteFileAtomic(filepath.Join(q.Dir, base+".txt"), []byte(detail))
+}

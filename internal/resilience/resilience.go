@@ -1,0 +1,50 @@
+// Package resilience is the campaign-durability layer: the paper's Phase A
+// is a long fuzzing campaign and Phase B a suite run across many
+// simulators-under-test, and neither may die to a single misbehaving
+// target or an operator Ctrl-C. The package provides the four mechanisms
+// both phases share:
+//
+//   - fault isolation: Safe/Guard convert a panicking simulator into a
+//     captured (message, stack) record instead of unwinding the worker;
+//   - watchdog deadlines: Guard reaps a wedged run after a wall-clock
+//     deadline on top of the instruction limit, abandoning the goroutine
+//     so the worker continues (the caller must discard the poisoned
+//     simulator instance);
+//   - circuit breaking: a Breaker counts consecutive harness-level faults
+//     from one target and opens after a threshold, so a truly broken
+//     simulator degrades to skipped cells instead of burning the shard;
+//   - durable state: WriteFileAtomic and the SaveJSON/LoadJSON envelope
+//     implement versioned, crash-safe checkpoint files
+//     (write-temp-then-rename, fsync'd), and Quarantine preserves the
+//     inputs that triggered harness faults for triage.
+//
+// The serializable RNG lives here too: checkpoint/resume can only be
+// bit-identical if the mutation stream is resumable, which math/rand's
+// hidden source state does not allow.
+package resilience
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Recovered describes one panic captured by the fault-isolation layer.
+type Recovered struct {
+	// Msg is the panic value, stringified (the "sail decoder crash: ..."
+	// class of message must survive to the report).
+	Msg string
+	// Stack is the goroutine stack at the recovery point.
+	Stack string
+}
+
+// Safe runs fn, converting a panic into a Recovered record. It returns
+// nil when fn completes normally.
+func Safe(fn func()) (rec *Recovered) {
+	defer func() {
+		if v := recover(); v != nil {
+			rec = &Recovered{Msg: fmt.Sprint(v), Stack: string(debug.Stack())}
+		}
+	}()
+	fn()
+	return nil
+}

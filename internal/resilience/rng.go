@@ -1,0 +1,73 @@
+package resilience
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RNG is a serializable xoshiro256++ generator implementing
+// math/rand.Source64. The fuzzer's mutation stream is drawn through it so
+// a checkpoint can capture the generator mid-campaign and a resumed run
+// continues bit-identically — math/rand's own sources hide their state.
+//
+// rand.Rand keeps no state of its own for the methods the fuzzer uses
+// (Intn, Int63, Uint32, Float64, Shuffle all draw straight from the
+// source), so restoring the source state is sufficient to restore the
+// whole stream.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG seeds a generator (splitmix64 expansion of the seed, the
+// xoshiro authors' recommended initialization).
+func NewRNG(seed int64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator to the deterministic state for seed.
+func (r *RNG) Seed(seed int64) {
+	x := uint64(seed)
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+}
+
+func rotl64(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next value of the xoshiro256++ sequence.
+func (r *RNG) Uint64() uint64 {
+	out := rotl64(r.s[0]+r.s[3], 23) + r.s[0]
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl64(r.s[3], 45)
+	return out
+}
+
+// Int63 implements math/rand.Source.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// State returns the generator state for checkpointing.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// Restore replaces the generator state with a checkpointed one. The
+// all-zero state is invalid for xoshiro (it is a fixed point) and is
+// rejected as a corrupt checkpoint.
+func (r *RNG) Restore(s [4]uint64) error {
+	if s == ([4]uint64{}) {
+		return fmt.Errorf("resilience: all-zero RNG state (corrupt checkpoint)")
+	}
+	r.s = s
+	return nil
+}
+
+var _ rand.Source64 = (*RNG)(nil)

@@ -144,6 +144,20 @@ type Outcome struct {
 	Insts     uint64
 }
 
+// Sim is the minimal simulator interface the compliance engine drives:
+// run one bytestream test case, report the outcome. Implemented by
+// *Simulator and by the Faulty fault-injection wrapper.
+type Sim interface {
+	Run(bs []byte) Outcome
+}
+
+// HookedSim is a Sim that also supports coverage-hooked execution (the
+// fuzzing phase).
+type HookedSim interface {
+	Sim
+	RunHooked(bs []byte, hook exec.Hook) Outcome
+}
+
 // Simulator is a variant instantiated for one platform, with the test-case
 // template pre-compiled and pre-loaded (the paper's fuzzing-phase setup;
 // the compliance phase re-uses it because the template test suite proves
@@ -238,3 +252,5 @@ func (s *Simulator) RunHooked(bs []byte, hook exec.Hook) (out Outcome) {
 	out.Signature = signature
 	return out
 }
+
+var _ HookedSim = (*Simulator)(nil)

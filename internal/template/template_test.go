@@ -232,10 +232,23 @@ func TestInjectTooLong(t *testing.T) {
 }
 
 func TestSourceDeterminism(t *testing.T) {
-	a := Source([]byte{1, 2, 3, 4}, DefaultLayout)
-	b := Source([]byte{1, 2, 3, 4}, DefaultLayout)
+	a, err := Source([]byte{1, 2, 3, 4}, DefaultLayout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Source([]byte{1, 2, 3, 4}, DefaultLayout)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a != b {
 		t.Error("Source must be deterministic")
+	}
+}
+
+func TestSourceOversizeError(t *testing.T) {
+	_, err := Source(make([]byte, DefaultLayout.MaxBytes()+1), DefaultLayout)
+	if err == nil {
+		t.Fatal("oversize bytestream must be an error, not a panic")
 	}
 }
 

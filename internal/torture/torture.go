@@ -148,7 +148,7 @@ func (g *Generator) snippets() []snippet {
 
 // TestCase generates one positive test case of at most maxWords
 // instructions, encoded as a little-endian bytestream.
-func (g *Generator) TestCase(maxWords int) []byte {
+func (g *Generator) TestCase(maxWords int) ([]byte, error) {
 	pool := g.snippets()
 	var insts []isa.Inst
 	for len(insts) < maxWords-3 {
@@ -169,20 +169,27 @@ func (g *Generator) TestCase(maxWords int) []byte {
 	}
 	out := make([]byte, 0, len(insts)*4)
 	for _, inst := range insts {
-		w := isa.MustEncode(inst)
+		w, err := isa.Encode(inst)
+		if err != nil {
+			return nil, fmt.Errorf("torture: encoding %s: %w", inst.Op, err)
+		}
 		out = append(out, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
 	}
-	return out
+	return out, nil
 }
 
 // Suite generates a full positive-testing suite.
-func Suite(seed int64, cfg isa.Config, cases, maxWords int) *compliance.Suite {
+func Suite(seed int64, cfg isa.Config, cases, maxWords int) (*compliance.Suite, error) {
 	g := New(seed, cfg)
 	s := &compliance.Suite{
 		Origin: fmt.Sprintf("torture-style positive generator seed=%d isa=%v", seed, cfg),
 	}
 	for i := 0; i < cases; i++ {
-		s.Cases = append(s.Cases, g.TestCase(maxWords))
+		bs, err := g.TestCase(maxWords)
+		if err != nil {
+			return nil, err
+		}
+		s.Cases = append(s.Cases, bs)
 	}
-	return s
+	return s, nil
 }

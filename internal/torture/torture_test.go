@@ -15,7 +15,10 @@ func TestAllInstructionsValid(t *testing.T) {
 	for _, cfg := range []isa.Config{isa.RV32I, isa.RV32IMC, isa.RV32GC} {
 		g := New(7, cfg)
 		for c := 0; c < 300; c++ {
-			bs := g.TestCase(16)
+			bs, err := g.TestCase(16)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if len(bs)%4 != 0 {
 				t.Fatalf("%v: unaligned bytestream length %d", cfg, len(bs))
 			}
@@ -40,7 +43,10 @@ func TestAllCasesPassFilter(t *testing.T) {
 	for _, cfg := range []isa.Config{isa.RV32I, isa.RV32GC} {
 		g := New(11, cfg)
 		for c := 0; c < 500; c++ {
-			bs := g.TestCase(16)
+			bs, err := g.TestCase(16)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if res := flt.Check(bs); !res.Accepted {
 				t.Fatalf("%v case %d rejected: %v (stream %x)", cfg, c, res, bs)
 			}
@@ -49,8 +55,14 @@ func TestAllCasesPassFilter(t *testing.T) {
 }
 
 func TestDeterministic(t *testing.T) {
-	a := Suite(3, isa.RV32GC, 50, 16)
-	b := Suite(3, isa.RV32GC, 50, 16)
+	a, err := Suite(3, isa.RV32GC, 50, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Suite(3, isa.RV32GC, 50, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(a.Cases) != len(b.Cases) {
 		t.Fatal("case counts differ")
 	}
@@ -72,7 +84,10 @@ func TestPositiveTestingMissesNegativeBugs(t *testing.T) {
 	// trap.
 	total := 0
 	for _, cfg := range []isa.Config{isa.RV32I, isa.RV32IMC, isa.RV32GC} {
-		suite := Suite(5, cfg, 400, 16)
+		suite, err := Suite(5, cfg, 400, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
 		r := compliance.DefaultRunner()
 		r.Configs = []isa.Config{cfg}
 		rep, err := r.Run(suite)

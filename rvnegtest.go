@@ -132,7 +132,7 @@ func LoadSuite(path string) (*Suite, error) { return compliance.LoadSuite(path) 
 // official hand-written compliance test suite for one configuration
 // (per-extension, valid instructions only). Per the paper, such suites
 // catch only GRIFT's SC.W defect among the modelled bugs.
-func OfficialStyleSuite(cfg ISAConfig) *Suite { return compliance.OfficialStyleSuite(cfg) }
+func OfficialStyleSuite(cfg ISAConfig) (*Suite, error) { return compliance.OfficialStyleSuite(cfg) }
 
 // ContinuousResult aggregates repeated generate-and-compare rounds.
 type ContinuousResult = core.ContinuousResult
