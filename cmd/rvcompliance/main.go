@@ -23,6 +23,7 @@ import (
 	"rvnegtest"
 	"rvnegtest/internal/compliance"
 	"rvnegtest/internal/isa"
+	"rvnegtest/internal/obs"
 	"rvnegtest/internal/sim"
 	"rvnegtest/internal/torture"
 )
@@ -54,6 +55,8 @@ func main() {
 		caseSecs   = flag.Float64("case-timeout", 0, "per-case wall-clock watchdog in seconds (0 disables)")
 		breaker    = flag.Int("breaker", 0, "consecutive harness faults before an instance is marked unhealthy (0 = default, <0 disables)")
 		quarantine = flag.String("quarantine", "", "save inputs that trigger harness faults into this directory")
+		telAddr    = flag.String("telemetry-addr", "", "serve live telemetry on this address: Prometheus-text /metrics, /debug/vars, net/http/pprof")
+		eventsPath = flag.String("events", "", "write run lifecycle events as NDJSON to this file (render with rvreport -events)")
 	)
 	flag.Parse()
 
@@ -100,6 +103,8 @@ func main() {
 		BreakerThreshold: *breaker,
 		QuarantineDir:    *quarantine,
 	}
+	closeTelemetry := setupTelemetry(*telAddr, *eventsPath, runner)
+	defer closeTelemetry()
 	if *progress {
 		runner.Progress = func(ev compliance.ProgressEvent) {
 			name := ev.Sim
@@ -170,6 +175,7 @@ func main() {
 		rep, err = runner.RunResumable(ctx, suite, ckptDir)
 		if errors.Is(err, compliance.ErrInterrupted) {
 			fmt.Fprintf(os.Stderr, "rvcompliance: interrupted, state checkpointed; continue with: rvcompliance -resume %s (plus the original flags)\n", ckptDir)
+			closeTelemetry() // os.Exit skips the deferred flush
 			os.Exit(130)
 		}
 	} else {
@@ -207,6 +213,39 @@ func main() {
 		}
 	}
 	exitDegraded(rep)
+}
+
+// setupTelemetry wires the optional live-metrics server and NDJSON event
+// stream into the runner, returning a close function that flushes the
+// event file and shuts the server down.
+func setupTelemetry(addr, eventsPath string, runner *compliance.Runner) func() {
+	var closers []func()
+	if addr != "" {
+		runner.Obs = obs.NewRegistry()
+		srv, err := obs.Serve(addr, runner.Obs)
+		if err != nil {
+			fatalf("telemetry server: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "rvcompliance: telemetry at http://%s/metrics (also /debug/vars, /debug/pprof/)\n", srv.Addr)
+		closers = append(closers, func() { srv.Close() })
+	}
+	if eventsPath != "" {
+		events, err := obs.CreateEventLog(eventsPath)
+		if err != nil {
+			fatalf("events file: %v", err)
+		}
+		runner.Events = events
+		closers = append(closers, func() {
+			if err := events.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "rvcompliance: closing events file: %v\n", err)
+			}
+		})
+	}
+	return func() {
+		for _, c := range closers {
+			c()
+		}
+	}
 }
 
 // exitDegraded exits with status 2 when the report contains cells degraded

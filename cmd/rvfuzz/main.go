@@ -25,6 +25,7 @@ import (
 	"rvnegtest/internal/analysis"
 	"rvnegtest/internal/compliance"
 	"rvnegtest/internal/fuzz"
+	"rvnegtest/internal/obs"
 	"rvnegtest/internal/template"
 )
 
@@ -51,6 +52,8 @@ func main() {
 		quarantine = flag.String("quarantine", "", "save inputs that trigger harness faults into this directory")
 		caseSecs   = flag.Float64("case-timeout", 0, "per-case wall-clock watchdog in seconds (0 disables)")
 		statsJSON  = flag.String("stats-json", "", "write deterministic per-worker campaign stats as JSON to this file")
+		telAddr    = flag.String("telemetry-addr", "", "serve live telemetry on this address: Prometheus-text /metrics, /debug/vars, net/http/pprof")
+		eventsPath = flag.String("events", "", "write campaign lifecycle events as NDJSON to this file (render with rvreport -events)")
 	)
 	flag.Parse()
 	if *execs == 0 && *seconds == 0 {
@@ -78,6 +81,9 @@ func main() {
 	cfg.DisableFilter = *noFlt
 	cfg.CaseTimeout = time.Duration(*caseSecs * float64(time.Second))
 	cfg.QuarantineDir = *quarantine
+	events, closeTelemetry := setupTelemetry(*telAddr, *eventsPath, &cfg.Obs)
+	cfg.Events = events
+	defer closeTelemetry()
 	if *seedSuite != "" {
 		prior, err := rvnegtest.LoadSuite(*seedSuite)
 		if err != nil {
@@ -122,6 +128,7 @@ func main() {
 			} else {
 				fmt.Fprintln(os.Stderr, "rvfuzz: interrupted (no -checkpoint directory, progress discarded)")
 			}
+			closeTelemetry() // os.Exit skips the deferred flush
 			os.Exit(130)
 		}
 		if err != nil {
@@ -227,6 +234,41 @@ func runFig4(execs uint64, dur time.Duration, seed int64) {
 	for _, r := range results {
 		for _, p := range r.Stats.Trace {
 			fmt.Printf("%s %d %d\n", r.Name, p.Execs, p.TestCases)
+		}
+	}
+}
+
+// setupTelemetry wires the optional live-metrics server and NDJSON event
+// stream. It stores a fresh registry into *reg when an address is given,
+// returns the event log (nil when unused) and a close function that
+// flushes the event file and shuts the server down.
+func setupTelemetry(addr, eventsPath string, reg **obs.Registry) (*obs.EventLog, func()) {
+	var closers []func()
+	if addr != "" {
+		*reg = obs.NewRegistry()
+		srv, err := obs.Serve(addr, *reg)
+		if err != nil {
+			fatalf("telemetry server: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "rvfuzz: telemetry at http://%s/metrics (also /debug/vars, /debug/pprof/)\n", srv.Addr)
+		closers = append(closers, func() { srv.Close() })
+	}
+	var events *obs.EventLog
+	if eventsPath != "" {
+		var err error
+		events, err = obs.CreateEventLog(eventsPath)
+		if err != nil {
+			fatalf("events file: %v", err)
+		}
+		closers = append(closers, func() {
+			if err := events.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "rvfuzz: closing events file: %v\n", err)
+			}
+		})
+	}
+	return events, func() {
+		for _, c := range closers {
+			c()
 		}
 	}
 }

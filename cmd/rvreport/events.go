@@ -1,0 +1,120 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"rvnegtest/internal/obs"
+)
+
+// renderEvents implements `rvreport -events FILE`: it reads a telemetry
+// event stream written by `rvfuzz -events` or `rvcompliance -events` and
+// renders a markdown report — the per-stage time breakdown (from the last
+// stage_summary each worker emitted), the event-type counts, and the
+// per-simulator cell timings when the stream came from a compliance run.
+func renderEvents(path string) {
+	f, err := os.Open(path)
+	check(err)
+	defer f.Close()
+	evs, err := obs.ReadEvents(f)
+	check(err)
+	if len(evs) == 0 {
+		fmt.Println("no events in", path)
+		return
+	}
+
+	counts := map[string]int{}
+	// The last stage_summary per worker carries that worker's cumulative
+	// stage totals; summing the latest one of each worker gives the
+	// campaign-wide breakdown without double counting.
+	summaries := map[int]map[string]obs.StageSummary{}
+	simTime := map[string]int64{} // cell_done DurNS per simulator
+	crashes := 0
+	for _, ev := range evs {
+		counts[ev.Type]++
+		switch ev.Type {
+		case "stage_summary":
+			summaries[ev.Worker] = ev.Stages
+		case "cell_done":
+			simTime[ev.Sim] += ev.DurNS
+		case "crash", "quarantine":
+			crashes++
+		}
+	}
+	span := time.Duration(evs[len(evs)-1].TNS)
+
+	fmt.Printf("# Telemetry event report: %s\n\n", path)
+	fmt.Printf("%d events spanning %v.\n\n", len(evs), span.Round(time.Millisecond))
+
+	fmt.Println("## Event counts")
+	fmt.Println()
+	fmt.Println("| event | count |")
+	fmt.Println("|---|---|")
+	types := make([]string, 0, len(counts))
+	for t := range counts {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		fmt.Printf("| %s | %d |\n", t, counts[t])
+	}
+	fmt.Println()
+
+	if len(summaries) > 0 {
+		// Fold the per-worker summaries into campaign-wide stage totals.
+		total := map[string]obs.StageSummary{}
+		for _, ss := range summaries {
+			for stage, s := range ss {
+				t := total[stage]
+				t.Count += s.Count
+				t.TotalNS += s.TotalNS
+				total[stage] = t
+			}
+		}
+		var grand uint64
+		for _, s := range total {
+			grand += s.TotalNS
+		}
+		fmt.Printf("## Stage-time breakdown (%d worker(s))\n", len(summaries))
+		fmt.Println()
+		fmt.Println("| stage | count | total | mean | share |")
+		fmt.Println("|---|---|---|---|---|")
+		// Canonical stage order, not map order.
+		for st := obs.Stage(0); st < obs.NumStages; st++ {
+			s, ok := total[st.String()]
+			if !ok || s.Count == 0 {
+				continue
+			}
+			mean := time.Duration(s.TotalNS / s.Count)
+			share := 0.0
+			if grand > 0 {
+				share = 100 * float64(s.TotalNS) / float64(grand)
+			}
+			fmt.Printf("| %s | %d | %v | %v | %.1f%% |\n",
+				st, s.Count, time.Duration(s.TotalNS).Round(time.Millisecond), mean, share)
+		}
+		fmt.Println()
+	}
+
+	if len(simTime) > 0 {
+		fmt.Println("## Per-simulator cell time (compliance cell_done events)")
+		fmt.Println()
+		fmt.Println("| simulator | total |")
+		fmt.Println("|---|---|")
+		sims := make([]string, 0, len(simTime))
+		for s := range simTime {
+			sims = append(sims, s)
+		}
+		sort.Strings(sims)
+		for _, s := range sims {
+			fmt.Printf("| %s | %v |\n", s, time.Duration(simTime[s]).Round(time.Millisecond))
+		}
+		fmt.Println()
+	}
+
+	if crashes > 0 {
+		fmt.Printf("%d crash/quarantine event(s); grep the NDJSON for `\"type\":\"crash\"` details.\n", crashes)
+	}
+}

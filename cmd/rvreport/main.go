@@ -23,11 +23,17 @@ import (
 
 func main() {
 	var (
-		execs   = flag.Uint64("execs", 300000, "fuzzer execution budget for the main suite")
-		seed    = flag.Int64("seed", 1, "campaign seed")
-		workers = flag.Int("workers", -1, "compliance engine workers (-1 = one per CPU; the report is identical for any value)")
+		execs      = flag.Uint64("execs", 300000, "fuzzer execution budget for the main suite")
+		seed       = flag.Int64("seed", 1, "campaign seed")
+		workers    = flag.Int("workers", -1, "compliance engine workers (-1 = one per CPU; the report is identical for any value)")
+		eventsPath = flag.String("events", "", "render a telemetry events file (NDJSON from rvfuzz/rvcompliance -events) as a stage-time breakdown and exit")
 	)
 	flag.Parse()
+
+	if *eventsPath != "" {
+		renderEvents(*eventsPath)
+		return
+	}
 
 	fmt.Println("# rvnegtest evaluation report")
 	fmt.Println()

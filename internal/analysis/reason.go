@@ -69,3 +69,19 @@ func (r Reason) String() string {
 	}
 	return "unknown"
 }
+
+// reasonSlugs are machine-friendly reason identifiers (metric label
+// values, event fields); reasonNames stay the human-readable forms.
+var reasonSlugs = [NumReasons]string{
+	"accepted", "forbidden", "loop", "out_of_bounds",
+	"dirty_address", "unaligned_imm", "straddle",
+	"path_budget", "too_long",
+}
+
+// Slug returns a label-safe identifier for the reason.
+func (r Reason) Slug() string {
+	if r < NumReasons {
+		return reasonSlugs[r]
+	}
+	return "unknown"
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"rvnegtest/internal/isa"
+	"rvnegtest/internal/obs"
 	"rvnegtest/internal/resilience"
 	"rvnegtest/internal/sig"
 	"rvnegtest/internal/sim"
@@ -310,6 +311,18 @@ type Runner struct {
 	// sim.Faulty here). It must be safe for concurrent calls. Nil uses
 	// sim.New.
 	NewSim func(v *sim.Variant, p template.Platform) (sim.Sim, error)
+
+	// Obs, when non-nil, receives run telemetry: execution counters,
+	// per-SUT mismatch counters and per-stage latency histograms
+	// (package obs). Observational only: reports stay bit-identical with
+	// telemetry on or off, and a nil registry costs nothing.
+	Obs *obs.Registry
+	// Events, when non-nil, receives structured lifecycle events
+	// (shard_done, cell_done, row_done, breaker_open, checkpoint) as an
+	// NDJSON stream; emission is serialized across workers.
+	Events *obs.EventLog
+
+	tel *runnerTelemetry // resolved by run(); nil when telemetry is off
 }
 
 // DefaultBreakerThreshold is the consecutive-harness-fault count that
@@ -346,6 +359,13 @@ func (r *Runner) newInstances(v *sim.Variant, p template.Platform, workers int) 
 		in, err := newInstance(v.Name, factory, r.breakerThreshold(), r.CaseTimeout, quar)
 		if err != nil {
 			return nil, err
+		}
+		if tel := r.tel; tel != nil {
+			in.stExec = tel.execHist()
+			in.breaker.OnOpen = func() {
+				tel.breakerOpened(v.Name)
+				tel.event(obs.Event{Type: "breaker_open", Sim: v.Name, Worker: w, Config: p.Cfg.String()})
+			}
 		}
 		out[w] = in
 	}
@@ -408,6 +428,7 @@ func (r *Runner) run(ctx context.Context, suite *Suite, dir string) (*Report, er
 	}
 	start := time.Now()
 	r.Stats = RunStats{Workers: workers, PerWorker: make([]WorkerStats, workers)}
+	r.tel = newRunnerTelemetry(r)
 
 	var ckpt *campaignCheckpoint
 	if dir != "" {
@@ -445,11 +466,14 @@ func (r *Runner) run(ctx context.Context, suite *Suite, dir string) (*Report, er
 		}
 		rep.Cells = append(rep.Cells, row)
 		rep.Skipped = append(rep.Skipped, skipped)
+		r.tel.rowDone(r, cfg.String(), row, skipped)
 		if ckpt != nil {
 			ckpt.Rows = append(ckpt.Rows, savedRow{Config: cfg.String(), Cells: row, Skipped: skipped})
 			if err := ckpt.save(dir); err != nil {
 				return nil, err
 			}
+			r.tel.event(obs.Event{Type: "checkpoint", Worker: -1, Config: cfg.String(),
+				Detail: fmt.Sprintf("rows=%d", len(ckpt.Rows))})
 		}
 	}
 	r.Stats.Duration = time.Since(start)
@@ -481,7 +505,7 @@ func (r *Runner) newReport(suite *Suite) *Report {
 // cases whose reference run failed are recorded as skipped and never
 // execute, and a SUT whose breaker tripped skips its remaining cases as
 // sut-unhealthy.
-func runCase(cell *Cell, ref sim.Outcome, in *instance, bs []byte, i, maxEx int, dc *sig.DontCare) bool {
+func runCase(cell *Cell, ref sim.Outcome, in *instance, bs []byte, i, maxEx int, dc *sig.DontCare, stCmp *obs.Histogram) bool {
 	if ref.Crashed || ref.TimedOut {
 		// A reference failure makes the case unusable for signature
 		// comparison; record it so the mismatch denominator stays honest.
@@ -512,7 +536,15 @@ func runCase(cell *Cell, ref sim.Outcome, in *instance, bs []byte, i, maxEx int,
 		cell.Timeouts++
 		cat = CatTimeout
 	default:
-		if len(sig.Compare(sig.Signature(ref.Signature), sig.Signature(out.Signature), dc)) == 0 {
+		var t0 time.Time
+		if stCmp != nil {
+			t0 = time.Now()
+		}
+		match := len(sig.Compare(sig.Signature(ref.Signature), sig.Signature(out.Signature), dc)) == 0
+		if stCmp != nil {
+			stCmp.ObserveSince(t0)
+		}
+		if match {
 			return true
 		}
 		cat = Classify(ref.Signature, out.Signature)
@@ -573,6 +605,8 @@ func (r *Runner) runConfigSerial(ctx context.Context, suite *Suite, cfg isa.Conf
 	}
 	r.addExecs(0, len(suite.Cases))
 	r.emitProgress(ProgressEvent{Config: cfg, Worker: 0, Hi: len(suite.Cases), Execs: len(suite.Cases)})
+	r.tel.event(obs.Event{Type: "shard_done", Config: cfg.String(), Sim: r.Ref.Name,
+		Hi: len(suite.Cases), Execs: uint64(len(suite.Cases))})
 
 	row := make([]Cell, len(r.SUTs))
 	for j, v := range r.SUTs {
@@ -585,17 +619,25 @@ func (r *Runner) runConfigSerial(ctx context.Context, suite *Suite, cfg isa.Conf
 		if err != nil {
 			return nil, 0, fmt.Errorf("compliance: %s on %v: %w", v.Name, cfg, err)
 		}
+		var t0 time.Time
+		if r.tel != nil {
+			t0 = time.Now()
+		}
 		execs := 0
 		for i, bs := range suite.Cases {
 			if err := ctx.Err(); err != nil {
 				return nil, 0, err
 			}
-			if runCase(cell, refOuts[i], suts[0], bs, i, maxEx, r.DontCare) {
+			if runCase(cell, refOuts[i], suts[0], bs, i, maxEx, r.DontCare, r.tel.compareHist()) {
 				execs++
 			}
 		}
 		r.addExecs(0, execs)
 		r.emitProgress(ProgressEvent{Config: cfg, Sim: v.Name, Worker: 0, Hi: len(suite.Cases), Execs: execs})
+		if r.tel != nil {
+			r.tel.event(obs.Event{Type: "cell_done", Config: cfg.String(), Sim: v.Name,
+				Hi: len(suite.Cases), Execs: uint64(execs), DurNS: time.Since(t0).Nanoseconds()})
+		}
 	}
 	return row, countSkipped(refOuts), nil
 }

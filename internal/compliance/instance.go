@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"rvnegtest/internal/obs"
 	"rvnegtest/internal/resilience"
 	"rvnegtest/internal/sim"
 )
@@ -22,6 +23,9 @@ type instance struct {
 	breaker resilience.Breaker
 	timeout time.Duration
 	quar    *resilience.Quarantine
+	// stExec, when non-nil, times every guarded run (set by the Runner
+	// when telemetry is on; nil means no clock reads at all).
+	stExec *obs.Histogram
 }
 
 func newInstance(name string, make func() (sim.Sim, error), threshold int, timeout time.Duration, quar *resilience.Quarantine) (*instance, error) {
@@ -48,9 +52,16 @@ func (in *instance) run(bs []byte) (out sim.Outcome, harnessFault bool) {
 	// Capture the simulator locally: after a wedge in.s is replaced while
 	// the abandoned goroutine still holds the closure.
 	s := in.s
+	var t0 time.Time
+	if in.stExec != nil {
+		t0 = time.Now()
+	}
 	out, rec, timedOut := resilience.Guard(in.timeout, func() sim.Outcome {
 		return s.Run(bs)
 	})
+	if in.stExec != nil {
+		in.stExec.ObserveSince(t0)
+	}
 	switch {
 	case rec != nil:
 		in.breaker.RecordFault()

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"rvnegtest/internal/isa"
+	"rvnegtest/internal/obs"
 	"rvnegtest/internal/sim"
 	"rvnegtest/internal/template"
 )
@@ -46,6 +47,20 @@ type RunStats struct {
 	Duration    time.Duration
 	CasesPerSec float64 // case executions per wall-clock second
 	PerWorker   []WorkerStats
+}
+
+// Clone returns a deep copy of the stats: PerWorker is the only
+// reference field, and handing out the live slice would let a holder
+// observe (or race with) the accounting of a subsequent Run.
+func (s RunStats) Clone() RunStats {
+	s.PerWorker = append([]WorkerStats(nil), s.PerWorker...)
+	return s
+}
+
+// StatsSnapshot returns a copy of the most recent Run's stats that later
+// runs cannot mutate (the aliasing-audit companion of Fuzzer.Stats).
+func (r *Runner) StatsSnapshot() RunStats {
+	return r.Stats.Clone()
 }
 
 // String renders a one-line throughput summary plus the per-worker
@@ -91,6 +106,7 @@ func (r *Runner) workerCount() int {
 func (r *Runner) addExecs(worker, n int) {
 	r.Stats.PerWorker[worker].Execs += n
 	r.Stats.Execs += n
+	r.tel.addExecs(n)
 }
 
 // emitProgress invokes the Progress hook if set (single-goroutine path).
@@ -179,6 +195,8 @@ func (r *Runner) runConfigParallel(ctx context.Context, suite *Suite, cfg isa.Co
 			}
 			execs[w] += sh.hi - sh.lo
 			emit(ProgressEvent{Config: cfg, Worker: w, Lo: sh.lo, Hi: sh.hi, Execs: sh.hi - sh.lo})
+			r.tel.event(obs.Event{Type: "shard_done", Config: cfg.String(), Sim: r.Ref.Name,
+				Worker: w, Lo: sh.lo, Hi: sh.hi, Execs: uint64(sh.hi - sh.lo)})
 
 			cells := make([]Cell, len(r.SUTs))
 			for j := range r.SUTs {
@@ -186,18 +204,26 @@ func (r *Runner) runConfigParallel(ctx context.Context, suite *Suite, cfg isa.Co
 					continue
 				}
 				cells[j].Supported = true
+				var t0 time.Time
+				if r.tel != nil {
+					t0 = time.Now()
+				}
 				n := 0
 				for i := sh.lo; i < sh.hi; i++ {
 					if err := ctx.Err(); err != nil {
 						errs[w] = err
 						return
 					}
-					if runCase(&cells[j], refOuts[i], suts[j][w], suite.Cases[i], i, maxEx, r.DontCare) {
+					if runCase(&cells[j], refOuts[i], suts[j][w], suite.Cases[i], i, maxEx, r.DontCare, r.tel.compareHist()) {
 						n++
 					}
 				}
 				execs[w] += n
 				emit(ProgressEvent{Config: cfg, Sim: r.SUTs[j].Name, Worker: w, Lo: sh.lo, Hi: sh.hi, Execs: n})
+				if r.tel != nil {
+					r.tel.event(obs.Event{Type: "cell_done", Config: cfg.String(), Sim: r.SUTs[j].Name,
+						Worker: w, Lo: sh.lo, Hi: sh.hi, Execs: uint64(n), DurNS: time.Since(t0).Nanoseconds()})
+				}
 			}
 			partials[w] = cells
 		}(w)

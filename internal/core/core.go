@@ -24,6 +24,7 @@ func GenerateSuite(cfg fuzz.Config, maxExecs uint64, maxDur time.Duration) (*com
 	if err := f.Run(maxExecs, maxDur); err != nil {
 		return nil, f.Stats(), err
 	}
+	f.FlushTelemetry()
 	st := f.Stats()
 	suite := &compliance.Suite{
 		Cases: f.Corpus(),

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"rvnegtest/internal/obs"
 	"rvnegtest/internal/resilience"
 )
 
@@ -95,7 +96,15 @@ func readHexLines(path string) ([][]byte, error) {
 }
 
 // SaveCheckpoint persists the fuzzer's full campaign state under dir.
+// Telemetry state is deliberately not part of the checkpoint: metrics
+// and events describe a process's lifetime, not the campaign's logical
+// state, and resuming must stay bit-identical whether telemetry was on
+// or off when the checkpoint was written.
 func (f *Fuzzer) SaveCheckpoint(dir string) error {
+	var t0 time.Time
+	if f.tel != nil {
+		t0 = time.Now()
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -110,8 +119,8 @@ func (f *Fuzzer) SaveCheckpoint(dir string) error {
 		CurLen:        f.curLen,
 		ElapsedNS:     int64(f.elapsed),
 		RNG:           f.src.State(),
-		Trace:         f.trace,
-		FilterCounts:  f.fstats.Counts[:],
+		Trace:         append([]TracePoint(nil), f.trace...),
+		FilterCounts:  append([]uint64(nil), f.fstats.Counts[:]...),
 		CovBits:       f.col.Map.BucketBits(),
 		CorpusFile:    fmt.Sprintf("corpus-%016d.hex", f.execs),
 		FrontierFile:  fmt.Sprintf("frontier-%016d.bin", f.execs),
@@ -132,6 +141,10 @@ func (f *Fuzzer) SaveCheckpoint(dir string) error {
 		return err
 	}
 	pruneBlobs(dir, st)
+	if f.tel != nil {
+		f.tel.stCkpt.ObserveSince(t0)
+		f.tel.event(obs.Event{Type: "checkpoint", Execs: f.execs, Corpus: len(f.corpus)})
+	}
 	return nil
 }
 
@@ -219,6 +232,11 @@ func Resume(cfg Config, dir string) (*Fuzzer, error) {
 	f.stall = st.Stall
 	f.curLen = st.CurLen
 	f.elapsed = time.Duration(st.ElapsedNS) // informational; excluded from Deterministic()
+	// The restored elapsed time is cumulative across sessions; the live
+	// execution rate must not be diluted by it. Session-local accounting
+	// starts from zero here, anchored at the checkpoint's exec count.
+	f.sessElapsed = 0
+	f.baseExecs = st.Execs
 	f.trace = st.Trace
 	if len(st.FilterCounts) != len(f.fstats.Counts) {
 		return nil, fmt.Errorf("fuzz: checkpoint has %d filter counters, this build has %d",

@@ -27,6 +27,7 @@ import (
 	"rvnegtest/internal/coverage"
 	"rvnegtest/internal/filter"
 	"rvnegtest/internal/isa"
+	"rvnegtest/internal/obs"
 	"rvnegtest/internal/resilience"
 	"rvnegtest/internal/sim"
 	"rvnegtest/internal/template"
@@ -76,6 +77,22 @@ type Config struct {
 	// NewTarget overrides the foundation-simulator factory (resilience
 	// tests inject sim.Faulty here). Nil uses the reference model.
 	NewTarget func(p template.Platform) (sim.HookedSim, error)
+
+	// Obs, when non-nil, receives campaign telemetry: counters, gauges
+	// and per-stage latency histograms (package obs). Telemetry is
+	// observational only — it never influences campaign decisions, is
+	// excluded from checkpoints and from the Fingerprint, and a nil
+	// registry costs nothing on the hot path.
+	Obs *obs.Registry
+	// Events, when non-nil, receives structured campaign lifecycle
+	// events (corpus adds, crashes, quarantines, checkpoints) as an
+	// NDJSON stream. Emission is serialized; safe to share across
+	// workers.
+	Events *obs.EventLog
+	// Worker labels this fuzzer's telemetry events with a campaign
+	// worker index (set by Campaign). It has no effect on campaign
+	// behaviour and is excluded from the Fingerprint.
+	Worker int
 }
 
 // DefaultConfig mirrors the paper's campaign settings with v3 coverage.
@@ -107,13 +124,23 @@ type Stats struct {
 	// panic reaped by the isolation layer or a wall-clock watchdog
 	// timeout — as opposed to modeled crash/timeout outcomes the
 	// simulator reported through its own error handling.
-	HarnessFaults uint64         `json:"harness_faults,omitempty"`
-	Duration      time.Duration  `json:"duration_ns"`
-	ExecsPerSec   float64        `json:"execs_per_sec"`
-	CovPoints     int            `json:"cov_points"` // coverage points defined
-	CovBits       int            `json:"cov_bits"`   // bucket bits discovered
-	Trace         []TracePoint   `json:"trace,omitempty"`
-	Filter        analysis.Stats `json:"filter"` // drop-reason histogram / acceptance
+	HarnessFaults uint64 `json:"harness_faults,omitempty"`
+	// Duration is the cumulative stepping time of the campaign across
+	// every session (resumed campaigns carry the pre-interrupt elapsed
+	// time forward from the checkpoint).
+	Duration time.Duration `json:"duration_ns"`
+	// SessionDuration is the stepping time of the current process only;
+	// it backs ExecsPerSec so a resumed campaign reports its live rate
+	// instead of one diluted by pre-interrupt wall-clock.
+	SessionDuration time.Duration `json:"session_duration_ns,omitempty"`
+	// ExecsPerSec is the live execution rate: executions performed in
+	// this session divided by SessionDuration. For a fresh campaign the
+	// session is the whole campaign, so it equals Execs/Duration.
+	ExecsPerSec float64        `json:"execs_per_sec"`
+	CovPoints   int            `json:"cov_points"` // coverage points defined
+	CovBits     int            `json:"cov_bits"`   // bucket bits discovered
+	Trace       []TracePoint   `json:"trace,omitempty"`
+	Filter      analysis.Stats `json:"filter"` // drop-reason histogram / acceptance
 }
 
 // Deterministic returns the stats with the wall-clock-dependent fields
@@ -121,6 +148,7 @@ type Stats struct {
 // uninterrupted one.
 func (s Stats) Deterministic() Stats {
 	s.Duration = 0
+	s.SessionDuration = 0
 	s.ExecsPerSec = 0
 	return s
 }
@@ -150,6 +178,15 @@ type Fuzzer struct {
 	curLen  int
 	elapsed time.Duration
 	broken  error // set when the target could not be rebuilt after a wedge
+
+	// sessElapsed and baseExecs scope the live execution rate to the
+	// current process: a resumed fuzzer restores `elapsed` and `execs`
+	// cumulatively from the checkpoint, which must not dilute the rate
+	// this session actually achieves.
+	sessElapsed time.Duration
+	baseExecs   uint64
+
+	tel *telemetry // nil when telemetry is disabled (zero-cost path)
 }
 
 // New prepares a fuzzer. The foundation simulator is the reference model
@@ -189,6 +226,7 @@ func New(cfg Config) (*Fuzzer, error) {
 		mut:      newMutator(rng),
 		quar:     resilience.NewQuarantine(cfg.QuarantineDir),
 		curLen:   8,
+		tel:      newTelemetry(cfg),
 	}
 	for _, s := range cfg.Seeds {
 		if len(s) <= cfg.MaxLen {
@@ -229,18 +267,40 @@ func (f *Fuzzer) rebuildTarget() {
 // collected as a new test case.
 func (f *Fuzzer) Step() bool {
 	start := time.Now()
-	defer func() { f.elapsed += time.Since(start) }()
+	defer func() {
+		d := time.Since(start)
+		f.elapsed += d
+		f.sessElapsed += d
+	}()
 	f.execs++
+	tel := f.tel
+	if tel != nil {
+		tel.execs.Inc()
+	}
 
 	input := f.nextInput()
+	var t time.Time
+	if tel != nil {
+		t = time.Now()
+		tel.stMutate.Observe(t.Sub(start))
+	}
 	if !f.cfg.DisableFilter {
 		res := f.flt.Check(input)
 		f.fstats.Record(res.Reason)
+		if tel != nil {
+			tel.stFilter.ObserveSince(t)
+		}
 		if !res.Accepted {
 			// Dropped inputs return no coverage, so the fuzzer never
 			// collects them (the paper's key automation property).
 			f.dropped++
+			if tel != nil {
+				tel.drops[res.Reason].Inc()
+			}
 			return false
+		}
+		if tel != nil {
+			t = time.Now()
 		}
 	}
 
@@ -248,12 +308,20 @@ func (f *Fuzzer) Step() bool {
 	out, rec, timedOut := resilience.Guard(f.cfg.CaseTimeout, func() sim.Outcome {
 		return target.RunHooked(input, col)
 	})
+	if tel != nil {
+		tel.stExec.ObserveSince(t)
+	}
 	switch {
 	case rec != nil:
 		// The simulator unwound past its own recovery — a harness-level
 		// fault, isolated here so the campaign continues.
 		f.crashes++
 		f.hfaults++
+		if tel != nil {
+			tel.crashes.Inc()
+			tel.hfaults.Inc()
+			tel.event(obs.Event{Type: "quarantine", Execs: f.execs, Detail: "panic: " + rec.Msg})
+		}
 		f.quarantineWarn(input, "panic: "+rec.Msg+"\n\n"+rec.Stack)
 		f.col.Map.DiscardRun()
 		return false
@@ -262,19 +330,39 @@ func (f *Fuzzer) Step() bool {
 		// old target and collector, so both are replaced.
 		f.timeout++
 		f.hfaults++
+		if tel != nil {
+			tel.timeout.Inc()
+			tel.hfaults.Inc()
+			tel.event(obs.Event{Type: "quarantine", Execs: f.execs,
+				Detail: fmt.Sprintf("watchdog: no result within %v", f.cfg.CaseTimeout)})
+		}
 		f.quarantineWarn(input, fmt.Sprintf("watchdog: no result within %v", f.cfg.CaseTimeout))
 		f.rebuildTarget()
 		return false
 	case out.Crashed:
 		f.crashes++
+		if tel != nil {
+			tel.crashes.Inc()
+			tel.event(obs.Event{Type: "crash", Execs: f.execs, Detail: out.CrashMsg})
+		}
 		f.col.Map.DiscardRun()
 		return false
 	case out.TimedOut:
 		f.timeout++
+		if tel != nil {
+			tel.timeout.Inc()
+		}
 		f.col.Map.DiscardRun()
 		return false
 	}
-	if !f.col.Map.MergeNew() {
+	if tel != nil {
+		t = time.Now()
+	}
+	novel := f.col.Map.MergeNew()
+	if tel != nil {
+		tel.stCov.ObserveSince(t)
+	}
+	if !novel {
 		f.stall++
 		if f.stall >= f.cfg.LenControl && f.curLen < f.cfg.MaxLen {
 			f.curLen += 4
@@ -285,6 +373,12 @@ func (f *Fuzzer) Step() bool {
 	f.stall = 0
 	f.corpus = append(f.corpus, append([]byte(nil), input...))
 	f.trace = append(f.trace, TracePoint{Execs: f.execs, TestCases: len(f.corpus)})
+	if tel != nil {
+		tel.adds.Inc()
+		tel.corpusSize.Set(int64(len(f.corpus)))
+		tel.covBits.Set(int64(f.col.Map.BucketBits()))
+		tel.event(obs.Event{Type: "corpus_add", Execs: f.execs, Corpus: len(f.corpus)})
+	}
 	return true
 }
 
@@ -349,31 +443,51 @@ func (f *Fuzzer) RunContext(ctx context.Context, maxExecs uint64, maxDur time.Du
 	}
 }
 
+// FlushTelemetry emits the fuzzer's cumulative stage-timer totals as a
+// stage_summary event — the input of `rvreport -events`. Campaign calls
+// it once per worker when the worker finishes; single-fuzzer drivers
+// call it at the end of a run. No-op when telemetry is disabled.
+func (f *Fuzzer) FlushTelemetry() {
+	f.tel.emitSummary(f.execs, len(f.corpus))
+}
+
 // Corpus returns the collected test cases (the generated test suite), in
-// collection order.
-func (f *Fuzzer) Corpus() [][]byte { return f.corpus }
+// collection order. The returned slice is the caller's: later campaign
+// steps never mutate it (the case bytestreams themselves are immutable
+// once collected).
+func (f *Fuzzer) Corpus() [][]byte {
+	return append([][]byte(nil), f.corpus...)
+}
 
 // Execs returns the number of executions performed so far.
 func (f *Fuzzer) Execs() uint64 { return f.execs }
 
-// Stats returns campaign statistics.
+// Stats returns campaign statistics. The returned value is a snapshot:
+// its Trace is copied, so sampling stats mid-campaign hands the caller
+// a slice that later steps cannot mutate (the fuzzer keeps appending to
+// its own trace, which previously shared the backing array).
 func (f *Fuzzer) Stats() Stats {
+	// The live rate covers only this session's work: a resumed campaign
+	// restores cumulative execs and elapsed from the checkpoint, and
+	// dividing those would dilute the printed rate with pre-interrupt
+	// wall-clock.
 	eps := 0.0
-	if f.elapsed > 0 {
-		eps = float64(f.execs) / f.elapsed.Seconds()
+	if sessExecs := f.execs - f.baseExecs; f.sessElapsed > 0 {
+		eps = float64(sessExecs) / f.sessElapsed.Seconds()
 	}
 	return Stats{
-		Execs:         f.execs,
-		Dropped:       f.dropped,
-		TestCases:     len(f.corpus),
-		Crashes:       f.crashes,
-		Timeouts:      f.timeout,
-		HarnessFaults: f.hfaults,
-		Duration:      f.elapsed,
-		ExecsPerSec:   eps,
-		CovPoints:     f.col.NumPoints(),
-		CovBits:       f.col.Map.BucketBits(),
-		Trace:         f.trace,
-		Filter:        f.fstats,
+		Execs:           f.execs,
+		Dropped:         f.dropped,
+		TestCases:       len(f.corpus),
+		Crashes:         f.crashes,
+		Timeouts:        f.timeout,
+		HarnessFaults:   f.hfaults,
+		Duration:        f.elapsed,
+		SessionDuration: f.sessElapsed,
+		ExecsPerSec:     eps,
+		CovPoints:       f.col.NumPoints(),
+		CovBits:         f.col.Map.BucketBits(),
+		Trace:           append([]TracePoint(nil), f.trace...),
+		Filter:          f.fstats,
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+
+	"rvnegtest/internal/obs"
 )
 
 // ErrInterrupted reports that a campaign stopped on context cancellation
@@ -56,6 +58,8 @@ func Campaign(ctx context.Context, cfg Config, cc CampaignConfig) ([][]byte, []S
 		stats  Stats
 		err    error
 	}
+	cfg.Events.Emit(obs.Event{Type: "campaign_start", Worker: -1,
+		Detail: fmt.Sprintf("workers=%d execs_each=%d", workers, cc.ExecsEach)})
 	results := make([]result, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -64,6 +68,12 @@ func Campaign(ctx context.Context, cfg Config, cc CampaignConfig) ([][]byte, []S
 			defer wg.Done()
 			c := cfg
 			c.Seed = cfg.Seed + int64(w)
+			c.Worker = w
+			// Each worker fills a private child registry: the hot path
+			// stays contention-free, live scrapes aggregate the children,
+			// and the post-run Collapse folds them into the parent in
+			// worker order (sums commute, so the totals are deterministic).
+			c.Obs = cfg.Obs.NewChild()
 			var dir string
 			if cc.CheckpointDir != "" {
 				dir = filepath.Join(cc.CheckpointDir, fmt.Sprintf("worker-%03d", w))
@@ -74,10 +84,12 @@ func Campaign(ctx context.Context, cfg Config, cc CampaignConfig) ([][]byte, []S
 				return
 			}
 			err = runWorker(ctx, f, dir, cc.ExecsEach, every)
+			f.FlushTelemetry()
 			results[w] = result{corpus: f.Corpus(), stats: f.Stats(), err: err}
 		}(w)
 	}
 	wg.Wait()
+	cfg.Obs.Collapse()
 
 	var merged [][]byte
 	var stats []Stats
@@ -94,6 +106,7 @@ func Campaign(ctx context.Context, cfg Config, cc CampaignConfig) ([][]byte, []S
 		stats = append(stats, r.stats)
 	}
 	if interrupted {
+		cfg.Events.Emit(obs.Event{Type: "campaign_done", Worker: -1, Corpus: len(merged), Detail: "interrupted"})
 		return merged, stats, ErrInterrupted
 	}
 	if cc.Minimize {
@@ -101,8 +114,10 @@ func Campaign(ctx context.Context, cfg Config, cc CampaignConfig) ([][]byte, []S
 		if err != nil {
 			return nil, nil, err
 		}
+		cfg.Events.Emit(obs.Event{Type: "campaign_done", Worker: -1, Corpus: len(minimized)})
 		return minimized, stats, nil
 	}
+	cfg.Events.Emit(obs.Event{Type: "campaign_done", Worker: -1, Corpus: len(merged)})
 	return merged, stats, nil
 }
 

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Event is one structured campaign lifecycle record. Events are written
+// as NDJSON (one JSON object per line) with a strictly monotonic
+// sequence number and a monotonic-clock timestamp relative to the
+// stream's start, so post-hoc tooling can order and interval-analyze
+// them without trusting the wall clock.
+//
+// Established types: campaign_start, corpus_add, crash, quarantine,
+// breaker_open, checkpoint, shard_done, cell_done, row_done,
+// stage_summary, campaign_done. The field set is a union; producers
+// fill what applies.
+type Event struct {
+	Seq  uint64 `json:"seq"`
+	TNS  int64  `json:"t_ns"` // monotonic ns since the stream opened
+	Type string `json:"type"`
+	// Worker is the campaign worker index (0 for single-worker engines,
+	// -1 for events not tied to a worker).
+	Worker int                     `json:"worker"`
+	Sim    string                  `json:"sim,omitempty"`
+	Config string                  `json:"config,omitempty"`
+	Lo     int                     `json:"lo,omitempty"`
+	Hi     int                     `json:"hi,omitempty"`
+	Execs  uint64                  `json:"execs,omitempty"`
+	Corpus int                     `json:"corpus,omitempty"`
+	DurNS  int64                   `json:"dur_ns,omitempty"`
+	Detail string                  `json:"detail,omitempty"`
+	Stages map[string]StageSummary `json:"stages,omitempty"`
+}
+
+// EventLog is a serialized NDJSON event sink. Emission from concurrent
+// workers is safe: one mutex orders sequence assignment and the write,
+// so the file's line order always matches the sequence order. A nil
+// *EventLog discards everything at the cost of one branch.
+type EventLog struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	c     io.Closer // nil when the sink isn't ours to close
+	enc   *json.Encoder
+	seq   uint64
+	start time.Time
+	err   error // sticky first write error
+}
+
+// NewEventLog wraps an arbitrary writer (tests, in-memory buffers).
+func NewEventLog(w io.Writer) *EventLog {
+	bw := bufio.NewWriter(w)
+	return &EventLog{w: bw, enc: json.NewEncoder(bw), start: time.Now()}
+}
+
+// CreateEventLog creates (truncates) path and streams events to it.
+func CreateEventLog(path string) (*EventLog, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	l := NewEventLog(f)
+	l.c = f
+	return l, nil
+}
+
+// Emit assigns the next sequence number and timestamp to ev and writes
+// it. Write errors are sticky (first one wins, later emissions are
+// dropped) and surface from Close.
+func (l *EventLog) Emit(ev Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	l.seq++
+	ev.Seq = l.seq
+	ev.TNS = time.Since(l.start).Nanoseconds()
+	if err := l.enc.Encode(ev); err != nil {
+		l.err = err
+	}
+}
+
+// Close flushes the stream, closes the underlying file when the log
+// owns one, and returns the first error encountered over the log's
+// lifetime.
+func (l *EventLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil && l.err == nil {
+		l.err = err
+	}
+	if l.c != nil {
+		if err := l.c.Close(); err != nil && l.err == nil {
+			l.err = err
+		}
+		l.c = nil
+	}
+	return l.err
+}
+
+// ReadEvents parses an NDJSON event stream (report tooling).
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(r)
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, ev)
+	}
+}

@@ -1,0 +1,84 @@
+// Package obs is the campaign observability layer: dependency-free
+// (standard library only) counters, gauges and fixed-bucket latency
+// histograms, a per-stage timer taxonomy, a structured NDJSON event
+// stream for campaign lifecycle events, and an HTTP exposition surface
+// (Prometheus text /metrics, JSON /debug/vars, net/http/pprof).
+//
+// Design constraints, shared with the engines that embed it:
+//
+//   - Zero-cost when disabled. Every type is safe to use through a nil
+//     pointer: a nil *Registry hands out nil *Counter/*Gauge/*Histogram,
+//     and every mutating method on a nil receiver is a single branch.
+//     Engines additionally skip clock reads entirely when telemetry is
+//     off, so the disabled path differs from the pre-telemetry code by
+//     nil checks only.
+//
+//   - Lock-free on the hot path. Counters, gauges and histogram buckets
+//     are atomics; the only mutex in Registry guards name->metric map
+//     growth (amortized to registration time — engines resolve their
+//     metric pointers once, not per event).
+//
+//   - Out of the determinism boundary. Telemetry state never enters
+//     checkpoints, Stats.Deterministic() views, or any engine decision:
+//     with telemetry on or off, campaign outputs are byte-identical.
+package obs
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; all methods are safe on a nil receiver (no-ops that
+// read as zero).
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (corpus size, coverage bits).
+// The zero value is ready to use; all methods are safe on a nil
+// receiver.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the value by n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}

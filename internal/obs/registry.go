@@ -1,0 +1,373 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry is a namespace of counters, gauges, named histograms and the
+// fixed per-stage timer histograms. Metric lookup takes the registry
+// mutex; engines resolve their metric pointers once at construction and
+// then touch only lock-free atomics on the hot path.
+//
+// A registry can have child registries (one per campaign worker). The
+// exposition methods aggregate parent and children live, and Collapse
+// folds the children into the parent deterministically — in creation
+// (worker) order — when the campaign ends. All values are sums, and
+// addition commutes, so the collapsed totals equal what any interleaving
+// of worker updates would have produced.
+//
+// All methods are safe on a nil *Registry: lookups return nil metrics
+// (whose methods are no-ops) and aggregations are empty.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	stages   [NumStages]*Histogram
+	children []*Registry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+	for i := range r.stages {
+		r.stages[i] = &Histogram{}
+	}
+	return r
+}
+
+// Counter returns the named counter, creating it on first use. Names
+// may carry a Prometheus label suffix, e.g.
+// `mismatches_total{sim="Spike"}`; the text exposition groups such
+// series under their family name. Nil registries return a nil counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named latency histogram, creating it on first
+// use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Stage returns the timer histogram of one taxonomy stage.
+func (r *Registry) Stage(s Stage) *Histogram {
+	if r == nil || s >= NumStages {
+		return nil
+	}
+	return r.stages[s]
+}
+
+// NewChild creates a child registry whose values the parent's
+// exposition aggregates live and whose contents Collapse folds into the
+// parent at campaign end.
+func (r *Registry) NewChild() *Registry {
+	if r == nil {
+		return nil
+	}
+	c := NewRegistry()
+	r.mu.Lock()
+	r.children = append(r.children, c)
+	r.mu.Unlock()
+	return c
+}
+
+// Merge adds o's metrics into r by name (o is left unchanged). Metric
+// updates are sums and addition commutes, so merging per-worker
+// registries in worker order yields totals independent of runtime
+// scheduling — the deterministic-merge contract campaign stats rely on.
+func (r *Registry) Merge(o *Registry) {
+	if r == nil || o == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for name, c := range o.counters {
+		r.Counter(name).Add(c.Value())
+	}
+	for name, g := range o.gauges {
+		r.Gauge(name).Add(g.Value())
+	}
+	for name, h := range o.hists {
+		r.Histogram(name).merge(h)
+	}
+	for i := range o.stages {
+		r.stages[i].merge(o.stages[i])
+	}
+}
+
+// Collapse folds every child registry into r in creation (worker)
+// order and detaches them. Call once when the campaign's workers have
+// finished.
+func (r *Registry) Collapse() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	children := r.children
+	r.children = nil
+	r.mu.Unlock()
+	for _, c := range children {
+		r.Merge(c)
+	}
+}
+
+// withChildren snapshots the child list and visits r plus each child.
+func (r *Registry) withChildren(visit func(*Registry)) {
+	r.mu.Lock()
+	children := append([]*Registry(nil), r.children...)
+	r.mu.Unlock()
+	visit(r)
+	for _, c := range children {
+		visit(c)
+	}
+}
+
+// StageSummary is the cumulative view of one stage timer, the payload
+// of stage_summary events and of the /debug/vars snapshot.
+type StageSummary struct {
+	Count   uint64 `json:"count"`
+	TotalNS uint64 `json:"total_ns"`
+}
+
+// StageSummaries returns the non-empty stage timers (aggregated over
+// children), keyed by stage name.
+func (r *Registry) StageSummaries() map[string]StageSummary {
+	if r == nil {
+		return nil
+	}
+	out := map[string]StageSummary{}
+	r.withChildren(func(reg *Registry) {
+		for i, h := range reg.stages {
+			if n := h.Count(); n > 0 {
+				s := out[Stage(i).String()]
+				s.Count += n
+				s.TotalNS += h.SumNS()
+				out[Stage(i).String()] = s
+			}
+		}
+	})
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Snapshot is the JSON view served at /debug/vars.
+type Snapshot struct {
+	Counters map[string]uint64       `json:"counters,omitempty"`
+	Gauges   map[string]int64        `json:"gauges,omitempty"`
+	Stages   map[string]StageSummary `json:"stages,omitempty"`
+}
+
+// TakeSnapshot aggregates the registry and its children into a
+// Snapshot.
+func (r *Registry) TakeSnapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	s.Counters = map[string]uint64{}
+	s.Gauges = map[string]int64{}
+	r.withChildren(func(reg *Registry) {
+		reg.mu.Lock()
+		for name, c := range reg.counters {
+			s.Counters[name] += c.Value()
+		}
+		for name, g := range reg.gauges {
+			s.Gauges[name] += g.Value()
+		}
+		reg.mu.Unlock()
+	})
+	s.Stages = r.StageSummaries()
+	return s
+}
+
+// family splits a metric name into its family (the part before any
+// label braces) for Prometheus TYPE lines.
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WritePrometheus renders the registry (aggregated over children) in
+// the Prometheus text exposition format: counters and gauges first,
+// then named histograms, then the stage-timer histogram family keyed by
+// a `stage` label. Series are sorted for stable scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.TakeSnapshot()
+
+	cnames := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		cnames = append(cnames, name)
+	}
+	sort.Strings(cnames)
+	lastFam := ""
+	for _, name := range cnames {
+		if f := family(name); f != lastFam {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", f); err != nil {
+				return err
+			}
+			lastFam = f
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	gnames := make([]string, 0, len(snap.Gauges))
+	for name := range snap.Gauges {
+		gnames = append(gnames, name)
+	}
+	sort.Strings(gnames)
+	lastFam = ""
+	for _, name := range gnames {
+		if f := family(name); f != lastFam {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", f); err != nil {
+				return err
+			}
+			lastFam = f
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, snap.Gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	// Named histograms: aggregate each name over children, then render.
+	hnames := map[string]bool{}
+	r.withChildren(func(reg *Registry) {
+		reg.mu.Lock()
+		for name := range reg.hists {
+			hnames[name] = true
+		}
+		reg.mu.Unlock()
+	})
+	sorted := make([]string, 0, len(hnames))
+	for name := range hnames {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+	for _, name := range sorted {
+		agg := &Histogram{}
+		r.withChildren(func(reg *Registry) {
+			reg.mu.Lock()
+			h := reg.hists[name]
+			reg.mu.Unlock()
+			agg.merge(h)
+		})
+		if err := writeHistogram(w, family(name), labelsOf(name), agg); err != nil {
+			return err
+		}
+	}
+
+	// Stage timers as one family with a stage label.
+	for i := Stage(0); i < NumStages; i++ {
+		agg := &Histogram{}
+		r.withChildren(func(reg *Registry) { agg.merge(reg.stages[i]) })
+		if agg.Count() == 0 {
+			continue
+		}
+		labels := `stage="` + i.String() + `"`
+		if err := writeHistogram(w, "rvnegtest_stage_duration_seconds", labels, agg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// labelsOf extracts the label body of a metric name ("" when absent).
+func labelsOf(name string) string {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return ""
+	}
+	return strings.TrimSuffix(name[i+1:], "}")
+}
+
+// writeHistogram renders one histogram in Prometheus text format with
+// seconds-valued buckets.
+func writeHistogram(w io.Writer, fam, labels string, h *Histogram) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", fam); err != nil {
+		return err
+	}
+	join := func(extra string) string {
+		switch {
+		case labels == "":
+			return extra
+		case extra == "":
+			return labels
+		default:
+			return labels + "," + extra
+		}
+	}
+	cum := uint64(0)
+	for i, bound := range BucketBounds {
+		cum += h.Bucket(i)
+		le := strconv.FormatFloat(float64(bound)/1e9, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", fam, join(`le="`+le+`"`), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.Bucket(NumBuckets - 1)
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", fam, join(`le="+Inf"`), cum); err != nil {
+		return err
+	}
+	sum := strconv.FormatFloat(float64(h.SumNS())/1e9, 'g', -1, 64)
+	if labels == "" {
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", fam, sum, fam, h.Count()); err != nil {
+			return err
+		}
+		return nil
+	}
+	_, err := fmt.Fprintf(w, "%s_sum{%s} %s\n%s_count{%s} %d\n", fam, labels, sum, fam, labels, h.Count())
+	return err
+}

@@ -15,6 +15,12 @@ type Breaker struct {
 	// Threshold is the consecutive-fault count that opens the breaker;
 	// zero or negative disables it.
 	Threshold int
+	// OnOpen, when non-nil, is called exactly once, at the moment the
+	// breaker transitions to open (threshold reached or Trip). It runs on
+	// the goroutine that recorded the fault; the breaker itself is
+	// single-goroutine, so the hook needs its own synchronization only if
+	// it touches shared state.
+	OnOpen func()
 
 	streak  int
 	tripped bool
@@ -27,7 +33,7 @@ func (b *Breaker) RecordFault() {
 	}
 	b.streak++
 	if b.streak >= b.Threshold {
-		b.tripped = true
+		b.open()
 	}
 }
 
@@ -36,7 +42,17 @@ func (b *Breaker) RecordOK() { b.streak = 0 }
 
 // Trip opens the breaker unconditionally (e.g. the instance could not be
 // rebuilt after a wedge).
-func (b *Breaker) Trip() { b.tripped = true }
+func (b *Breaker) Trip() { b.open() }
+
+func (b *Breaker) open() {
+	if b.tripped {
+		return
+	}
+	b.tripped = true
+	if b.OnOpen != nil {
+		b.OnOpen()
+	}
+}
 
 // Tripped reports whether the breaker is open.
 func (b *Breaker) Tripped() bool { return b.tripped }

@@ -143,6 +143,34 @@ func TestBreaker(t *testing.T) {
 	}
 }
 
+// TestBreakerOnOpen: the transition hook fires exactly once, at the
+// moment the breaker opens, however it opens.
+func TestBreakerOnOpen(t *testing.T) {
+	opens := 0
+	b := &Breaker{Threshold: 2, OnOpen: func() { opens++ }}
+	b.RecordFault()
+	if opens != 0 {
+		t.Fatal("OnOpen fired below threshold")
+	}
+	b.RecordFault()
+	if opens != 1 {
+		t.Fatalf("OnOpen fired %d times at threshold, want 1", opens)
+	}
+	b.RecordFault()
+	b.Trip()
+	if opens != 1 {
+		t.Fatalf("OnOpen re-fired on an already-open breaker (%d times)", opens)
+	}
+
+	viaTrip := 0
+	tb := &Breaker{OnOpen: func() { viaTrip++ }}
+	tb.Trip()
+	tb.Trip()
+	if viaTrip != 1 {
+		t.Fatalf("OnOpen via Trip fired %d times, want 1", viaTrip)
+	}
+}
+
 func TestWriteFileAtomic(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "state.json")
