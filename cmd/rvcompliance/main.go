@@ -55,6 +55,7 @@ func main() {
 		caseSecs   = flag.Float64("case-timeout", 0, "per-case wall-clock watchdog in seconds (0 disables)")
 		breaker    = flag.Int("breaker", 0, "consecutive harness faults before an instance is marked unhealthy (0 = default, <0 disables)")
 		quarantine = flag.String("quarantine", "", "save inputs that trigger harness faults into this directory")
+		noPre      = flag.Bool("no-predecode", false, "ablation: disable the predecoded execution core (reports are identical either way)")
 		telAddr    = flag.String("telemetry-addr", "", "serve live telemetry on this address: Prometheus-text /metrics, /debug/vars, net/http/pprof")
 		eventsPath = flag.String("events", "", "write run lifecycle events as NDJSON to this file (render with rvreport -events)")
 	)
@@ -102,6 +103,7 @@ func main() {
 		CaseTimeout:      time.Duration(*caseSecs * float64(time.Second)),
 		BreakerThreshold: *breaker,
 		QuarantineDir:    *quarantine,
+		DisablePredecode: *noPre,
 	}
 	closeTelemetry := setupTelemetry(*telAddr, *eventsPath, runner)
 	defer closeTelemetry()

@@ -41,6 +41,7 @@ func main() {
 		fig4       = flag.Bool("fig4", false, "run the Fig. 4 experiment (all four coverage configurations)")
 		noMut      = flag.Bool("no-custom-mutator", false, "ablation: disable the instruction-aware mutator")
 		noFlt      = flag.Bool("no-filter", false, "ablation: disable the static filter")
+		noPre      = flag.Bool("no-predecode", false, "ablation: disable the predecoded execution core (outputs are identical either way)")
 		workers    = flag.Int("workers", 1, "parallel fuzzer workers (corpora are merged and minimized)")
 		minimize   = flag.Bool("minimize", false, "minimize the suite to coverage-unique cases before saving")
 		seedSuite  = flag.String("seed-suite", "", "seed the campaign with a previously generated suite")
@@ -79,6 +80,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.DisableCustomMutator = *noMut
 	cfg.DisableFilter = *noFlt
+	cfg.DisablePredecode = *noPre
 	cfg.CaseTimeout = time.Duration(*caseSecs * float64(time.Second))
 	cfg.QuarantineDir = *quarantine
 	events, closeTelemetry := setupTelemetry(*telAddr, *eventsPath, &cfg.Obs)

@@ -311,6 +311,10 @@ type Runner struct {
 	// sim.Faulty here). It must be safe for concurrent calls. Nil uses
 	// sim.New.
 	NewSim func(v *sim.Variant, p template.Platform) (sim.Sim, error)
+	// DisablePredecode turns off the simulators' predecoded execution
+	// core (ablation/debug; default-factory simulators only). Reports
+	// are byte-identical either way.
+	DisablePredecode bool
 
 	// Obs, when non-nil, receives run telemetry: execution counters,
 	// per-SUT mismatch counters and per-stage latency histograms
@@ -351,7 +355,17 @@ func (r *Runner) newInstances(v *sim.Variant, p template.Platform, workers int) 
 		if err != nil {
 			return nil, err
 		}
-		factory = func() (sim.Sim, error) { return base.Clone(), nil }
+		// The base predecodes the template once; every worker clone (and
+		// every post-wedge rebuild) shares that immutable predecode
+		// instead of re-deriving it.
+		base.NoPredecode = r.DisablePredecode
+		factory = func() (sim.Sim, error) {
+			c := base.Clone()
+			if tel := r.tel; tel != nil {
+				c.PredecodeTimer = tel.preHist()
+			}
+			return c, nil
+		}
 	}
 	quar := resilience.NewQuarantine(r.QuarantineDir)
 	out := make([]*instance, workers)
@@ -362,6 +376,7 @@ func (r *Runner) newInstances(v *sim.Variant, p template.Platform, workers int) 
 		}
 		if tel := r.tel; tel != nil {
 			in.stExec = tel.execHist()
+			in.pre = tel.preCounters()
 			in.breaker.OnOpen = func() {
 				tel.breakerOpened(v.Name)
 				tel.event(obs.Event{Type: "breaker_open", Sim: v.Name, Worker: w, Config: p.Cfg.String()})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"rvnegtest/internal/exec"
 	"rvnegtest/internal/obs"
 	"rvnegtest/internal/resilience"
 	"rvnegtest/internal/sim"
@@ -26,6 +27,10 @@ type instance struct {
 	// stExec, when non-nil, times every guarded run (set by the Runner
 	// when telemetry is on; nil means no clock reads at all).
 	stExec *obs.Histogram
+	// pre, when non-nil, receives the simulator's decode-cache counter
+	// growth after each completed run (nil means stats are never read).
+	pre     *preCounters
+	lastPre exec.CacheStats
 }
 
 func newInstance(name string, make func() (sim.Sim, error), threshold int, timeout time.Duration, quar *resilience.Quarantine) (*instance, error) {
@@ -64,6 +69,7 @@ func (in *instance) run(bs []byte) (out sim.Outcome, harnessFault bool) {
 	}
 	switch {
 	case rec != nil:
+		in.notePredecode()
 		in.breaker.RecordFault()
 		in.quarantineWarn(bs, fmt.Sprintf("%s panic: %s\n\n%s", in.name, rec.Msg, rec.Stack))
 		return sim.Outcome{Crashed: true, CrashMsg: rec.Msg}, true
@@ -71,15 +77,41 @@ func (in *instance) run(bs []byte) (out sim.Outcome, harnessFault bool) {
 		in.breaker.RecordFault()
 		in.quarantineWarn(bs, fmt.Sprintf("%s watchdog: no result within %v", in.name, in.timeout))
 		// The reaped goroutine still owns the old simulator; replace it.
+		// Its decode-cache stats must not be read (the goroutine may
+		// still be stepping it) — the fresh simulator restarts at zero.
 		if s, err := in.make(); err == nil {
 			in.s = s
+			in.lastPre = exec.CacheStats{}
 		} else {
 			in.breaker.Trip()
 		}
 		return sim.Outcome{TimedOut: true}, true
 	}
+	in.notePredecode()
 	in.breaker.RecordOK()
 	return out, false
+}
+
+// notePredecode folds the simulator's decode-cache counter growth since
+// the previous run into the run telemetry. Only called when the guarded
+// run actually finished on this goroutine.
+func (in *instance) notePredecode() {
+	if in.pre == nil {
+		return
+	}
+	ps, ok := in.s.(sim.PredecodeStatser)
+	if !ok {
+		return
+	}
+	cur := ps.PredecodeStats()
+	prev := in.lastPre
+	in.lastPre = cur
+	if cur.Hits < prev.Hits || cur.Misses < prev.Misses || cur.Invalidations < prev.Invalidations {
+		prev = exec.CacheStats{} // counters restarted: count from zero
+	}
+	in.pre.hits.Add(cur.Hits - prev.Hits)
+	in.pre.misses.Add(cur.Misses - prev.Misses)
+	in.pre.invals.Add(cur.Invalidations - prev.Invalidations)
 }
 
 func (in *instance) quarantineWarn(bs []byte, detail string) {

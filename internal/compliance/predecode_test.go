@@ -1,0 +1,86 @@
+package compliance
+
+import (
+	"testing"
+
+	"rvnegtest/internal/obs"
+)
+
+// TestReportIdenticalPredecodeOnOff is the compliance-side determinism
+// guarantee of the predecoded execution core: for every worker count, the
+// rendered table and the JSON report are byte-identical with the decode
+// cache enabled (the default) and disabled.
+func TestReportIdenticalPredecodeOnOff(t *testing.T) {
+	suite := handSuite()
+	ref := DefaultRunner()
+	want, err := ref.Run(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantText := want.Render()
+	wantJSON, err := want.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		for _, disable := range []bool{false, true} {
+			r := DefaultRunner()
+			r.Workers = workers
+			r.DisablePredecode = disable
+			got, err := r.Run(suite)
+			if err != nil {
+				t.Fatalf("workers=%d disable=%v: %v", workers, disable, err)
+			}
+			if got.Render() != wantText {
+				t.Errorf("workers=%d disable=%v: rendered report differs", workers, disable)
+			}
+			gotJSON, err := got.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(gotJSON) != string(wantJSON) {
+				t.Errorf("workers=%d disable=%v: JSON report differs", workers, disable)
+			}
+		}
+	}
+}
+
+// TestCompliancePredecodeCounters: the decode-cache counters must be
+// deterministic across worker counts (each case contributes the same
+// delta wherever it runs), show real traffic when the cache is on, and
+// stay at zero when it is off.
+func TestCompliancePredecodeCounters(t *testing.T) {
+	suite := handSuite()
+	read := func(reg *obs.Registry) [3]uint64 {
+		return [3]uint64{
+			reg.Counter("rvnegtest_compliance_predecode_hits_total").Value(),
+			reg.Counter("rvnegtest_compliance_predecode_misses_total").Value(),
+			reg.Counter("rvnegtest_compliance_predecode_invalidations_total").Value(),
+		}
+	}
+	run := func(workers int, disable bool) [3]uint64 {
+		r := DefaultRunner()
+		r.Workers = workers
+		r.DisablePredecode = disable
+		r.Obs = obs.NewRegistry()
+		if _, err := r.Run(suite); err != nil {
+			t.Fatal(err)
+		}
+		return read(r.Obs)
+	}
+	serial := run(1, false)
+	if serial[0] == 0 {
+		t.Error("predecode enabled but hit counter is zero")
+	}
+	if serial[2] == 0 {
+		t.Error("predecode enabled but invalidation counter is zero (every inject invalidates)")
+	}
+	for _, workers := range []int{2, 8} {
+		if got := run(workers, false); got != serial {
+			t.Errorf("workers=%d: predecode counters %v differ from serial %v", workers, got, serial)
+		}
+	}
+	if got := run(2, true); got != ([3]uint64{}) {
+		t.Errorf("predecode disabled but counters = %v", got)
+	}
+}

@@ -72,3 +72,58 @@ func BenchmarkTrapRoundtrip(b *testing.B) {
 		e.Step()
 	}
 }
+
+// benchRunProgram is a mixed ALU/memory/branch loop (~1600 retired
+// instructions per run) that halts by itself — the Executor.Run shape the
+// simulators drive, without fuzzer or template overhead.
+func benchRunProgram() []uint32 {
+	return []uint32{
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Imm: 200}),
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 6, Imm: 1}),
+		enc(isa.Inst{Op: isa.OpSLLI, Rd: 6, Rs1: 6, Imm: 12}), // x6 = 0x1000, outside the code window
+		// loop:
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 2, Rs1: 2, Imm: 3}),
+		enc(isa.Inst{Op: isa.OpXOR, Rd: 3, Rs1: 3, Rs2: 2}),
+		enc(isa.Inst{Op: isa.OpSLLI, Rd: 4, Rs1: 2, Imm: 1}),
+		enc(isa.Inst{Op: isa.OpLW, Rd: 5, Rs1: 6}),
+		enc(isa.Inst{Op: isa.OpADD, Rd: 5, Rs1: 5, Rs2: 2}),
+		enc(isa.Inst{Op: isa.OpSW, Rs1: 6, Rs2: 5}),
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Rs1: 1, Imm: -1}),
+		enc(isa.Inst{Op: isa.OpBNE, Rs1: 1, Imm: -28}),
+		enc(isa.Inst{Op: isa.OpSW, Imm: testHaltAddr}),
+	}
+}
+
+// benchRun measures whole-program Executor.Run throughput; the predecode
+// variant includes the per-run cache maintenance (Reset), exactly like
+// the simulator's run path.
+func benchRun(b *testing.B, pre bool) {
+	e := newExec(isa.RV32I, benchRunProgram()...)
+	var cache *DecodeCache
+	if pre {
+		cache = attachCache(e, isa.RV32I)
+	}
+	var insts uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.CPU.Reset()
+		e.CPU.Mtvec = testHandler
+		e.Halted = false
+		e.InstCount = 0
+		if cache != nil {
+			cache.Reset()
+		}
+		if err := e.Run(20000); err != nil {
+			b.Fatal(err)
+		}
+		insts += e.InstCount
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkRunDirect is the classical fetch-decode-execute loop.
+func BenchmarkRunDirect(b *testing.B) { benchRun(b, false) }
+
+// BenchmarkRunPredecode is the same workload on the predecoded fast
+// path; scripts/exec_bench.sh gates its speedup over BenchmarkRunDirect.
+func BenchmarkRunPredecode(b *testing.B) { benchRun(b, true) }

@@ -7,6 +7,14 @@
 // The executor also emits semantic edge coverage through a Hook, playing
 // the role of the Clang -fsanitize=fuzzer instrumentation in the paper:
 // every distinct (operation, outcome) pair is a coverage edge.
+//
+// Execution has two paths. The slow path is the classical loop: fetch a
+// halfword, decode (with the variant's quirks), check legality, dispatch.
+// The fast path serves fetches from an attached DecodeCache — decode and
+// legality precomputed per program image — and falls back to the slow
+// path on invalid slots, odd PCs and fetches outside the cached range.
+// Stores that land in the cached range invalidate the covered slots, so
+// self-modifying streams stay architecturally correct.
 package exec
 
 import (
@@ -69,6 +77,13 @@ type Executor struct {
 	Dec    *isa.Decoder
 	Quirks Quirks
 
+	// Cache, when non-nil, serves fetches from predecoded entries. Its
+	// configuration must match the hart's and its predecode must come
+	// from this executor's decoder over the current memory contents;
+	// outcomes, traps and coverage edges are identical with or without
+	// it.
+	Cache *DecodeCache
+
 	// TrapUnaligned selects the platform's unaligned data-access policy:
 	// trap with a misaligned exception (true) or perform the access
 	// (false). Both are specification-compliant; the divergence is exactly
@@ -116,8 +131,48 @@ func (e *Executor) edge(op isa.Op, kind uint32) {
 	}
 }
 
-// Step executes one instruction (or takes one trap).
+// Step executes one instruction (or takes one trap). With a cache
+// attached, a fetch from a valid slot skips fetch, decode and the
+// configuration-legality ladder entirely; everything else funnels into
+// stepSlow.
 func (e *Executor) Step() {
+	c := e.Cache
+	if c == nil {
+		e.stepSlow(false)
+		return
+	}
+	off := e.CPU.PC - c.base
+	if off >= c.span || off&1 != 0 {
+		c.stats.Misses++
+		e.stepSlow(false)
+		return
+	}
+	ent := &c.entries[off>>1]
+	if ent.state == entryInvalid {
+		c.stats.Misses++
+		e.stepSlow(true)
+		return
+	}
+	c.stats.Hits++
+	e.InstCount++
+	e.CPU.Mcycle++
+	// Copy the record: hooks receive a pointer, and nothing they see may
+	// alias the cache.
+	in := ent.inst
+	if ent.state == entryIllegal || (ent.fp && !e.CPU.FPEnabled()) {
+		e.trap(in.Op, hart.CauseIllegalInstruction, in.Raw)
+		return
+	}
+	if e.Hook != nil {
+		e.Hook.OnInst(&in, e.CPU)
+	}
+	ent.fn(e, &in)
+}
+
+// stepSlow is the classical fetch-decode-execute step. With refill set
+// (an in-range fetch missed), the decode outcome is written back into
+// the cache so the next fetch of this address hits.
+func (e *Executor) stepSlow(refill bool) {
 	h := e.CPU
 	e.InstCount++
 	h.Mcycle++
@@ -125,7 +180,7 @@ func (e *Executor) Step() {
 	// Fetch.
 	lo, err := e.Mem.Read16(h.PC)
 	if err != nil {
-		e.trap(isa.Inst{}, hart.CauseFetchAccessFault, h.PC)
+		e.trap(isa.OpIllegal, hart.CauseFetchAccessFault, h.PC)
 		return
 	}
 	var inst isa.Inst
@@ -133,7 +188,7 @@ func (e *Executor) Step() {
 	case lo&3 == 3:
 		hi, err := e.Mem.Read16(h.PC + 2)
 		if err != nil {
-			e.trap(isa.Inst{}, hart.CauseFetchAccessFault, h.PC)
+			e.trap(isa.OpIllegal, hart.CauseFetchAccessFault, h.PC)
 			return
 		}
 		inst = e.Dec.Decode32(uint32(hi)<<16 | uint32(lo))
@@ -144,51 +199,54 @@ func (e *Executor) Step() {
 	default:
 		inst = e.Dec.DecodeC(lo)
 	}
+	if refill {
+		e.Cache.fill(h.PC, &inst)
+	}
 
 	// Legality for this ISA configuration.
 	info := inst.Info()
 	switch {
 	case info == nil:
-		e.trap(inst, hart.CauseIllegalInstruction, inst.Raw)
+		e.trap(inst.Op, hart.CauseIllegalInstruction, inst.Raw)
 		return
 	case !h.Cfg.Has(info.Ext):
-		e.trap(inst, hart.CauseIllegalInstruction, inst.Raw)
+		e.trap(inst.Op, hart.CauseIllegalInstruction, inst.Raw)
 		return
 	case info.Flags.Is(isa.FlagFP) && !h.FPEnabled():
-		e.trap(inst, hart.CauseIllegalInstruction, inst.Raw)
+		e.trap(inst.Op, hart.CauseIllegalInstruction, inst.Raw)
 		return
 	}
 
 	if e.Hook != nil {
 		e.Hook.OnInst(&inst, h)
 	}
-	e.execute(inst)
+	handlers[inst.Op](e, &inst)
 }
 
 // trap redirects to the machine trap handler and emits the trap edge.
-func (e *Executor) trap(inst isa.Inst, cause, tval uint32) {
+func (e *Executor) trap(op isa.Op, cause, tval uint32) {
 	kind := uint32(EdgeTrapOther)
 	if cause == hart.CauseIllegalInstruction {
 		kind = EdgeTrapIllegal
 	}
-	e.edge(inst.Op, kind)
+	e.edge(op, kind)
 	e.CPU.Trap(cause, tval)
 }
 
 // retire advances the PC past the instruction and counts it.
-func (e *Executor) retire(inst isa.Inst) {
-	e.CPU.PC += uint32(inst.Size)
+func (e *Executor) retire(in *isa.Inst) {
+	e.CPU.PC += uint32(in.Size)
 	e.CPU.Minstret++
-	e.edge(inst.Op, EdgeRetire)
+	e.edge(in.Op, EdgeRetire)
 }
 
 // retireJump counts a retired control transfer that set PC itself.
-func (e *Executor) retireJump(inst isa.Inst, taken bool) {
+func (e *Executor) retireJump(op isa.Op, taken bool) {
 	e.CPU.Minstret++
 	if taken {
-		e.edge(inst.Op, EdgeBranchTaken)
+		e.edge(op, EdgeBranchTaken)
 	} else {
-		e.edge(inst.Op, EdgeBranchNot)
+		e.edge(op, EdgeBranchNot)
 	}
 }
 
@@ -200,320 +258,45 @@ func (e *Executor) targetAlign() uint32 {
 	return 3
 }
 
-func (e *Executor) execute(inst isa.Inst) {
-	h := e.CPU
-	x := h.ReadX
-	rs1, rs2 := x(inst.Rs1), x(inst.Rs2)
-
-	switch inst.Op {
-	// ----- RV32I computational -----
-	case isa.OpLUI:
-		h.WriteX(inst.Rd, uint32(inst.Imm))
-		e.retire(inst)
-	case isa.OpAUIPC:
-		h.WriteX(inst.Rd, h.PC+uint32(inst.Imm))
-		e.retire(inst)
-	case isa.OpADDI:
-		h.WriteX(inst.Rd, rs1+uint32(inst.Imm))
-		e.retire(inst)
-	case isa.OpSLTI:
-		h.WriteX(inst.Rd, b2u(int32(rs1) < inst.Imm))
-		e.retire(inst)
-	case isa.OpSLTIU:
-		h.WriteX(inst.Rd, b2u(rs1 < uint32(inst.Imm)))
-		e.retire(inst)
-	case isa.OpXORI:
-		h.WriteX(inst.Rd, rs1^uint32(inst.Imm))
-		e.retire(inst)
-	case isa.OpORI:
-		h.WriteX(inst.Rd, rs1|uint32(inst.Imm))
-		e.retire(inst)
-	case isa.OpANDI:
-		h.WriteX(inst.Rd, rs1&uint32(inst.Imm))
-		e.retire(inst)
-	case isa.OpSLLI:
-		h.WriteX(inst.Rd, rs1<<uint32(inst.Imm))
-		e.retire(inst)
-	case isa.OpSRLI:
-		h.WriteX(inst.Rd, rs1>>uint32(inst.Imm))
-		e.retire(inst)
-	case isa.OpSRAI:
-		h.WriteX(inst.Rd, uint32(int32(rs1)>>uint32(inst.Imm)))
-		e.retire(inst)
-	case isa.OpADD:
-		h.WriteX(inst.Rd, rs1+rs2)
-		e.retire(inst)
-	case isa.OpSUB:
-		h.WriteX(inst.Rd, rs1-rs2)
-		e.retire(inst)
-	case isa.OpSLL:
-		h.WriteX(inst.Rd, rs1<<(rs2&31))
-		e.retire(inst)
-	case isa.OpSLT:
-		h.WriteX(inst.Rd, b2u(int32(rs1) < int32(rs2)))
-		e.retire(inst)
-	case isa.OpSLTU:
-		h.WriteX(inst.Rd, b2u(rs1 < rs2))
-		e.retire(inst)
-	case isa.OpXOR:
-		h.WriteX(inst.Rd, rs1^rs2)
-		e.retire(inst)
-	case isa.OpSRL:
-		h.WriteX(inst.Rd, rs1>>(rs2&31))
-		e.retire(inst)
-	case isa.OpSRA:
-		h.WriteX(inst.Rd, uint32(int32(rs1)>>(rs2&31)))
-		e.retire(inst)
-	case isa.OpOR:
-		h.WriteX(inst.Rd, rs1|rs2)
-		e.retire(inst)
-	case isa.OpAND:
-		h.WriteX(inst.Rd, rs1&rs2)
-		e.retire(inst)
-
-	// ----- Control transfer -----
-	case isa.OpJAL:
-		target := h.PC + uint32(inst.Imm)
-		e.jump(inst, target, h.PC+uint32(inst.Size))
-	case isa.OpJALR:
-		target := (rs1 + uint32(inst.Imm)) &^ 1
-		e.jump(inst, target, h.PC+uint32(inst.Size))
-	case isa.OpBEQ:
-		e.branch(inst, rs1 == rs2)
-	case isa.OpBNE:
-		e.branch(inst, rs1 != rs2)
-	case isa.OpBLT:
-		e.branch(inst, int32(rs1) < int32(rs2))
-	case isa.OpBGE:
-		e.branch(inst, int32(rs1) >= int32(rs2))
-	case isa.OpBLTU:
-		e.branch(inst, rs1 < rs2)
-	case isa.OpBGEU:
-		e.branch(inst, rs1 >= rs2)
-
-	// ----- Loads / stores -----
-	case isa.OpLB:
-		if v, ok := e.load(inst, rs1, 1); ok {
-			h.WriteX(inst.Rd, uint32(int32(int8(v))))
-			e.retire(inst)
-		}
-	case isa.OpLBU:
-		if v, ok := e.load(inst, rs1, 1); ok {
-			h.WriteX(inst.Rd, uint32(uint8(v)))
-			e.retire(inst)
-		}
-	case isa.OpLH:
-		if v, ok := e.load(inst, rs1, 2); ok {
-			h.WriteX(inst.Rd, uint32(int32(int16(v))))
-			e.retire(inst)
-		}
-	case isa.OpLHU:
-		if v, ok := e.load(inst, rs1, 2); ok {
-			h.WriteX(inst.Rd, uint32(uint16(v)))
-			e.retire(inst)
-		}
-	case isa.OpLW:
-		if v, ok := e.load(inst, rs1, 4); ok {
-			h.WriteX(inst.Rd, uint32(v))
-			e.retire(inst)
-		}
-	case isa.OpSB:
-		if e.store(inst, rs1, 1, uint64(rs2)) {
-			e.retire(inst)
-		}
-	case isa.OpSH:
-		if e.store(inst, rs1, 2, uint64(rs2)) {
-			e.retire(inst)
-		}
-	case isa.OpSW:
-		if e.store(inst, rs1, 4, uint64(rs2)) {
-			e.retire(inst)
-		}
-	case isa.OpFLW:
-		if v, ok := e.load(inst, rs1, 4); ok {
-			h.WriteF32(inst.Rd, uint32(v))
-			e.retire(inst)
-		}
-	case isa.OpFLD:
-		if v, ok := e.load(inst, rs1, 8); ok {
-			h.WriteF64(inst.Rd, v)
-			e.retire(inst)
-		}
-	case isa.OpFSW:
-		if e.store(inst, rs1, 4, uint64(h.ReadF32(inst.Rs2))) {
-			e.retire(inst)
-		}
-	case isa.OpFSD:
-		if e.store(inst, rs1, 8, h.ReadF64(inst.Rs2)) {
-			e.retire(inst)
-		}
-
-	// ----- Fences and system -----
-	case isa.OpFENCE, isa.OpFENCEI, isa.OpSFENCEVMA, isa.OpCustomNOP:
-		// Memory is sequentially consistent here. OpCustomNOP only exists
-		// behind the riscvOVPsim quirk.
-		e.retire(inst)
-	case isa.OpWFI:
-		if e.WFIHalts {
-			// Stall: PC does not advance, so the run exhausts its
-			// instruction limit (there are no interrupt sources).
-			return
-		}
-		e.retire(inst)
-	case isa.OpECALL:
-		if e.Quirks.EcallMarksCompletion {
-			h.X[26]++
-		}
-		e.trap(inst, hart.CauseECallM, 0)
-	case isa.OpEBREAK:
-		if e.EbreakHalts {
-			e.Halted = true
-			return
-		}
-		e.trap(inst, hart.CauseBreakpoint, h.PC)
-	case isa.OpMRET:
-		h.MRet()
-		e.retireJump(inst, true)
-	case isa.OpSRET, isa.OpURET:
-		// No supervisor/user trap support in this machine-mode-only model.
-		e.trap(inst, hart.CauseIllegalInstruction, inst.Raw)
-
-	// ----- Zicsr -----
-	case isa.OpCSRRW, isa.OpCSRRS, isa.OpCSRRC, isa.OpCSRRWI, isa.OpCSRRSI, isa.OpCSRRCI:
-		e.csrOp(inst, rs1)
-
-	// ----- M -----
-	case isa.OpMUL:
-		h.WriteX(inst.Rd, rs1*rs2)
-		e.retire(inst)
-	case isa.OpMULH:
-		h.WriteX(inst.Rd, uint32(uint64(int64(int32(rs1))*int64(int32(rs2)))>>32))
-		e.retire(inst)
-	case isa.OpMULHSU:
-		h.WriteX(inst.Rd, uint32(uint64(int64(int32(rs1))*int64(rs2))>>32))
-		e.retire(inst)
-	case isa.OpMULHU:
-		h.WriteX(inst.Rd, uint32(uint64(rs1)*uint64(rs2)>>32))
-		e.retire(inst)
-	case isa.OpDIV:
-		var v int32
-		switch {
-		case rs2 == 0:
-			v = -1
-		case int32(rs1) == -1<<31 && int32(rs2) == -1:
-			v = -1 << 31
-		default:
-			v = int32(rs1) / int32(rs2)
-		}
-		h.WriteX(inst.Rd, uint32(v))
-		e.retire(inst)
-	case isa.OpDIVU:
-		if rs2 == 0 {
-			h.WriteX(inst.Rd, ^uint32(0))
-		} else {
-			h.WriteX(inst.Rd, rs1/rs2)
-		}
-		e.retire(inst)
-	case isa.OpREM:
-		var v int32
-		switch {
-		case rs2 == 0:
-			v = int32(rs1)
-		case int32(rs1) == -1<<31 && int32(rs2) == -1:
-			v = 0
-		default:
-			v = int32(rs1) % int32(rs2)
-		}
-		h.WriteX(inst.Rd, uint32(v))
-		e.retire(inst)
-	case isa.OpREMU:
-		if rs2 == 0 {
-			h.WriteX(inst.Rd, rs1)
-		} else {
-			h.WriteX(inst.Rd, rs1%rs2)
-		}
-		e.retire(inst)
-
-	// ----- A -----
-	case isa.OpLRW:
-		if rs1&3 != 0 {
-			e.trap(inst, hart.CauseMisalignedLoad, rs1)
-			return
-		}
-		v, err := e.Mem.Read32(rs1)
-		if err != nil {
-			e.trap(inst, hart.CauseLoadAccessFault, rs1)
-			return
-		}
-		h.ResValid, h.ResAddr = true, rs1
-		h.WriteX(inst.Rd, v)
-		e.retire(inst)
-	case isa.OpSCW:
-		if rs1&3 != 0 {
-			e.trap(inst, hart.CauseMisalignedStore, rs1)
-			return
-		}
-		ok := (h.ResValid && h.ResAddr == rs1) || e.Quirks.SCIgnoresReservation
-		h.ResValid = false
-		if ok {
-			if e.storeWord(rs1, rs2) {
-				return // halted
-			}
-			h.WriteX(inst.Rd, 0)
-		} else {
-			h.WriteX(inst.Rd, 1)
-		}
-		e.retire(inst)
-	case isa.OpAMOSWAPW, isa.OpAMOADDW, isa.OpAMOXORW, isa.OpAMOANDW, isa.OpAMOORW,
-		isa.OpAMOMINW, isa.OpAMOMAXW, isa.OpAMOMINUW, isa.OpAMOMAXUW:
-		e.amo(inst, rs1, rs2)
-
-	// ----- F/D arithmetic -----
-	default:
-		e.executeFP(inst, rs1)
-		return
-	}
-}
-
-func (e *Executor) jump(inst isa.Inst, target, link uint32) {
+func (e *Executor) jump(in *isa.Inst, target, link uint32) {
 	h := e.CPU
 	if target&e.targetAlign() != 0 {
 		if e.Quirks.LinkBeforeAlignCheck {
 			// The GRIFT defect: the link register is updated although the
 			// jump raises the misaligned-fetch exception.
-			h.WriteX(inst.Rd, link)
+			h.WriteX(in.Rd, link)
 		}
-		e.trap(inst, hart.CauseMisalignedFetch, target)
+		e.trap(in.Op, hart.CauseMisalignedFetch, target)
 		return
 	}
-	h.WriteX(inst.Rd, link)
+	h.WriteX(in.Rd, link)
 	h.PC = target
-	e.retireJump(inst, true)
+	e.retireJump(in.Op, true)
 }
 
-func (e *Executor) branch(inst isa.Inst, taken bool) {
+func (e *Executor) branch(in *isa.Inst, taken bool) {
 	h := e.CPU
 	if !taken {
-		h.PC += uint32(inst.Size)
+		h.PC += uint32(in.Size)
 		h.Minstret++
-		e.edge(inst.Op, EdgeBranchNot)
+		e.edge(in.Op, EdgeBranchNot)
 		return
 	}
-	target := h.PC + uint32(inst.Imm)
+	target := h.PC + uint32(in.Imm)
 	if target&e.targetAlign() != 0 {
-		e.trap(inst, hart.CauseMisalignedFetch, target)
+		e.trap(in.Op, hart.CauseMisalignedFetch, target)
 		return
 	}
 	h.PC = target
-	e.retireJump(inst, true)
+	e.retireJump(in.Op, true)
 }
 
 // load performs a data load of size bytes at x[rs1]+imm (or x[rs1] for
 // atomics); ok is false if a trap was taken.
-func (e *Executor) load(inst isa.Inst, rs1 uint32, size uint32) (uint64, bool) {
-	addr := rs1 + uint32(inst.Imm)
+func (e *Executor) load(in *isa.Inst, rs1 uint32, size uint32) (uint64, bool) {
+	addr := rs1 + uint32(in.Imm)
 	if e.TrapUnaligned && addr&(size-1) != 0 {
-		e.trap(inst, hart.CauseMisalignedLoad, addr)
+		e.trap(in.Op, hart.CauseMisalignedLoad, addr)
 		return 0, false
 	}
 	var v uint64
@@ -535,7 +318,7 @@ func (e *Executor) load(inst isa.Inst, rs1 uint32, size uint32) (uint64, bool) {
 		v, err = e.Mem.Read64(addr)
 	}
 	if err != nil {
-		e.trap(inst, hart.CauseLoadAccessFault, addr)
+		e.trap(in.Op, hart.CauseLoadAccessFault, addr)
 		return 0, false
 	}
 	return v, true
@@ -543,10 +326,10 @@ func (e *Executor) load(inst isa.Inst, rs1 uint32, size uint32) (uint64, bool) {
 
 // store performs a data store; false means a trap was taken or the
 // simulation halted.
-func (e *Executor) store(inst isa.Inst, rs1 uint32, size uint32, v uint64) bool {
-	addr := rs1 + uint32(inst.Imm)
+func (e *Executor) store(in *isa.Inst, rs1 uint32, size uint32, v uint64) bool {
+	addr := rs1 + uint32(in.Imm)
 	if e.TrapUnaligned && addr&(size-1) != 0 {
-		e.trap(inst, hart.CauseMisalignedStore, addr)
+		e.trap(in.Op, hart.CauseMisalignedStore, addr)
 		return false
 	}
 	if addr == e.HaltAddr {
@@ -565,8 +348,11 @@ func (e *Executor) store(inst isa.Inst, rs1 uint32, size uint32, v uint64) bool 
 		err = e.Mem.Write64(addr, v)
 	}
 	if err != nil {
-		e.trap(inst, hart.CauseStoreAccessFault, addr)
+		e.trap(in.Op, hart.CauseStoreAccessFault, addr)
 		return false
+	}
+	if e.Cache != nil {
+		e.Cache.InvalidateRange(addr, size)
 	}
 	return true
 }
@@ -583,22 +369,25 @@ func (e *Executor) storeWord(addr, v uint32) bool {
 		e.CPU.Trap(hart.CauseStoreAccessFault, addr)
 		return true
 	}
+	if e.Cache != nil {
+		e.Cache.InvalidateRange(addr, 4)
+	}
 	return false
 }
 
-func (e *Executor) amo(inst isa.Inst, addr, src uint32) {
+func (e *Executor) amo(in *isa.Inst, addr, src uint32) {
 	h := e.CPU
 	if addr&3 != 0 {
-		e.trap(inst, hart.CauseMisalignedStore, addr)
+		e.trap(in.Op, hart.CauseMisalignedStore, addr)
 		return
 	}
 	old, err := e.Mem.Read32(addr)
 	if err != nil {
-		e.trap(inst, hart.CauseStoreAccessFault, addr)
+		e.trap(in.Op, hart.CauseStoreAccessFault, addr)
 		return
 	}
 	var v uint32
-	switch inst.Op {
+	switch in.Op {
 	case isa.OpAMOSWAPW:
 		v = src
 	case isa.OpAMOADDW:
@@ -629,57 +418,60 @@ func (e *Executor) amo(inst isa.Inst, addr, src uint32) {
 		return
 	}
 	if err := e.Mem.Write32(addr, v); err != nil {
-		e.trap(inst, hart.CauseStoreAccessFault, addr)
+		e.trap(in.Op, hart.CauseStoreAccessFault, addr)
 		return
 	}
-	h.WriteX(inst.Rd, old)
-	e.retire(inst)
+	if e.Cache != nil {
+		e.Cache.InvalidateRange(addr, 4)
+	}
+	h.WriteX(in.Rd, old)
+	e.retire(in)
 }
 
-func (e *Executor) csrOp(inst isa.Inst, rs1 uint32) {
+func (e *Executor) csrOp(in *isa.Inst, rs1 uint32) {
 	h := e.CPU
 	var wval uint32
-	imm := inst.Op == isa.OpCSRRWI || inst.Op == isa.OpCSRRSI || inst.Op == isa.OpCSRRCI
+	imm := in.Op == isa.OpCSRRWI || in.Op == isa.OpCSRRSI || in.Op == isa.OpCSRRCI
 	if imm {
-		wval = uint32(inst.Imm)
+		wval = uint32(in.Imm)
 	} else {
 		wval = rs1
 	}
 	write := true
-	switch inst.Op {
+	switch in.Op {
 	case isa.OpCSRRS, isa.OpCSRRC:
-		write = inst.Rs1 != 0
+		write = in.Rs1 != 0
 	case isa.OpCSRRSI, isa.OpCSRRCI:
-		write = inst.Imm != 0
+		write = in.Imm != 0
 	}
 	readNeeded := true
-	if (inst.Op == isa.OpCSRRW || inst.Op == isa.OpCSRRWI) && inst.Rd == 0 {
+	if (in.Op == isa.OpCSRRW || in.Op == isa.OpCSRRWI) && in.Rd == 0 {
 		readNeeded = false
 	}
 	var old uint32
-	if readNeeded || write && inst.Op != isa.OpCSRRW && inst.Op != isa.OpCSRRWI {
-		v, err := h.ReadCSR(inst.CSR)
+	if readNeeded || write && in.Op != isa.OpCSRRW && in.Op != isa.OpCSRRWI {
+		v, err := h.ReadCSR(in.CSR)
 		if err != nil {
-			e.trap(inst, hart.CauseIllegalInstruction, inst.Raw)
+			e.trap(in.Op, hart.CauseIllegalInstruction, in.Raw)
 			return
 		}
 		old = v
 	}
 	if write {
 		nv := wval
-		switch inst.Op {
+		switch in.Op {
 		case isa.OpCSRRS, isa.OpCSRRSI:
 			nv = old | wval
 		case isa.OpCSRRC, isa.OpCSRRCI:
 			nv = old &^ wval
 		}
-		if err := h.WriteCSR(inst.CSR, nv); err != nil {
-			e.trap(inst, hart.CauseIllegalInstruction, inst.Raw)
+		if err := h.WriteCSR(in.CSR, nv); err != nil {
+			e.trap(in.Op, hart.CauseIllegalInstruction, in.Raw)
 			return
 		}
 	}
-	h.WriteX(inst.Rd, old)
-	e.retire(inst)
+	h.WriteX(in.Rd, old)
+	e.retire(in)
 }
 
 func b2u(b bool) uint32 {

@@ -8,11 +8,11 @@ import (
 
 // executeFP handles the F and D extension arithmetic instructions (loads
 // and stores are handled in exec.go alongside the integer ones).
-func (e *Executor) executeFP(inst isa.Inst, rs1 uint32) {
+func (e *Executor) executeFP(inst *isa.Inst, rs1 uint32) {
 	h := e.CPU
 	info := inst.Info()
 	if info == nil {
-		e.trap(inst, hart.CauseIllegalInstruction, inst.Raw)
+		e.trap(inst.Op, hart.CauseIllegalInstruction, inst.Raw)
 		return
 	}
 
@@ -22,7 +22,7 @@ func (e *Executor) executeFP(inst isa.Inst, rs1 uint32) {
 		var ok bool
 		rm, ok = h.DynRM(inst.RM)
 		if !ok {
-			e.trap(inst, hart.CauseIllegalInstruction, inst.Raw)
+			e.trap(inst.Op, hart.CauseIllegalInstruction, inst.Raw)
 			return
 		}
 	}

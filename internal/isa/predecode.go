@@ -1,0 +1,72 @@
+package isa
+
+// Predecoded is a code range lowered to decoded instruction records, one
+// per halfword slot. Slot i holds the decode of the encoding that starts
+// at Base+2*i; because every halfword offset gets its own slot, the same
+// bytes can be cached under several overlapping decodings at once (the
+// overlapping-stream trick negative test cases use).
+//
+// A slot with Size == 0 could not be predecoded and must be decoded at
+// fetch time instead. That covers two cases: a 32-bit encoding whose
+// second halfword lies past the end of the range, and an encoding on
+// which this decoder panics (the modelled sail-riscv crash) — the panic
+// must fire when the address is actually fetched, not when an image that
+// merely contains the pattern is predecoded.
+//
+// A Predecoded is immutable after construction and safe to share across
+// goroutines.
+type Predecoded struct {
+	Base  uint32
+	Insts []Inst
+}
+
+// Predecode lowers the code bytes starting at base into a Predecoded.
+// The decoder's quirks apply, so a quirked variant predecodes exactly
+// what its fetch path would decode. A trailing odd byte is ignored
+// (slots are halfwords).
+func (d *Decoder) Predecode(base uint32, code []byte) *Predecoded {
+	n := len(code) / 2
+	p := &Predecoded{Base: base, Insts: make([]Inst, n)}
+	for i := 0; i < n; i++ {
+		off := 2 * i
+		lo := uint16(code[off]) | uint16(code[off+1])<<8
+		if lo&3 == 3 {
+			if off+4 > len(code) {
+				continue // second halfword outside the range: decode lazily
+			}
+			w := uint32(lo) | uint32(code[off+2])<<16 | uint32(code[off+3])<<24
+			p.Insts[i] = d.safeDecode32(w)
+		} else {
+			p.Insts[i] = d.safeDecodeC(lo)
+		}
+	}
+	return p
+}
+
+// safeDecode32 decodes a 32-bit encoding, converting a decoder panic
+// into an empty (lazy) record.
+func (d *Decoder) safeDecode32(w uint32) (in Inst) {
+	defer func() {
+		if recover() != nil {
+			in = Inst{}
+		}
+	}()
+	return d.Decode32(w)
+}
+
+// safeDecodeC decodes a compressed encoding, converting a decoder panic
+// into an empty (lazy) record.
+func (d *Decoder) safeDecodeC(h uint16) (in Inst) {
+	defer func() {
+		if recover() != nil {
+			in = Inst{}
+		}
+	}()
+	return d.DecodeC(h)
+}
+
+// Slots returns the number of halfword slots.
+func (p *Predecoded) Slots() int { return len(p.Insts) }
+
+// Limit returns the first address past the predecoded range.
+func (p *Predecoded) Limit() uint32 { return p.Base + uint32(2*len(p.Insts)) }

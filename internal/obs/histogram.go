@@ -27,13 +27,16 @@ const (
 	StageSignatureCompare
 	// StageCheckpointWrite is campaign state persistence.
 	StageCheckpointWrite
+	// StagePredecode is decode-cache maintenance between simulator runs
+	// (pristine reset and injected-range invalidation).
+	StagePredecode
 	// NumStages bounds the taxonomy.
 	NumStages
 )
 
 var stageNames = [NumStages]string{
 	"filter", "mutate", "execute", "coverage-eval",
-	"signature-compare", "checkpoint-write",
+	"signature-compare", "checkpoint-write", "predecode",
 }
 
 func (s Stage) String() string {

@@ -10,9 +10,11 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"rvnegtest/internal/exec"
 	"rvnegtest/internal/isa"
+	"rvnegtest/internal/obs"
 	"rvnegtest/internal/template"
 )
 
@@ -167,9 +169,19 @@ type Simulator struct {
 	Platform template.Platform
 	Limit    uint64
 
+	// NoPredecode disables the predecoded execution core, forcing every
+	// fetch through the classical decode path (the ablation/debug knob).
+	// Outcomes are byte-identical either way.
+	NoPredecode bool
+	// PredecodeTimer, when set, observes the per-run decode-cache
+	// maintenance time (reset + injected-range invalidation). Nil means
+	// no clock reads on the run path.
+	PredecodeTimer *obs.Histogram
+
 	img *template.Image
 	dec *isa.Decoder
 	eff isa.Config
+	pre *exec.DecodeCache
 }
 
 // New prepares a simulator for a platform. It fails if the variant does
@@ -182,14 +194,34 @@ func New(v *Variant, p template.Platform) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	dec := &isa.Decoder{Quirks: v.DecQuirks}
+	eff := v.Effective(p.Cfg)
 	return &Simulator{
 		Variant:  v,
 		Platform: p,
 		Limit:    DefaultInstLimit,
 		img:      img,
-		dec:      &isa.Decoder{Quirks: v.DecQuirks},
-		eff:      v.Effective(p.Cfg),
+		dec:      dec,
+		eff:      eff,
+		pre:      predecodeImage(img, dec, eff),
 	}, nil
+}
+
+// predecodeImage lowers the template's text region once per Variant;
+// the decode work happens here instead of once per retired instruction.
+// Clones share the immutable predecode and only copy the derived entry
+// table. A layout without a text window ahead of the data base yields no
+// cache (the simulator then always takes the classical path).
+func predecodeImage(img *template.Image, dec *isa.Decoder, eff isa.Config) *exec.DecodeCache {
+	l := img.Platform.Layout
+	if l.DataBase <= l.TextBase {
+		return nil
+	}
+	code, err := img.Mem.ReadBytes(l.TextBase, l.DataBase-l.TextBase)
+	if err != nil {
+		return nil
+	}
+	return exec.NewDecodeCache(dec.Predecode(l.TextBase, code), eff)
 }
 
 // Clone returns an independent simulator for the same variant and
@@ -199,12 +231,14 @@ func New(v *Variant, p template.Platform) (*Simulator, error) {
 // preloaded memory image instead of re-assembling the template.
 func (s *Simulator) Clone() *Simulator {
 	return &Simulator{
-		Variant:  s.Variant,
-		Platform: s.Platform,
-		Limit:    s.Limit,
-		img:      s.img.Clone(),
-		dec:      &isa.Decoder{Quirks: s.Variant.DecQuirks},
-		eff:      s.eff,
+		Variant:     s.Variant,
+		Platform:    s.Platform,
+		Limit:       s.Limit,
+		NoPredecode: s.NoPredecode,
+		img:         s.img.Clone(),
+		dec:         &isa.Decoder{Quirks: s.Variant.DecQuirks},
+		eff:         s.eff,
+		pre:         s.pre.Clone(),
 	}
 }
 
@@ -229,7 +263,29 @@ func (s *Simulator) RunHooked(bs []byte, hook exec.Hook) (out Outcome) {
 	if err := s.img.Inject(bs); err != nil {
 		return Outcome{Crashed: true, CrashMsg: err.Error()}
 	}
+	cache := s.pre
+	if s.NoPredecode {
+		cache = nil
+	}
+	if cache != nil {
+		var t0 time.Time
+		if s.PredecodeTimer != nil {
+			t0 = time.Now()
+		}
+		// Inject restored memory to the pristine snapshot and wrote the
+		// bytestream words; mirror both on the cache: roll deviated
+		// slots back to the pristine predecode, then knock out the
+		// freshly written injection area.
+		cache.Reset()
+		if n := uint32(len(bs)+3) &^ 3; n > 0 {
+			cache.InvalidateRange(s.img.InjectAddr, n)
+		}
+		if s.PredecodeTimer != nil {
+			s.PredecodeTimer.ObserveSince(t0)
+		}
+	}
 	e := s.img.NewExecutorCfg(s.eff, s.dec, s.Variant.ExecQuirks)
+	e.Cache = cache
 	e.Hook = hook
 	defer func() {
 		if r := recover(); r != nil {
@@ -253,4 +309,16 @@ func (s *Simulator) RunHooked(bs []byte, hook exec.Hook) (out Outcome) {
 	return out
 }
 
+// PredecodeStats reports the cumulative decode-cache counters of this
+// simulator (zero when predecode is disabled or unavailable).
+func (s *Simulator) PredecodeStats() exec.CacheStats { return s.pre.Stats() }
+
+// PredecodeStatser is implemented by simulators that expose decode-cache
+// counters; telemetry reads them through this interface so wrappers stay
+// transparent.
+type PredecodeStatser interface {
+	PredecodeStats() exec.CacheStats
+}
+
 var _ HookedSim = (*Simulator)(nil)
+var _ PredecodeStatser = (*Simulator)(nil)
