@@ -6,6 +6,7 @@
 //
 //	rvcompliance -generate 1000000            # fuzz a suite, then test
 //	rvcompliance -suite suite.txt -bugs       # use a saved suite
+//	rvcompliance -suite trap -generate 50000  # trap-rich privileged suite
 //	rvcompliance -ref reference -sims Spike   # custom comparison
 package main
 
@@ -30,7 +31,7 @@ import (
 
 func main() {
 	var (
-		suitePath = flag.String("suite", "", "saved suite file (from rvfuzz -out)")
+		suitePath = flag.String("suite", "", "saved suite file (from rvfuzz -out), or a family name (user|trap) to generate with")
 		generate  = flag.Uint64("generate", 0, "generate a suite with this many fuzzer executions first")
 		seconds   = flag.Float64("seconds", 0, "wall-time budget for generation")
 		seed      = flag.Int64("seed", 1, "fuzzer seed for -generate")
@@ -70,9 +71,13 @@ func main() {
 		return
 	}
 
+	// -suite takes either a saved suite file or a family name: "trap"
+	// (or "user") selects the template family for generation instead.
+	family, isFamily := rvnegtest.ParseFamily(*suitePath)
+
 	var suite *rvnegtest.Suite
 	switch {
-	case *suitePath != "":
+	case *suitePath != "" && !isFamily:
 		var err error
 		suite, err = rvnegtest.LoadSuite(*suitePath)
 		if err != nil {
@@ -85,16 +90,24 @@ func main() {
 			fatalf("unknown coverage configuration %q", *cov)
 		}
 		cfg.Seed = *seed
+		cfg.Family = family
 		var st rvnegtest.FuzzStats
 		var err error
 		suite, st, err = rvnegtest.GenerateSuite(cfg, *generate, time.Duration(*seconds*float64(time.Second)))
 		if err != nil {
 			fatalf("%v", err)
 		}
-		fmt.Printf("generated %d test cases from %d executions (%.0f/s)\n\n",
-			st.TestCases, st.Execs, st.ExecsPerSec)
+		if suite.Family == rvnegtest.FamilyTrap {
+			fmt.Printf("generated %d trap-family test cases from %d executions (%.0f/s)\n\n",
+				len(suite.Cases), st.Execs, st.ExecsPerSec)
+		} else {
+			fmt.Printf("generated %d test cases from %d executions (%.0f/s)\n\n",
+				st.TestCases, st.Execs, st.ExecsPerSec)
+		}
+	case isFamily && *suitePath != "":
+		fatalf("-suite %s selects a generated family; add a budget with -generate N or -seconds S", *suitePath)
 	default:
-		fatalf("need -suite FILE or -generate N")
+		fatalf("need -suite FILE|user|trap or -generate N")
 	}
 
 	runner := &compliance.Runner{

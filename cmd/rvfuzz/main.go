@@ -6,6 +6,7 @@
 //
 //	rvfuzz -cov v3 -execs 1000000 -out suite.txt
 //	rvfuzz -fig4 -execs 200000            # growth-curve experiment
+//	rvfuzz -suite trap -execs 100000      # trap-rich privileged suite
 //	rvfuzz -cov v1 -seconds 30 -asm-dir suite-asm
 package main
 
@@ -36,6 +37,7 @@ func main() {
 		seconds    = flag.Float64("seconds", 0, "wall-time budget (0 = unbounded)")
 		seed       = flag.Int64("seed", 1, "fuzzer seed")
 		isaName    = flag.String("isa", "RV32GC", "foundation simulator ISA configuration")
+		famName    = flag.String("suite", "user", "template family: user (paper's trap-terminates template) | trap (trap-recording privileged suite)")
 		out        = flag.String("out", "", "write the generated suite to this file")
 		asmDir     = flag.String("asm-dir", "", "export the suite as assembler sources into this directory")
 		fig4       = flag.Bool("fig4", false, "run the Fig. 4 experiment (all four coverage configurations)")
@@ -77,6 +79,11 @@ func main() {
 		fatalf("%v", err)
 	}
 	cfg.ISA = isaCfg
+	family, ok := rvnegtest.ParseFamily(*famName)
+	if !ok {
+		fatalf("unknown suite family %q (want user or trap)", *famName)
+	}
+	cfg.Family = family
 	cfg.Seed = *seed
 	cfg.DisableCustomMutator = *noMut
 	cfg.DisableFilter = *noFlt
@@ -146,7 +153,13 @@ func main() {
 		}
 		suite = &rvnegtest.Suite{
 			Cases:  cases,
+			Family: cfg.Family,
 			Origin: fmt.Sprintf("parallel fuzzer workers=%d seed=%d execs=%d", *workers, *seed, totalExecs),
+		}
+		if cfg.Family == rvnegtest.FamilyTrap {
+			// Mirror GenerateSuite: the directed privileged probes ride
+			// along with every generated trap suite.
+			suite.Cases = append(suite.Cases, fuzz.TrapDirectedCases()...)
 		}
 		fmt.Printf("configuration %s on %v (seed %d, %d workers)\n", *cov, isaCfg, *seed, *workers)
 		fmt.Printf("executions:     %d total\n", totalExecs)

@@ -1,8 +1,9 @@
 // Command rvreport reproduces the paper's full evaluation in one run and
 // emits a markdown report: Table I, the Fig. 4 growth summary, throughput,
-// the defect findings breakdown, the baseline comparison (E9), the CSR
-// framework results (E10) and the suite composition. With the default
-// budget it finishes in a few minutes; -execs scales it.
+// the defect findings breakdown, the trap-rich privileged-suite results,
+// the baseline comparison (E9), the CSR framework results (E10) and the
+// suite composition. With the default budget it finishes in a few
+// minutes; -execs scales it.
 //
 //	rvreport -execs 1000000 > report.md
 package main
@@ -83,6 +84,38 @@ func main() {
 	fmt.Println()
 	fmt.Println("```")
 	fmt.Print(rep.BugFindings())
+	fmt.Println("```")
+	fmt.Println()
+
+	// Trap-rich privileged suite: a smaller trap-family campaign whose
+	// signatures carry (mcause, mepc, mtval, mstatus) records, exposing
+	// the privileged-architecture defect classes the user-level suite
+	// cannot see.
+	fmt.Println("## Trap-rich privileged suite (`-suite trap`)")
+	fmt.Println()
+	trapExecs := *execs / 10
+	if trapExecs < 1000 {
+		trapExecs = 1000
+	}
+	trapCfg := rvnegtest.DefaultFuzzConfig()
+	trapCfg.Seed = *seed
+	trapCfg.Family = rvnegtest.FamilyTrap
+	trapSuite, trapSt, err := rvnegtest.GenerateSuite(trapCfg, trapExecs, 0)
+	check(err)
+	fmt.Printf("%d trap-family cases from %d executions (plus the directed privileged probes).\n\n",
+		len(trapSuite.Cases), trapSt.Execs)
+	trapRunner := compliance.DefaultRunner()
+	trapRunner.Workers = *workers
+	trapRep, err := rvnegtest.RunCompliance(trapSuite, trapRunner)
+	check(err)
+	fmt.Println("```")
+	fmt.Print(trapRep.Render())
+	fmt.Println("```")
+	fmt.Println()
+	fmt.Println("### Trap-suite findings (trap-record divergences are the privileged-mode classes)")
+	fmt.Println()
+	fmt.Println("```")
+	fmt.Print(trapRep.BugFindings())
 	fmt.Println("```")
 	fmt.Println()
 

@@ -32,11 +32,19 @@ type Analysis struct {
 const maxPaths = 1 << 31
 
 // Analyze builds the CFG for the bytestream, runs the worklist fixpoint
-// over the register lattice, and derives the verdict. It never rejects
-// for budget reasons: cost is linear in blocks x registers.
-func Analyze(bs []byte) *Analysis {
+// over the register lattice, and derives the verdict under the user-suite
+// semantics. It never rejects for budget reasons: cost is linear in
+// blocks x registers.
+func Analyze(bs []byte) *Analysis { return AnalyzeMode(bs, false) }
+
+// AnalyzeMode is Analyze with an explicit suite family: trap=true selects
+// the trap-suite semantics (see the mode overview in trapmode.go) —
+// deliberate traps resume past the faulting word instead of ending the
+// path, the forbidden set shrinks to TrapForbidden, and the memory
+// discipline keeps only the clean-base store rule.
+func AnalyzeMode(bs []byte, trap bool) *Analysis {
 	a := &Analysis{}
-	a.g.build(bs)
+	a.g.build(bs, trap)
 	g := &a.g
 	a.N = g.n
 	if g.n == 0 {
@@ -138,15 +146,24 @@ func (a *Analysis) deriveVerdict() {
 			case kindForbidden:
 				consider(violation{nd.pc, ReasonForbidden, nd.pc, nd.inst.Op})
 				continue
-			case kindExit:
+			case kindExit, kindTrapExit:
 				continue
 			}
 			info := nd.inst.Info()
-			// Memory-access discipline against the joined state: the base
-			// register must still hold the data-window address and the
-			// immediate must be access-size aligned.
+			// Memory-access discipline against the joined state. User suite:
+			// the base register must still hold the data-window address and
+			// the immediate must be access-size aligned. Trap suite: faults
+			// are desired (recorded) events, so dirty-base loads and
+			// unaligned accesses pass; only stores (including SC and AMOs)
+			// keep the clean-base rule — a wild store could overwrite the
+			// code, the handler, or the signature itself.
 			if info.Flags.Any(isa.FlagLoad | isa.FlagStore) {
-				if s.get(nd.inst.Rs1).k != vClean {
+				dirtyBase := s.get(nd.inst.Rs1).k != vClean
+				if g.trap {
+					if info.Flags.Is(isa.FlagStore) && dirtyBase {
+						consider(violation{nd.pc, ReasonDirtyAddress, nd.pc, nd.inst.Op})
+					}
+				} else if dirtyBase {
 					consider(violation{nd.pc, ReasonDirtyAddress, nd.pc, nd.inst.Op})
 				} else if info.MemSize > 1 && nd.inst.Imm&int32(info.MemSize-1) != 0 {
 					consider(violation{nd.pc, ReasonUnalignedImm, nd.pc, nd.inst.Op})
@@ -181,14 +198,14 @@ func (a *Analysis) deriveVerdict() {
 
 // blockTargets returns the feasible successor offsets of a reachable
 // block's terminator, evaluated against the fixpoint state at that point.
-func (a *Analysis) blockTargets(b *block) ([2]int32, int) {
+func (a *Analysis) blockTargets(b *block) ([3]int32, int) {
 	s := b.in
 	for _, nd := range b.nodes[:len(b.nodes)-1] {
 		transfer(nd.inst, &s)
 	}
 	last := b.last()
 	if last.terminal() {
-		return [2]int32{}, 0
+		return [3]int32{}, 0
 	}
 	return last.feasibleTargets(&s)
 }
@@ -206,7 +223,7 @@ func (a *Analysis) findCycle() (int32, bool) {
 	// Per-block DFS bookkeeping lives in one slice; the stack holds block
 	// ids.
 	type dfsEntry struct {
-		succs [2]int32
+		succs [3]int32
 		nsucc uint8
 		next  uint8 // next successor index to explore
 		color uint8
@@ -359,7 +376,7 @@ func (a *Analysis) Blocks() []BlockInfo {
 			Insts:     len(b.nodes),
 			Reachable: b.in.reach,
 		}
-		var ts [2]int32
+		var ts [3]int32
 		var nt int
 		if b.in.reach {
 			ts, nt = a.blockTargets(b)

@@ -23,6 +23,10 @@ const (
 	// kindStraddle: a 32-bit encoding whose upper half lies beyond the
 	// bytestream; reachable ⇒ drop.
 	kindStraddle
+	// kindTrapExit (trap mode only): the instruction traps deterministically
+	// (illegal encoding, ECALL, EBREAK); the recording handler resumes
+	// execution at (pc &^ 3) + 4, the single modelled successor.
+	kindTrapExit
 )
 
 // node is one decoded instruction site. Distinct sites may overlap in the
@@ -33,6 +37,10 @@ type node struct {
 	pc   int32
 	inst isa.Inst
 	kind nodeKind
+	// trap records the analysis mode the node was decoded under; in trap
+	// mode every non-terminal node carries a conservative trap-resume edge
+	// (see resume).
+	trap bool
 	// blk is the basic block the node belongs to.
 	blk *block
 	// cleanMask is the bitmask of Clean registers in the node's final
@@ -40,39 +48,75 @@ type node struct {
 	cleanMask uint32
 }
 
+// resume is the offset where the trap template's recording handler lands
+// after a fault at this node: mepc is masked to the enclosing word and
+// advanced one word ((pc &^ 3) + 4). The result is always strictly greater
+// than pc and never exceeds the padded length, so resume edges are forward
+// and in-bounds by construction.
+func (nd *node) resume() int32 { return (nd.pc &^ 3) + 4 }
+
+// addResume appends the trap-resume edge to a successor set in trap mode,
+// deduplicating against existing targets (for word-aligned 32-bit
+// instructions and for compressed instructions in the upper halfword the
+// resume offset coincides with the fall-through, so straight-line code
+// keeps single-successor blocks). The exhaustive oracle applies the same
+// dedup rule, which keeps the fixpoint engine's path counts bounded by the
+// enumerator's.
+func (nd *node) addResume(ts [3]int32, n int) ([3]int32, int) {
+	if !nd.trap || nd.kind == kindTrapExit || nd.terminal() {
+		return ts, n
+	}
+	r := nd.resume()
+	for _, t := range ts[:n] {
+		if t == r {
+			return ts, n
+		}
+	}
+	ts[n] = r
+	return ts, n + 1
+}
+
 // staticTargets writes the node's static successor offsets into ts and
 // returns how many there are, ignoring feasibility. Targets may lie
 // outside [0, n] (bounds are a reachability check, not a decode error)
 // and n itself means "fall off the end" (accepted exit).
-func (nd *node) staticTargets() (ts [2]int32, n int) {
+func (nd *node) staticTargets() (ts [3]int32, n int) {
 	switch nd.kind {
 	case kindFall:
 		ts[0] = nd.pc + int32(nd.inst.Size)
-		return ts, 1
+		n = 1
 	case kindJump:
 		ts[0] = nd.pc + nd.inst.Imm
-		return ts, 1
+		n = 1
 	case kindBranch:
 		ts[0] = nd.pc + int32(nd.inst.Size)
 		ts[1] = nd.pc + nd.inst.Imm
-		return ts, 2
+		n = 2
+	case kindTrapExit:
+		ts[0] = nd.resume()
+		return ts, 1
+	default:
+		return ts, 0
 	}
-	return ts, 0
+	return nd.addResume(ts, n)
 }
 
 // feasibleTargets returns the successor offsets the fixpoint considers
 // live given the node's in-state: a branch whose operands are known
-// constants folds to a single unconditional edge.
-func (nd *node) feasibleTargets(s *regState) ([2]int32, int) {
+// constants folds to a single unconditional edge. In trap mode the
+// conservative resume edge stays attached even to a folded branch (the
+// fold decides the branch outcome, not whether the taken-side fetch can
+// fault).
+func (nd *node) feasibleTargets(s *regState) ([3]int32, int) {
 	if nd.kind == kindBranch {
 		if taken, folded := branchOutcome(nd.inst, s); folded {
-			var ts [2]int32
+			var ts [3]int32
 			if taken {
 				ts[0] = nd.pc + nd.inst.Imm
 			} else {
 				ts[0] = nd.pc + int32(nd.inst.Size)
 			}
-			return ts, 1
+			return nd.addResume(ts, 1)
 		}
 	}
 	return nd.staticTargets()
@@ -99,6 +143,7 @@ func (b *block) last() *node { return b.nodes[len(b.nodes)-1] }
 // cfg is the control-flow graph over the padded bytestream.
 type cfg struct {
 	n      int32   // padded length
+	trap   bool    // trap-suite analysis mode
 	padded []byte  // zero-padded copy of the bytestream
 	sites  []*node // indexed pc/2; nil where no instruction starts
 
@@ -119,9 +164,10 @@ func (g *cfg) at(pc int32) *node {
 	return g.sites[pc/2]
 }
 
-// decodeNode decodes the instruction site at pc and classifies it.
+// decodeNode decodes the instruction site at pc and classifies it under
+// the graph's analysis mode.
 func (g *cfg) decodeNode(pc int32) *node {
-	g.store = append(g.store, node{pc: pc})
+	g.store = append(g.store, node{pc: pc, trap: g.trap})
 	nd := &g.store[len(g.store)-1]
 	lo := uint32(g.padded[pc]) | uint32(g.padded[pc+1])<<8
 	if lo&3 == 3 {
@@ -137,8 +183,26 @@ func (g *cfg) decodeNode(pc int32) *node {
 	info := nd.inst.Info()
 	switch {
 	case info == nil:
-		// Illegal encoding: the exception ends execution deterministically.
-		nd.kind = kindExit
+		// Illegal encoding: a deterministic exception. In the user suite the
+		// handler ends the test; in the trap suite it records and resumes.
+		nd.kind = exitKind(g.trap)
+	case g.trap:
+		// Trap mode: only the instructions that escape the recording
+		// handler's control stay forbidden; deliberate trappers become
+		// resuming trap exits, and everything else (CSR ops, SFENCE.VMA)
+		// executes as a plain instruction.
+		switch {
+		case TrapForbidden(nd.inst):
+			nd.kind = kindForbidden
+		case nd.inst.Op == isa.OpECALL || nd.inst.Op == isa.OpEBREAK:
+			nd.kind = kindTrapExit
+		case nd.inst.Op == isa.OpJAL:
+			nd.kind = kindJump
+		case info.Flags.Is(isa.FlagBranch):
+			nd.kind = kindBranch
+		default:
+			nd.kind = kindFall
+		}
 	case info.Flags.Is(isa.FlagForbidden):
 		nd.kind = kindForbidden
 	case nd.inst.Op == isa.OpECALL:
@@ -154,13 +218,22 @@ func (g *cfg) decodeNode(pc int32) *node {
 	return nd
 }
 
+// exitKind maps a deterministic trap site to its mode-dependent kind.
+func exitKind(trap bool) nodeKind {
+	if trap {
+		return kindTrapExit
+	}
+	return kindExit
+}
+
 // build discovers every instruction site statically reachable from
 // offset 0 (following all edges, feasible or not) and partitions the
 // sites into basic blocks. bs is the raw bytestream; it is padded to a
 // whole word with zero bytes, as the template's injection area does.
-func (g *cfg) build(bs []byte) {
+func (g *cfg) build(bs []byte, trap bool) {
 	n := int32(len(bs)+3) &^ 3
 	g.n = n
+	g.trap = trap
 	if n == 0 {
 		return
 	}
@@ -189,20 +262,22 @@ func (g *cfg) build(bs []byte) {
 		}
 	}
 
-	// Leader identification: offset 0, every target of a branch or jump,
-	// and every site with more than one static predecessor.
+	// Leader identification: offset 0, every target of a node that
+	// transfers control (branch, jump, trap exit, or any node whose
+	// trap-resume edge forks off the fall-through), and every site with
+	// more than one static predecessor.
 	leader := buf[n : n+n/2]
 	preds := buf[n+n/2:]
 	leader[0] = 1
 	for i := range g.store {
 		nd := &g.store[i]
-		fromBranch := nd.kind == kindBranch || nd.kind == kindJump
 		ts, nt := nd.staticTargets()
+		transfers := nd.kind != kindFall || nt > 1
 		for _, t := range ts[:nt] {
 			if t < 0 || t >= n {
 				continue
 			}
-			if fromBranch {
+			if transfers {
 				leader[t/2] = 1
 			}
 			if preds[t/2] < 2 {
@@ -238,7 +313,11 @@ func (g *cfg) build(bs []byte) {
 			if nd.kind != kindFall {
 				break
 			}
-			t := nd.pc + int32(nd.inst.Size)
+			ts, nt := nd.staticTargets()
+			if nt != 1 {
+				break // trap-resume fork: the node terminates its block
+			}
+			t := ts[0]
 			if t >= g.n || g.sites[t/2] == nil || leader[t/2] != 0 {
 				break
 			}

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 
 	"rvnegtest/internal/resilience"
+	"rvnegtest/internal/template"
 )
 
 // Phase B checkpoints at configuration-row granularity: each completed
@@ -56,6 +57,13 @@ func (r *Runner) fingerprint() string {
 
 func suiteHash(suite *Suite) string {
 	h := sha256.New()
+	// The family shapes every outcome (template, signature layout), so a
+	// checkpoint must never resume across families. Only the trap family
+	// writes a marker: user-family hashes — and therefore existing
+	// user-campaign checkpoints — stay valid.
+	if suite.Family == template.FamilyTrap {
+		h.Write([]byte("family=trap\n"))
+	}
 	for _, bs := range suite.Cases {
 		var n [4]byte
 		n[0] = byte(len(bs))

@@ -31,6 +31,11 @@ type Suite struct {
 	Cases [][]byte
 	// Origin documents how the suite was generated.
 	Origin string
+	// Family is the template family the cases were generated for. The
+	// zero value (user) keeps the historical on-disk format and report
+	// byte-identical; trap-family suites run under the recording trap
+	// handler and compare the trap-record signature region too.
+	Family template.Family
 }
 
 // Category classifies one signature mismatch by its observable pattern,
@@ -56,12 +61,16 @@ const (
 	CatTimeout
 	// CatMissing: the simulator produced no/short signature.
 	CatMissing
+	// CatTrapRecord: a trap-record signature word differs (trap-family
+	// suites only): wrong mtval, wrong dispatch path, wrong mstatus
+	// save/restore, or a diverging trap count.
+	CatTrapRecord
 	catCount
 )
 
 var catNames = [catCount]string{
 	"completion-marker", "trap-cause", "register-value", "fp-value",
-	"crash", "timeout", "missing-signature",
+	"crash", "timeout", "missing-signature", "trap-record",
 }
 
 func (c Category) String() string {
@@ -72,15 +81,25 @@ func (c Category) String() string {
 }
 
 // Classify determines the dominant mismatch category between a reference
-// signature and a test output.
+// signature and a test output (user-family signature layout).
 func Classify(ref, got []uint32) Category {
+	return ClassifyAt(ref, got, 0)
+}
+
+// ClassifyAt is Classify with a trap-record region: signature words at
+// index >= trapBase belong to the trap-family record area and dominate
+// every other class (they are what the trap suite exists to compare).
+// trapBase == 0 disables the region (user-family layout).
+func ClassifyAt(ref, got []uint32, trapBase int) Category {
 	if len(got) < len(ref) {
 		return CatMissing
 	}
 	diffs := sig.Diff(sig.Signature(ref), sig.Signature(got))
-	hasCause, hasX26, hasReg, hasFP := false, false, false, false
+	hasTrapRec, hasCause, hasX26, hasReg, hasFP := false, false, false, false, false
 	for _, d := range diffs {
 		switch {
+		case trapBase > 0 && d >= trapBase:
+			hasTrapRec = true
 		case d == 30:
 			hasCause = true
 		case d == 26:
@@ -97,6 +116,8 @@ func Classify(ref, got []uint32) Category {
 		}
 	}
 	switch {
+	case hasTrapRec:
+		return CatTrapRecord
 	case hasCause:
 		return CatTrapCause
 	case hasX26 && !hasReg:
@@ -377,6 +398,7 @@ func (r *Runner) newInstances(v *sim.Variant, p template.Platform, workers int) 
 		if tel := r.tel; tel != nil {
 			in.stExec = tel.execHist()
 			in.pre = tel.preCounters()
+			in.traps = tel.trapCounter()
 			in.breaker.OnOpen = func() {
 				tel.breakerOpened(v.Name)
 				tel.event(obs.Event{Type: "breaker_open", Sim: v.Name, Worker: w, Config: p.Cfg.String()})
@@ -520,7 +542,7 @@ func (r *Runner) newReport(suite *Suite) *Report {
 // cases whose reference run failed are recorded as skipped and never
 // execute, and a SUT whose breaker tripped skips its remaining cases as
 // sut-unhealthy.
-func runCase(cell *Cell, ref sim.Outcome, in *instance, bs []byte, i, maxEx int, dc *sig.DontCare, stCmp *obs.Histogram) bool {
+func runCase(cell *Cell, ref sim.Outcome, in *instance, bs []byte, i, maxEx, trapBase int, dc *sig.DontCare, stCmp *obs.Histogram) bool {
 	if ref.Crashed || ref.TimedOut {
 		// A reference failure makes the case unusable for signature
 		// comparison; record it so the mismatch denominator stays honest.
@@ -562,7 +584,7 @@ func runCase(cell *Cell, ref sim.Outcome, in *instance, bs []byte, i, maxEx int,
 		if match {
 			return true
 		}
-		cat = Classify(ref.Signature, out.Signature)
+		cat = ClassifyAt(ref.Signature, out.Signature, trapBase)
 	}
 	cell.Mismatches++
 	cell.Categories[cat]++
@@ -602,11 +624,22 @@ func countSkipped(refOuts []sim.Outcome) int {
 	return n
 }
 
+// trapBase returns the first trap-record signature word index for the
+// suite's family on a configuration, or 0 for the user family (whose
+// signature has no trap-record region).
+func (s *Suite) trapBase(cfg isa.Config) int {
+	if s.Family != template.FamilyTrap {
+		return 0
+	}
+	return template.PlatformFor(template.FamilyTrap, cfg).BaseSigWords()
+}
+
 // runConfigSerial is the single-goroutine engine (Workers <= 1) for one
 // configuration row.
 func (r *Runner) runConfigSerial(ctx context.Context, suite *Suite, cfg isa.Config) ([]Cell, int, error) {
 	maxEx := r.maxExamples()
-	p := template.Platform{Layout: template.DefaultLayout, Cfg: cfg}
+	trapBase := suite.trapBase(cfg)
+	p := template.PlatformFor(suite.Family, cfg)
 	refIns, err := r.newInstances(r.Ref, p, 1)
 	if err != nil {
 		return nil, 0, fmt.Errorf("compliance: reference %s on %v: %w", r.Ref.Name, cfg, err)
@@ -643,7 +676,7 @@ func (r *Runner) runConfigSerial(ctx context.Context, suite *Suite, cfg isa.Conf
 			if err := ctx.Err(); err != nil {
 				return nil, 0, err
 			}
-			if runCase(cell, refOuts[i], suts[0], bs, i, maxEx, r.DontCare, r.tel.compareHist()) {
+			if runCase(cell, refOuts[i], suts[0], bs, i, maxEx, trapBase, r.DontCare, r.tel.compareHist()) {
 				execs++
 			}
 		}

@@ -31,6 +31,10 @@ type instance struct {
 	// growth after each completed run (nil means stats are never read).
 	pre     *preCounters
 	lastPre exec.CacheStats
+	// traps, when non-nil, accumulates the executor trap counts of
+	// completed runs (trap-family campaigns take thousands of deliberate
+	// round trips; the counter makes that volume observable).
+	traps *obs.Counter
 }
 
 func newInstance(name string, make func() (sim.Sim, error), threshold int, timeout time.Duration, quar *resilience.Quarantine) (*instance, error) {
@@ -89,6 +93,9 @@ func (in *instance) run(bs []byte) (out sim.Outcome, harnessFault bool) {
 	}
 	in.notePredecode()
 	in.breaker.RecordOK()
+	if in.traps != nil {
+		in.traps.Add(out.Traps)
+	}
 	return out, false
 }
 

@@ -157,7 +157,8 @@ func (r *Runner) runConfigParallel(ctx context.Context, suite *Suite, cfg isa.Co
 		r.Progress(ev)
 	}
 
-	p := template.Platform{Layout: template.DefaultLayout, Cfg: cfg}
+	trapBase := suite.trapBase(cfg)
+	p := template.PlatformFor(suite.Family, cfg)
 	refIns, err := r.newInstances(r.Ref, p, workers)
 	if err != nil {
 		return nil, 0, fmt.Errorf("compliance: reference %s on %v: %w", r.Ref.Name, cfg, err)
@@ -214,7 +215,7 @@ func (r *Runner) runConfigParallel(ctx context.Context, suite *Suite, cfg isa.Co
 						errs[w] = err
 						return
 					}
-					if runCase(&cells[j], refOuts[i], suts[j][w], suite.Cases[i], i, maxEx, r.DontCare, r.tel.compareHist()) {
+					if runCase(&cells[j], refOuts[i], suts[j][w], suite.Cases[i], i, maxEx, trapBase, r.DontCare, r.tel.compareHist()) {
 						n++
 					}
 				}

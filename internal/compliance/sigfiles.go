@@ -22,7 +22,7 @@ func ExportReferenceSignatures(suite *Suite, ref *sim.Variant, cfg isa.Config, d
 	if err := os.MkdirAll(sub, 0o755); err != nil {
 		return err
 	}
-	s, err := sim.New(ref, template.Platform{Layout: template.DefaultLayout, Cfg: cfg})
+	s, err := sim.New(ref, template.PlatformFor(suite.Family, cfg))
 	if err != nil {
 		return err
 	}
@@ -56,10 +56,11 @@ func VerifyAgainstSignatures(suite *Suite, sut *sim.Variant, cfg isa.Config, dir
 	if !cell.Supported {
 		return cell, nil
 	}
-	s, err := sim.New(sut, template.Platform{Layout: template.DefaultLayout, Cfg: cfg})
+	s, err := sim.New(sut, template.PlatformFor(suite.Family, cfg))
 	if err != nil {
 		return nil, err
 	}
+	trapBase := suite.trapBase(cfg)
 	for i, bs := range suite.Cases {
 		refText, err := os.ReadFile(filepath.Join(sub, fmt.Sprintf("test_%05d.signature", i)))
 		if err != nil {
@@ -89,7 +90,7 @@ func VerifyAgainstSignatures(suite *Suite, sut *sim.Variant, cfg isa.Config, dir
 			if len(sig.Compare(refSig, sig.Signature(out.Signature), dc)) == 0 {
 				continue
 			}
-			cat = Classify(refSig, out.Signature)
+			cat = ClassifyAt(refSig, out.Signature, trapBase)
 		}
 		cell.Mismatches++
 		cell.Categories[cat]++

@@ -11,10 +11,14 @@ import (
 )
 
 // Format serializes the suite: a comment header followed by one
-// hex-encoded bytestream per line.
+// hex-encoded bytestream per line. User-family suites stay byte-identical
+// to the historical format; trap-family suites add a family header line.
 func (s *Suite) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# rvnegtest suite: %d cases\n", len(s.Cases))
+	if s.Family != template.FamilyUser {
+		fmt.Fprintf(&b, "# family: %s\n", s.Family)
+	}
 	if s.Origin != "" {
 		fmt.Fprintf(&b, "# origin: %s\n", s.Origin)
 	}
@@ -36,6 +40,13 @@ func ParseSuite(text string) (*Suite, error) {
 		if strings.HasPrefix(line, "#") {
 			if rest, ok := strings.CutPrefix(line, "# origin: "); ok {
 				s.Origin = rest
+			}
+			if rest, ok := strings.CutPrefix(line, "# family: "); ok {
+				fam, ok := template.ParseFamily(rest)
+				if !ok {
+					return nil, fmt.Errorf("compliance: suite line %d: unknown family %q", i+1, rest)
+				}
+				s.Family = fam
 			}
 			continue
 		}
@@ -70,7 +81,7 @@ func (s *Suite) WriteASM(dir string, l template.Layout) error {
 		return err
 	}
 	for i, bs := range s.Cases {
-		src, err := template.Source(bs, l)
+		src, err := template.SourceFamily(bs, l, s.Family)
 		if err != nil {
 			return fmt.Errorf("case %d: %w", i, err)
 		}

@@ -24,6 +24,7 @@ type runnerTelemetry struct {
 	execs   *obs.Counter // simulator executions (reference + SUT)
 	rows    *obs.Counter // configuration rows completed this session
 	skipped *obs.Counter // cases skipped (reference crashed / timed out)
+	traps   *obs.Counter // executor traps taken across all runs
 
 	stExec    *obs.Histogram // per-run simulator execution latency
 	stCompare *obs.Histogram // per-case signature comparison latency
@@ -64,6 +65,7 @@ func newRunnerTelemetry(r *Runner) *runnerTelemetry {
 		execs:     reg.Counter("rvnegtest_compliance_execs_total"),
 		rows:      reg.Counter("rvnegtest_compliance_rows_total"),
 		skipped:   reg.Counter("rvnegtest_compliance_skipped_total"),
+		traps:     reg.Counter("rvnegtest_compliance_traps_total"),
 		stExec:    reg.Stage(obs.StageExecute),
 		stCompare: reg.Stage(obs.StageSignatureCompare),
 		stPre:     reg.Stage(obs.StagePredecode),
@@ -127,6 +129,15 @@ func (t *runnerTelemetry) preCounters() *preCounters {
 		return nil
 	}
 	return &t.pre
+}
+
+// trapCounter returns the executor-trap counter handle (nil when
+// telemetry is off; instance.run treats nil as "don't count").
+func (t *runnerTelemetry) trapCounter() *obs.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.traps
 }
 
 // compareHist returns the signature-compare stage histogram handle.

@@ -12,6 +12,7 @@ import (
 	"rvnegtest/internal/compliance"
 	"rvnegtest/internal/coverage"
 	"rvnegtest/internal/fuzz"
+	"rvnegtest/internal/template"
 )
 
 // GenerateSuite runs Phase A: a fuzzing campaign bounded by execution
@@ -27,9 +28,16 @@ func GenerateSuite(cfg fuzz.Config, maxExecs uint64, maxDur time.Duration) (*com
 	f.FlushTelemetry()
 	st := f.Stats()
 	suite := &compliance.Suite{
-		Cases: f.Corpus(),
+		Cases:  f.Corpus(),
+		Family: cfg.Family,
 		Origin: fmt.Sprintf("fuzzer seed=%d isa=%v execs=%d cov-points=%d",
 			cfg.Seed, cfg.ISA, st.Execs, st.CovPoints),
+	}
+	if cfg.Family == template.FamilyTrap {
+		// The directed probes bypass the filter (they write mtvec and
+		// mstatus) and guarantee each seeded privileged-defect class at
+		// least one witnessing case regardless of the fuzzing budget.
+		suite.Cases = append(suite.Cases, fuzz.TrapDirectedCases()...)
 	}
 	return suite, st, nil
 }

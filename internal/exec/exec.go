@@ -41,6 +41,11 @@ type Quirks struct {
 	// test body corrupts the dumped signature; modelled as the completion
 	// marker x26 being incremented although the trap path must bypass it.
 	EcallMarksCompletion bool
+	// Priv are the seeded privileged-architecture defects (trap/CSR
+	// behaviour), applied to the hart the executor drives. They are only
+	// observable through the trap-family template, which records trap
+	// tuples into its signature.
+	Priv hart.Quirks
 }
 
 // Outcome kinds for semantic edge coverage.
@@ -107,6 +112,9 @@ type Executor struct {
 
 	Halted    bool
 	InstCount uint64
+	// TrapCount counts taken traps (telemetry; trap-family runs take many
+	// per test case, user-family runs at most one).
+	TrapCount uint64
 }
 
 // New builds an executor around existing hart and memory.
@@ -230,6 +238,7 @@ func (e *Executor) trap(op isa.Op, cause, tval uint32) {
 		kind = EdgeTrapIllegal
 	}
 	e.edge(op, kind)
+	e.TrapCount++
 	e.CPU.Trap(cause, tval)
 }
 

@@ -1,6 +1,9 @@
 package filter
 
-import "rvnegtest/internal/isa"
+import (
+	"rvnegtest/internal/analysis"
+	"rvnegtest/internal/isa"
+)
 
 // Exhaustive is the original path-enumeration filter engine: it forks an
 // abstract state at every conditional branch and walks every control-flow
@@ -12,6 +15,18 @@ import "rvnegtest/internal/isa"
 type Exhaustive struct {
 	// MaxLen, when nonzero, drops bytestreams longer than this many bytes.
 	MaxLen int
+	// Trap selects the trap-suite family semantics, mirroring
+	// Filter.Trap: deliberate traps (illegal encodings, ECALL, EBREAK)
+	// resume at (pc&^3)+4 instead of terminating the path, every other
+	// instruction forks a conservative trap-resume state (deduplicated
+	// against its static successors, exactly as the fixpoint engine
+	// dedups its resume edges), the forbidden set shrinks to
+	// analysis.TrapForbidden, and only stores keep the clean-base rule.
+	// The per-instruction forking is exponential, so trap-mode Exhaustive
+	// exhausts its budget on much shorter streams than user mode — that
+	// is acceptable for an oracle (ReasonPathBudget drops never count
+	// against the superset invariant).
+	Trap bool
 }
 
 // maxSteps bounds the total abstract-execution work; exceeding it drops
@@ -86,39 +101,88 @@ func (f *Exhaustive) Check(bs []byte) Result {
 
 			info := inst.Info()
 			if info == nil {
+				if f.Trap {
+					// Trap suite: the recording handler resumes one word
+					// past the faulting slot.
+					st.pc = resumePC(st.pc)
+					continue
+				}
 				// Illegal encoding: execution takes the exception and the
 				// trap handler ends the test. The path is accepted.
 				paths++
 				break
 			}
-			if info.Flags.Is(isa.FlagForbidden) {
-				return drop(ReasonForbidden, st.pc, inst.Op)
-			}
-			if inst.Op == isa.OpECALL {
-				// Deterministic trap into the handler: path accepted.
-				paths++
-				break
+			if f.Trap {
+				if analysis.TrapForbidden(inst) {
+					return drop(ReasonForbidden, st.pc, inst.Op)
+				}
+				if inst.Op == isa.OpECALL || inst.Op == isa.OpEBREAK {
+					// Deliberate trap: recorded, then resumed.
+					st.pc = resumePC(st.pc)
+					continue
+				}
+			} else {
+				if info.Flags.Is(isa.FlagForbidden) {
+					return drop(ReasonForbidden, st.pc, inst.Op)
+				}
+				if inst.Op == isa.OpECALL {
+					// Deterministic trap into the handler: path accepted.
+					paths++
+					break
+				}
 			}
 
-			// Memory access discipline.
+			// Memory access discipline; in trap mode faults are desired
+			// events, so only stores keep the clean-base rule.
 			if info.Flags.Any(isa.FlagLoad | isa.FlagStore) {
-				if st.clean&(1<<inst.Rs1) == 0 {
-					return drop(ReasonDirtyAddress, st.pc, inst.Op)
+				dirtyBase := st.clean&(1<<inst.Rs1) == 0
+				if f.Trap {
+					if info.Flags.Is(isa.FlagStore) && dirtyBase {
+						return drop(ReasonDirtyAddress, st.pc, inst.Op)
+					}
+				} else {
+					if dirtyBase {
+						return drop(ReasonDirtyAddress, st.pc, inst.Op)
+					}
+					if info.MemSize > 1 && inst.Imm&int32(info.MemSize-1) != 0 {
+						return drop(ReasonUnalignedImm, st.pc, inst.Op)
+					}
 				}
-				if info.MemSize > 1 && inst.Imm&int32(info.MemSize-1) != 0 {
-					return drop(ReasonUnalignedImm, st.pc, inst.Op)
+			}
+
+			// forkResume mirrors the fixpoint engine's conservative
+			// trap-resume edge: any surviving instruction might still fault
+			// (FP without F, CSR errors, misaligned fetch/data), resuming
+			// at (pc&^3)+4. The fork is deduplicated against the
+			// instruction's static successors with the same rule the
+			// fixpoint engine applies, keeping its path counts an upper
+			// bound on the fixpoint engine's.
+			forkResume := func(succs ...int32) {
+				if !f.Trap {
+					return
 				}
+				r := resumePC(st.pc)
+				for _, t := range succs {
+					if t == r {
+						return
+					}
+				}
+				alt := st
+				alt.pc = r
+				work = append(work, alt)
 			}
 
 			switch {
 			case inst.Op == isa.OpJAL:
 				st.clean &^= regBit(inst.Rd)
+				forkResume(st.pc + inst.Imm)
 				st.pc += inst.Imm
 				continue
 			case info.Flags.Is(isa.FlagBranch):
 				taken := st
 				taken.pc += inst.Imm
 				work = append(work, taken)
+				forkResume(st.pc+int32(inst.Size), taken.pc)
 				st.pc += int32(inst.Size)
 				continue
 			}
@@ -126,11 +190,17 @@ func (f *Exhaustive) Check(bs []byte) Result {
 			if info.Flags.Is(isa.FlagWritesRD) {
 				st.clean &^= regBit(inst.Rd)
 			}
+			forkResume(st.pc + int32(inst.Size))
 			st.pc += int32(inst.Size)
 		}
 	}
 	return Result{Accepted: true, Paths: paths}
 }
+
+// resumePC is where the trap template's handler resumes after a fault at
+// pc: mepc masked to its enclosing word, advanced one word. Strictly
+// greater than pc and never past the padded end.
+func resumePC(pc int32) int32 { return (pc &^ 3) + 4 }
 
 func regBit(r isa.Reg) uint32 {
 	if r == 0 {

@@ -73,11 +73,16 @@ func (r Result) String() string {
 }
 
 // Filter checks bytestreams with the fixpoint dataflow engine. The zero
-// value is ready to use.
+// value is ready to use (user-suite semantics).
 type Filter struct {
 	// MaxLen, when nonzero, drops bytestreams longer than this many bytes
 	// (the injection area limit).
 	MaxLen int
+	// Trap selects the trap-suite family semantics
+	// (analysis.AnalyzeMode): deliberate traps resume past the faulting
+	// word under the recording handler, the forbidden set shrinks to
+	// analysis.TrapForbidden, and only stores keep the clean-base rule.
+	Trap bool
 }
 
 // Check analyses the bytestream and returns the accept/drop decision.
@@ -85,7 +90,7 @@ func (f *Filter) Check(bs []byte) Result {
 	if f.MaxLen > 0 && len(bs) > f.MaxLen {
 		return Result{Reason: ReasonTooLong, PC: int32(len(bs))}
 	}
-	v := analysis.Analyze(bs).Verdict
+	v := analysis.AnalyzeMode(bs, f.Trap).Verdict
 	return Result{
 		Accepted: v.Reason == analysis.ReasonNone,
 		Reason:   v.Reason,

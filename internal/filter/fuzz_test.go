@@ -52,6 +52,21 @@ func seedCorpus(f *testing.F) {
 		enc(isa.Inst{Op: isa.OpLW, Rd: 5, Rs1: 30, Imm: -16}),
 		enc(isa.Inst{Op: isa.OpSW, Rs1: 31, Rs2: 7, Imm: 2044}),
 	)) // clean memory accesses
+
+	// Trap-mode shapes: both fuzz targets run every seed through both
+	// families, so these also exercise the user-mode engines.
+	f.Add(stream(
+		enc(isa.Inst{Op: isa.OpEBREAK}),
+		enc(isa.Inst{Op: isa.OpCSRRS, Rd: 9, Rs1: 0, CSR: 0x342}),
+		0xffffffff,
+		enc(isa.Inst{Op: isa.OpLW, Rd: 5, Rs1: 9, Imm: 3}),
+	)) // deliberate traps, CSR read, dirty/unaligned load
+	f.Add(stream(
+		enc(isa.Inst{Op: isa.OpCSRRW, Rd: 0, Rs1: 15, CSR: 0x305}),
+	)) // mtvec write: forbidden in both families
+	f.Add(append([]byte{0x01, 0x00},
+		stream(enc(isa.Inst{Op: isa.OpECALL}))...,
+	)) // compressed prefix: resume offsets interleave with fall-throughs
 }
 
 // FuzzFilterDifferential checks the acceptance-superset invariant against
@@ -63,63 +78,71 @@ func seedCorpus(f *testing.F) {
 // accepted path count (edges are removed, never added).
 func FuzzFilterDifferential(f *testing.F) {
 	seedCorpus(f)
-	flt := &Filter{MaxLen: 64}
-	exh := &Exhaustive{MaxLen: 64}
 	f.Fuzz(func(t *testing.T, bs []byte) {
-		fr := flt.Check(bs)
-		er := exh.Check(bs)
-		if fr.Reason == ReasonPathBudget {
-			t.Fatalf("fixpoint engine reported a path budget drop on %x", bs)
-		}
-		if er.Accepted && !fr.Accepted {
-			t.Fatalf("superset violated on %x: exhaustive accepted, fixpoint dropped %v", bs, fr)
-		}
-		if er.Accepted && fr.Accepted && fr.Paths > er.Paths {
-			t.Fatalf("fixpoint counts more paths on %x: exhaustive %d, fixpoint %d", bs, er.Paths, fr.Paths)
-		}
-		if er.Reason == ReasonTooLong && fr.Reason != ReasonTooLong {
-			t.Fatalf("MaxLen verdicts diverge on %x: %v vs %v", bs, er, fr)
+		for _, trap := range []bool{false, true} {
+			flt := &Filter{MaxLen: 64, Trap: trap}
+			exh := &Exhaustive{MaxLen: 64, Trap: trap}
+			fr := flt.Check(bs)
+			er := exh.Check(bs)
+			if fr.Reason == ReasonPathBudget {
+				t.Fatalf("trap=%v: fixpoint engine reported a path budget drop on %x", trap, bs)
+			}
+			if er.Accepted && !fr.Accepted {
+				t.Fatalf("trap=%v: superset violated on %x: exhaustive accepted, fixpoint dropped %v", trap, bs, fr)
+			}
+			if er.Accepted && fr.Accepted && fr.Paths > er.Paths {
+				t.Fatalf("trap=%v: fixpoint counts more paths on %x: exhaustive %d, fixpoint %d", trap, bs, er.Paths, fr.Paths)
+			}
+			if er.Reason == ReasonTooLong && fr.Reason != ReasonTooLong {
+				t.Fatalf("trap=%v: MaxLen verdicts diverge on %x: %v vs %v", trap, bs, er, fr)
+			}
 		}
 	})
 }
 
-// termSim is shared across FuzzAcceptedTerminates iterations; the
-// simulator is not concurrency-safe, so runs are serialized.
+// termSims are shared across FuzzAcceptedTerminates iterations, one per
+// suite family; the simulators are not concurrency-safe, so runs are
+// serialized.
 var (
 	termSimOnce sync.Once
-	termSim     *sim.Simulator
+	termSims    [2]*sim.Simulator // indexed by family (user, trap)
 	termSimErr  error
 	termSimMu   sync.Mutex
 )
 
-// FuzzAcceptedTerminates checks the filter's semantic guarantee: every
-// accepted bytestream runs to completion on the reference simulator —
-// no timeouts (loops), no crashes. This is what makes filter acceptance
-// safe for automated signature comparison.
+// FuzzAcceptedTerminates checks the filter's semantic guarantee in both
+// suite families: every accepted bytestream runs to completion on the
+// reference simulator under the matching template — no timeouts (loops),
+// no crashes. This is what makes filter acceptance safe for automated
+// signature comparison.
 func FuzzAcceptedTerminates(f *testing.F) {
 	seedCorpus(f)
-	flt := &Filter{MaxLen: 64}
 	f.Fuzz(func(t *testing.T, bs []byte) {
-		if !flt.Check(bs).Accepted {
-			t.Skip()
-		}
 		termSimOnce.Do(func() {
-			termSim, termSimErr = sim.New(sim.Reference, template.Platform{
-				Layout: template.DefaultLayout,
-				Cfg:    isa.RV32GC,
-			})
+			for i, fam := range []template.Family{template.FamilyUser, template.FamilyTrap} {
+				termSims[i], termSimErr = sim.New(sim.Reference, template.PlatformFor(fam, isa.RV32GC))
+				if termSimErr != nil {
+					return
+				}
+			}
 		})
-		if termSimErr != nil {
-			t.Fatal(termSimErr)
-		}
-		termSimMu.Lock()
-		out := termSim.Run(bs)
-		termSimMu.Unlock()
-		if out.TimedOut {
-			t.Fatalf("accepted stream %x did not terminate", bs)
-		}
-		if out.Crashed {
-			t.Fatalf("accepted stream %x crashed the reference simulator: %s", bs, out.CrashMsg)
+		for i, trap := range []bool{false, true} {
+			flt := &Filter{MaxLen: 64, Trap: trap}
+			if !flt.Check(bs).Accepted {
+				continue
+			}
+			if termSimErr != nil {
+				t.Fatal(termSimErr)
+			}
+			termSimMu.Lock()
+			out := termSims[i].Run(bs)
+			termSimMu.Unlock()
+			if out.TimedOut {
+				t.Fatalf("trap=%v: accepted stream %x did not terminate", trap, bs)
+			}
+			if out.Crashed {
+				t.Fatalf("trap=%v: accepted stream %x crashed the reference simulator: %s", trap, bs, out.CrashMsg)
+			}
 		}
 	})
 }

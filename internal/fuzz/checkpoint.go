@@ -11,6 +11,7 @@ import (
 
 	"rvnegtest/internal/obs"
 	"rvnegtest/internal/resilience"
+	"rvnegtest/internal/template"
 )
 
 // Checkpoint layout (one directory per fuzzer):
@@ -60,10 +61,18 @@ type checkpointState struct {
 // the checkpointing run and the resuming one for the continuation to be
 // meaningful, let alone bit-identical.
 func (c Config) Fingerprint() string {
-	return fmt.Sprintf("seed=%d isa=%v maxlen=%d lencontrol=%d prob=%g nofilter=%t nocustom=%t edges=%t hash=%d rules=%t",
+	fp := fmt.Sprintf("seed=%d isa=%v maxlen=%d lencontrol=%d prob=%g nofilter=%t nocustom=%t edges=%t hash=%d rules=%t",
 		c.Seed, c.ISA, c.MaxLen, c.LenControl, c.CustomMutatorProb,
 		c.DisableFilter, c.DisableCustomMutator,
 		c.Coverage.Edges, c.Coverage.HashN, c.Coverage.Rules != nil)
+	// The family changes the template, the filter semantics and the
+	// coverage trajectory, so campaigns never resume across families.
+	// Only the trap family appends a marker: user-family fingerprints —
+	// and therefore pre-family checkpoints — stay valid.
+	if c.Family == template.FamilyTrap {
+		fp += " family=trap"
+	}
+	return fp
 }
 
 func writeHexLines(path string, cases [][]byte) error {

@@ -41,6 +41,12 @@ type Config struct {
 	// ISA is the foundation simulator's configuration (the paper fuzzes
 	// on the 32-bit VP with the full RV32GC envelope).
 	ISA isa.Config
+	// Family selects the template family the campaign generates for. The
+	// zero value (user) reproduces the paper's campaign byte-for-byte;
+	// the trap family runs the recording-handler template and switches
+	// the static filter to trap-tolerant semantics, so deliberate traps
+	// become corpus content instead of drop reasons.
+	Family template.Family
 	// MaxLen bounds the bytestream length (the paper uses 64 bytes).
 	MaxLen int
 	// LenControl is the number of executions without new coverage before
@@ -220,7 +226,7 @@ func New(cfg Config) (*Fuzzer, error) {
 	if cfg.ISA.Ext == 0 {
 		cfg.ISA = isa.RV32GC
 	}
-	platform := template.Platform{Layout: template.DefaultLayout, Cfg: cfg.ISA}
+	platform := template.PlatformFor(cfg.Family, cfg.ISA)
 	target, err := makeTarget(cfg, platform)
 	if err != nil {
 		return nil, err
@@ -231,7 +237,7 @@ func New(cfg Config) (*Fuzzer, error) {
 		cfg:      cfg,
 		src:      src,
 		rng:      rng,
-		flt:      &filter.Filter{MaxLen: cfg.MaxLen},
+		flt:      &filter.Filter{MaxLen: cfg.MaxLen, Trap: cfg.Family == template.FamilyTrap},
 		col:      coverage.NewCollector(cfg.Coverage),
 		target:   target,
 		platform: platform,
@@ -409,6 +415,7 @@ func (f *Fuzzer) Step() bool {
 		return false
 	}
 	if tel != nil {
+		tel.traps.Add(out.Traps)
 		t = time.Now()
 	}
 	novel := f.col.Map.MergeNew()

@@ -17,10 +17,7 @@ func Minimize(cases [][]byte, cfg Config) ([][]byte, error) {
 	if cfg.ISA.Ext == 0 {
 		cfg.ISA = DefaultConfig().ISA
 	}
-	target, err := sim.New(sim.Reference, template.Platform{
-		Layout: template.DefaultLayout,
-		Cfg:    cfg.ISA,
-	})
+	target, err := sim.New(sim.Reference, template.PlatformFor(cfg.Family, cfg.ISA))
 	if err != nil {
 		return nil, err
 	}
@@ -56,10 +53,7 @@ func MinimizeParallel(cases [][]byte, cfg Config, workers int) ([][]byte, error)
 	if cfg.ISA.Ext == 0 {
 		cfg.ISA = DefaultConfig().ISA
 	}
-	base, err := sim.New(sim.Reference, template.Platform{
-		Layout: template.DefaultLayout,
-		Cfg:    cfg.ISA,
-	})
+	base, err := sim.New(sim.Reference, template.PlatformFor(cfg.Family, cfg.ISA))
 	if err != nil {
 		return nil, err
 	}
@@ -110,10 +104,7 @@ func CoverageBits(cases [][]byte, cfg Config) (int, error) {
 	if cfg.ISA.Ext == 0 {
 		cfg.ISA = DefaultConfig().ISA
 	}
-	target, err := sim.New(sim.Reference, template.Platform{
-		Layout: template.DefaultLayout,
-		Cfg:    cfg.ISA,
-	})
+	target, err := sim.New(sim.Reference, template.PlatformFor(cfg.Family, cfg.ISA))
 	if err != nil {
 		return 0, err
 	}

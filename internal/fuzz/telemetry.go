@@ -19,6 +19,7 @@ type telemetry struct {
 	worker int
 
 	execs    *obs.Counter
+	traps    *obs.Counter
 	crashes  *obs.Counter
 	timeout  *obs.Counter
 	hfaults  *obs.Counter
@@ -52,6 +53,7 @@ func newTelemetry(cfg Config) *telemetry {
 		events:     cfg.Events,
 		worker:     cfg.Worker,
 		execs:      reg.Counter("rvnegtest_fuzz_execs_total"),
+		traps:      reg.Counter("rvnegtest_fuzz_traps_total"),
 		crashes:    reg.Counter("rvnegtest_fuzz_crashes_total"),
 		timeout:    reg.Counter("rvnegtest_fuzz_timeouts_total"),
 		hfaults:    reg.Counter("rvnegtest_fuzz_harness_faults_total"),

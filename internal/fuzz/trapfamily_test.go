@@ -1,0 +1,84 @@
+package fuzz
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"rvnegtest/internal/coverage"
+	"rvnegtest/internal/template"
+)
+
+// TestTrapCampaignBitIdentical extends the campaign determinism guarantee
+// to the trap family: for workers in {1, 2, 8}, a trap-family campaign
+// with the predecode cache disabled produces exactly the corpus and
+// deterministic stats of the default (cached) campaign — two independent
+// runs compared, so this also pins run-to-run determinism.
+func TestTrapCampaignBitIdentical(t *testing.T) {
+	run := func(disable bool, workers int) ([][]byte, []string) {
+		cfg := smallConfig(coverage.V1(), 17)
+		cfg.Family = template.FamilyTrap
+		cfg.DisablePredecode = disable
+		corpus, stats, err := Campaign(context.Background(), cfg, CampaignConfig{Workers: workers, ExecsEach: 3000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		det := make([]string, len(stats))
+		for i, s := range stats {
+			det[i] = mustJSON(t, s.Deterministic())
+		}
+		return corpus, det
+	}
+	for _, workers := range []int{1, 2, 8} {
+		onCorpus, onStats := run(false, workers)
+		offCorpus, offStats := run(true, workers)
+		if len(onCorpus) == 0 {
+			t.Fatalf("workers=%d: empty corpus", workers)
+		}
+		if !reflect.DeepEqual(onCorpus, offCorpus) {
+			t.Fatalf("workers=%d: trap corpus differs with predecode disabled: %d vs %d cases",
+				workers, len(onCorpus), len(offCorpus))
+		}
+		if !reflect.DeepEqual(onStats, offStats) {
+			t.Fatalf("workers=%d: deterministic stats differ with predecode disabled:\n on:  %v\n off: %v",
+				workers, onStats, offStats)
+		}
+	}
+}
+
+// TestTrapCampaignDiffersFromUser: the two families explore different
+// spaces — a trap campaign's corpus is not the user campaign's corpus
+// under an identical (seed, budget) pair. This guards against the family
+// knob silently not reaching the filter or the platform.
+func TestTrapCampaignDiffersFromUser(t *testing.T) {
+	run := func(fam template.Family) [][]byte {
+		cfg := smallConfig(coverage.V1(), 17)
+		cfg.Family = fam
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Run(3000, 0); err != nil {
+			t.Fatal(err)
+		}
+		return f.Corpus()
+	}
+	if reflect.DeepEqual(run(template.FamilyUser), run(template.FamilyTrap)) {
+		t.Fatal("trap-family campaign reproduced the user-family corpus exactly")
+	}
+}
+
+// TestTrapFingerprintBindsFamily: a checkpoint written by a trap campaign
+// must not resume a user campaign (and vice versa); the user family keeps
+// its historical fingerprint so existing checkpoints stay valid.
+func TestTrapFingerprintBindsFamily(t *testing.T) {
+	user := smallConfig(coverage.V1(), 17)
+	trap := user
+	trap.Family = template.FamilyTrap
+	if user.Fingerprint() == trap.Fingerprint() {
+		t.Fatal("fingerprint ignores the family: a checkpoint could resume across families")
+	}
+	if got := trap.Fingerprint(); got != user.Fingerprint()+" family=trap" {
+		t.Errorf("trap fingerprint %q does not extend the user fingerprint", got)
+	}
+}

@@ -63,6 +63,30 @@ const (
 	FSDirty   = 3 << 13
 )
 
+// Quirks are seeded privileged-architecture defects, modelling the
+// trap/CSR bug classes real simulators exhibit (the envelope the
+// user-level suite deliberately filters out and the trap suite targets).
+// All of them are invisible to the user-level template: it never reads
+// mtval, never executes MRET, writes an aligned direct-mode mtvec, and
+// only touches in-mask mstatus bits.
+type Quirks struct {
+	// MtvalZero: traps always write mtval = 0 instead of the faulting
+	// value (legal for some exceptions, a defect for others — and a
+	// divergence either way).
+	MtvalZero bool
+	// VectoredSyncTrap: when mtvec selects vectored mode (bit 0 set),
+	// synchronous exceptions erroneously dispatch to base + 4×cause.
+	// The specification vectors interrupts only; synchronous exceptions
+	// always use the base.
+	VectoredSyncTrap bool
+	// MRETIgnoresMPIE: MRET fails to restore MIE from MPIE (and to set
+	// MPIE), leaving the interrupt-enable stack as the trap left it.
+	MRETIgnoresMPIE bool
+	// CSRWriteNoMask: mstatus writes skip WARL masking, so reserved
+	// bits stick and read back.
+	CSRWriteNoMask bool
+}
+
 // Hart is the architectural state.
 type Hart struct {
 	X  [isa.NumRegs]uint32
@@ -94,6 +118,10 @@ type Hart struct {
 	// VI: "the performance counter ... can be hardwired to zero"), used
 	// by the CSR capability-selection machinery.
 	HardwireCounters bool
+
+	// Quirks are the seeded privileged-architecture defects of the
+	// simulator variant this hart models; zero for a faithful hart.
+	Quirks Quirks
 }
 
 // New returns a hart reset for the given configuration.
@@ -106,7 +134,7 @@ func New(cfg isa.Config) *Hart {
 // Reset clears the architectural state (PC is set by the loader);
 // platform wiring (configuration, hardwired counters) survives.
 func (h *Hart) Reset() {
-	*h = Hart{Cfg: h.Cfg, HardwireCounters: h.HardwireCounters}
+	*h = Hart{Cfg: h.Cfg, HardwireCounters: h.HardwireCounters, Quirks: h.Quirks}
 	if h.Cfg.HasFP() {
 		h.Mstatus = FSInitial
 	}
@@ -172,9 +200,16 @@ func (h *Hart) AccrueFlags(fl softfloat.Flags) {
 
 // Trap enters the machine-mode trap handler for a synchronous exception.
 func (h *Hart) Trap(cause uint32, tval uint32) {
-	h.Mepc = h.PC
+	// mepc bit 0 is hardwired to zero; mask here exactly as the CSR-write
+	// path does, so an odd faulting PC reads back even and MRet returns
+	// to the same address a software mepc write would produce.
+	h.Mepc = h.PC &^ 1
 	h.Mcause = cause
-	h.Mtval = tval
+	if h.Quirks.MtvalZero {
+		h.Mtval = 0
+	} else {
+		h.Mtval = tval
+	}
 	// Save and clear MIE, record the previous privilege (always M here).
 	st := h.Mstatus
 	if st&MstatusMIE != 0 {
@@ -186,21 +221,30 @@ func (h *Hart) Trap(cause uint32, tval uint32) {
 	st |= MstatusMPP
 	h.Mstatus = st
 	// Direct mode: the low two mtvec bits select vectoring; synchronous
-	// exceptions always use the base.
-	h.PC = h.Mtvec &^ 3
+	// exceptions always use the base. The VectoredSyncTrap quirk applies
+	// the interrupt vectoring rule to exceptions too.
+	base := h.Mtvec &^ 3
+	if h.Quirks.VectoredSyncTrap && h.Mtvec&1 != 0 {
+		base += 4 * cause
+	}
+	h.PC = base
 }
 
 // MRet returns from a machine-mode trap.
 func (h *Hart) MRet() {
-	st := h.Mstatus
-	if st&MstatusMPIE != 0 {
-		st |= MstatusMIE
-	} else {
-		st &^= MstatusMIE
+	if !h.Quirks.MRETIgnoresMPIE {
+		st := h.Mstatus
+		if st&MstatusMPIE != 0 {
+			st |= MstatusMIE
+		} else {
+			st &^= MstatusMIE
+		}
+		st |= MstatusMPIE
+		h.Mstatus = st
 	}
-	st |= MstatusMPIE
-	h.Mstatus = st
-	h.PC = h.Mepc
+	// mepc is masked on every write path, but mask the return target too
+	// so the three agree even if a future CSR grows an unmasked path.
+	h.PC = h.Mepc &^ 1
 }
 
 // CSRError distinguishes illegal CSR accesses.
@@ -298,6 +342,10 @@ func (h *Hart) WriteCSR(addr uint16, v uint32) error {
 		h.Frm = uint8(v >> 5 & 0x7)
 		h.Mstatus |= FSDirty
 	case CSRMstatus:
+		if h.Quirks.CSRWriteNoMask {
+			h.Mstatus = v
+			break
+		}
 		mask := uint32(MstatusMIE | MstatusMPIE | MstatusMPP)
 		if h.Cfg.HasFP() {
 			mask |= MstatusFS

@@ -204,3 +204,140 @@ func TestClone(t *testing.T) {
 		t.Error("clone shares state")
 	}
 }
+
+// TestTrapMasksOddPC pins the satellite-2 fix: the hardware trap path
+// must clear mepc bit 0 exactly like the CSR-write path, so an odd
+// faulting PC reads back even and MRet returns to the masked address.
+func TestTrapMasksOddPC(t *testing.T) {
+	h := New(isa.RV32IMC)
+	h.Mtvec = 0x100
+	h.PC = 0x2003 // odd PC (unreachable via jumps, but the masks must agree)
+	h.Trap(CauseIllegalInstruction, 0)
+	if h.Mepc != 0x2002 {
+		t.Errorf("Trap mepc = %#x, want bit 0 cleared (0x2002)", h.Mepc)
+	}
+	if err := h.WriteCSR(CSRMepc, 0x2003); err != nil {
+		t.Fatal(err)
+	}
+	if h.Mepc != 0x2002 {
+		t.Errorf("WriteCSR mepc = %#x, want 0x2002", h.Mepc)
+	}
+	h.MRet()
+	if h.PC != 0x2002 {
+		t.Errorf("MRet PC = %#x, want 0x2002", h.PC)
+	}
+}
+
+// TestMtvecBaseMasking: mtvec bit 1 is reserved (reads zero), bit 0
+// selects vectored mode — and a faithful hart must dispatch synchronous
+// exceptions to the base regardless of the mode bit.
+func TestMtvecBaseMasking(t *testing.T) {
+	h := New(isa.RV32I)
+	if err := h.WriteCSR(CSRMtvec, 0x107); err != nil {
+		t.Fatal(err)
+	}
+	if h.Mtvec != 0x105 {
+		t.Errorf("mtvec = %#x, want bit 1 masked (0x105)", h.Mtvec)
+	}
+	h.PC = 0x40
+	h.Trap(CauseIllegalInstruction, 0)
+	if h.PC != 0x104 {
+		t.Errorf("sync trap with vectored mtvec: PC = %#x, want base 0x104", h.PC)
+	}
+}
+
+// TestMPIERoundTrip: MIE is saved into MPIE on Trap and restored on
+// MRet, with MPIE set afterwards, for both initial MIE states.
+func TestMPIERoundTrip(t *testing.T) {
+	for _, mie := range []bool{false, true} {
+		h := New(isa.RV32I)
+		h.Mtvec = 0x100
+		if mie {
+			h.Mstatus |= MstatusMIE
+		}
+		h.PC = 0x20
+		h.Trap(CauseBreakpoint, 0x20)
+		if h.Mstatus&MstatusMIE != 0 {
+			t.Errorf("mie=%v: MIE not cleared on trap", mie)
+		}
+		if got := h.Mstatus&MstatusMPIE != 0; got != mie {
+			t.Errorf("mie=%v: MPIE = %v after trap", mie, got)
+		}
+		h.MRet()
+		if got := h.Mstatus&MstatusMIE != 0; got != mie {
+			t.Errorf("mie=%v: MIE = %v after mret, want restored", mie, got)
+		}
+		if h.Mstatus&MstatusMPIE == 0 {
+			t.Errorf("mie=%v: MPIE must be set after mret", mie)
+		}
+		if h.PC != 0x20 {
+			t.Errorf("mie=%v: mret PC = %#x, want 0x20", mie, h.PC)
+		}
+	}
+}
+
+func TestQuirkMtvalZero(t *testing.T) {
+	h := New(isa.RV32I)
+	h.Quirks.MtvalZero = true
+	h.Mtvec = 0x100
+	h.Trap(CauseIllegalInstruction, 0xdeadbeef)
+	if h.Mtval != 0 {
+		t.Errorf("mtval = %#x, want quirk-zeroed", h.Mtval)
+	}
+}
+
+func TestQuirkVectoredSyncTrap(t *testing.T) {
+	h := New(isa.RV32I)
+	h.Quirks.VectoredSyncTrap = true
+	if err := h.WriteCSR(CSRMtvec, 0x101); err != nil { // vectored mode
+		t.Fatal(err)
+	}
+	h.Trap(CauseIllegalInstruction, 0)
+	if h.PC != 0x100+4*CauseIllegalInstruction {
+		t.Errorf("vectored quirk: PC = %#x, want base+4*cause", h.PC)
+	}
+	// Direct mode must stay unaffected even with the quirk present.
+	if err := h.WriteCSR(CSRMtvec, 0x100); err != nil {
+		t.Fatal(err)
+	}
+	h.Trap(CauseIllegalInstruction, 0)
+	if h.PC != 0x100 {
+		t.Errorf("direct mode with quirk: PC = %#x, want base", h.PC)
+	}
+}
+
+func TestQuirkMRETIgnoresMPIE(t *testing.T) {
+	h := New(isa.RV32I)
+	h.Quirks.MRETIgnoresMPIE = true
+	h.Mtvec = 0x100
+	h.Mstatus |= MstatusMIE
+	h.Trap(CauseECallM, 0)
+	before := h.Mstatus
+	h.MRet()
+	if h.Mstatus != before {
+		t.Errorf("quirky mret changed mstatus %#x -> %#x", before, h.Mstatus)
+	}
+	if h.Mstatus&MstatusMIE != 0 {
+		t.Error("quirky mret must not restore MIE")
+	}
+}
+
+func TestQuirkCSRWriteNoMask(t *testing.T) {
+	h := New(isa.RV32I)
+	h.Quirks.CSRWriteNoMask = true
+	if err := h.WriteCSR(CSRMstatus, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	if h.Mstatus != 0xdeadbeef {
+		t.Errorf("mstatus = %#x, want unmasked 0xdeadbeef", h.Mstatus)
+	}
+}
+
+func TestResetPreservesQuirks(t *testing.T) {
+	h := New(isa.RV32I)
+	h.Quirks = Quirks{MtvalZero: true, VectoredSyncTrap: true}
+	h.Reset()
+	if !h.Quirks.MtvalZero || !h.Quirks.VectoredSyncTrap {
+		t.Error("Reset must preserve platform quirks")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"rvnegtest/internal/exec"
+	"rvnegtest/internal/hart"
 	"rvnegtest/internal/isa"
 	"rvnegtest/internal/obs"
 	"rvnegtest/internal/template"
@@ -68,51 +69,65 @@ var (
 	}
 
 	// Spike models the UC Berkeley reference simulator: an ECALL inside
-	// the test body corrupts the dumped signature.
+	// the test body corrupts the dumped signature, and mtval reads as zero
+	// after an illegal-instruction trap (the real Spike leaves mtval at
+	// zero for exceptions it considers informationless). Only the trap
+	// suite can observe the mtval defect: the user-level template never
+	// reads mtval into the signature.
 	Spike = &Variant{
 		Name:        "Spike",
-		Description: "dumps an incorrect signature when the body executes ECALL",
-		ExecQuirks:  exec.Quirks{EcallMarksCompletion: true},
+		Description: "dumps an incorrect signature when the body executes ECALL; zeroes mtval on traps",
+		ExecQuirks: exec.Quirks{
+			EcallMarksCompletion: true,
+			Priv:                 hart.Quirks{MtvalZero: true},
+		},
 	}
 
-	// VP models the RISC-V VP: a too-loose ECALL decode mask and normal
-	// expansion of reserved non-hint compressed instructions. The real VP
+	// VP models the RISC-V VP: a too-loose ECALL decode mask, normal
+	// expansion of reserved non-hint compressed instructions, and vectored
+	// dispatch erroneously applied to synchronous traps when mtvec mode is
+	// vectored (the spec vectors asynchronous interrupts only). The real VP
 	// has no floating-point support in its 32-bit ISS configuration.
 	VP = &Variant{
 		Name:        "VP",
-		Description: "loose ECALL decode mask; executes reserved compressed encodings",
+		Description: "loose ECALL decode mask; executes reserved compressed encodings; vectors synchronous traps",
 		DecQuirks:   isa.Quirks{LooseEcallMask: true, AllowReservedC: true},
+		ExecQuirks:  exec.Quirks{Priv: hart.Quirks{VectoredSyncTrap: true}},
 		NoFD:        true,
 	}
 
 	// Grift models GRIFT: link-register update before the misaligned-jump
 	// exception, an RV32IMC target misconfigured to RV32GC, reserved
-	// compressed encodings accepted, and SC.W succeeding without a
-	// reservation.
+	// compressed encodings accepted, SC.W succeeding without a
+	// reservation, and MRET failing to restore MIE from MPIE (the
+	// interrupt-enable stack is left as the trap set it).
 	Grift = &Variant{
 		Name:        "GRIFT",
-		Description: "jump side effects before trap; IMC target enables G; reserved C; SC.W without reservation",
+		Description: "jump side effects before trap; IMC target enables G; reserved C; SC.W without reservation; MRET skips MPIE restore",
 		DecQuirks:   isa.Quirks{AllowReservedC: true},
 		ExecQuirks: exec.Quirks{
 			LinkBeforeAlignCheck: true,
 			SCIgnoresReservation: true,
+			Priv:                 hart.Quirks{MRETIgnoresMPIE: true},
 		},
 		MisconfiguredIMC: true,
 	}
 
 	// Sail models sail-riscv: incomplete decoder checks accept invalid
 	// encodings (loose funct7, invalid branch funct3 acting as a backward
-	// branch) and a malformed compressed pattern crashes the decoder. The
-	// tested sail build had no F/D support.
+	// branch), a malformed compressed pattern crashes the decoder, and
+	// mstatus CSR writes skip the WARL field masking (reserved bits are
+	// stored verbatim). The tested sail build had no F/D support.
 	Sail = &Variant{
 		Name:        "sail-riscv",
-		Description: "incomplete decoder checks; crash on malformed compressed pattern",
+		Description: "incomplete decoder checks; crash on malformed compressed pattern; unmasked mstatus writes",
 		DecQuirks: isa.Quirks{
 			LooseFunct7:         true,
 			InvalidBranchFunct3: true,
 			CrashOnPattern:      true,
 		},
-		NoFD: true,
+		ExecQuirks: exec.Quirks{Priv: hart.Quirks{CSRWriteNoMask: true}},
+		NoFD:       true,
 	}
 )
 
@@ -144,6 +159,9 @@ type Outcome struct {
 	CrashMsg  string
 	TimedOut  bool
 	Insts     uint64
+	// Traps counts the traps the executor raised during the run (both
+	// families; only the trap suite turns them into signature content).
+	Traps uint64
 }
 
 // Sim is the minimal simulator interface the compliance engine drives:
@@ -289,11 +307,12 @@ func (s *Simulator) RunHooked(bs []byte, hook exec.Hook) (out Outcome) {
 	e.Hook = hook
 	defer func() {
 		if r := recover(); r != nil {
-			out = Outcome{Crashed: true, CrashMsg: fmt.Sprint(r), Insts: e.InstCount}
+			out = Outcome{Crashed: true, CrashMsg: fmt.Sprint(r), Insts: e.InstCount, Traps: e.TrapCount}
 		}
 	}()
 	err := e.Run(s.Limit)
 	out.Insts = e.InstCount
+	out.Traps = e.TrapCount
 	if err != nil {
 		out.TimedOut, out.CrashMsg = classifyRunError(err)
 		out.Crashed = !out.TimedOut

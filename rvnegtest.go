@@ -35,6 +35,7 @@ import (
 	"rvnegtest/internal/fuzz"
 	"rvnegtest/internal/isa"
 	"rvnegtest/internal/sim"
+	"rvnegtest/internal/template"
 )
 
 // Re-exported types. See the internal packages for full documentation.
@@ -56,7 +57,22 @@ type (
 	// GrowthResult is one configuration's outcome of the Fig. 4
 	// experiment.
 	GrowthResult = core.GrowthResult
+	// Family selects the test-template family: FamilyUser (the paper's
+	// trap-terminates template) or FamilyTrap (the trap-recording
+	// template; traps are desired events).
+	Family = template.Family
 )
+
+// Template families. FamilyUser is the zero value and reproduces the
+// paper's campaigns byte-for-byte; FamilyTrap generates trap-rich suites
+// whose signatures include the trap-record region.
+const (
+	FamilyUser = template.FamilyUser
+	FamilyTrap = template.FamilyTrap
+)
+
+// ParseFamily parses a template family name ("user", "trap").
+func ParseFamily(s string) (Family, bool) { return template.ParseFamily(s) }
 
 // Predefined ISA configurations.
 var (

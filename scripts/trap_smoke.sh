@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# trap_smoke.sh — end-to-end smoke of the trap-rich suite family.
+#
+# Flow:
+#   1. generate-and-run a trap suite (`rvcompliance -suite trap`) on RV32I
+#      and assert every seeded privileged-defect carrier (Spike, VP,
+#      sail-riscv, GRIFT) shows at least one trap-record divergence
+#   2. generate a trap suite with rvfuzz, assert the `# family: trap`
+#      header survives the save, and that a reload through rvcompliance
+#      still classifies trap-record divergences
+#
+# Usage: scripts/trap_smoke.sh [execs] [seed]
+set -euo pipefail
+
+EXECS="${1:-20000}"
+SEED="${2:-1}"
+
+cd "$(dirname "$0")/.."
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+go build -o "$work/rvfuzz" ./cmd/rvfuzz
+go build -o "$work/rvcompliance" ./cmd/rvcompliance
+
+echo "== trap suite: generate + compare (execs=$EXECS seed=$SEED)"
+out=$("$work/rvcompliance" -suite trap -generate "$EXECS" -seed "$SEED" -isa RV32I -bugs)
+echo "$out"
+for s in Spike VP sail-riscv GRIFT; do
+  if ! grep -Eq "^$s: .*trap-record" <<<"$out"; then
+    echo "FAIL: $s shows no trap-record divergence" >&2
+    exit 1
+  fi
+done
+
+echo "== trap suite: save/load round-trip"
+"$work/rvfuzz" -suite trap -execs 5000 -seed "$SEED" -out "$work/trap.txt" >/dev/null
+if ! grep -q '^# family: trap$' "$work/trap.txt"; then
+  echo "FAIL: saved suite misses the family header" >&2
+  exit 1
+fi
+if ! "$work/rvcompliance" -suite "$work/trap.txt" -isa RV32I -sims Spike -bugs | grep -q 'trap-record'; then
+  echo "FAIL: reloaded trap suite shows no trap-record divergence" >&2
+  exit 1
+fi
+
+echo "trap smoke OK"
