@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"rvnegtest/internal/asm"
@@ -50,8 +51,21 @@ func main() {
 	fmt.Printf("%s: text %d bytes at %#x, data %d bytes at %#x, entry %#x\n",
 		*out, len(prog.Text.Data), prog.Text.Addr, len(prog.Data.Data), prog.Data.Addr, prog.Entry)
 	if *listSyms {
-		for name, addr := range prog.Symbols {
-			fmt.Printf("%08x %s\n", addr, name)
+		// Stable listing: by address, name breaking ties (map order is
+		// random per process).
+		names := make([]string, 0, len(prog.Symbols))
+		for name := range prog.Symbols {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			ai, aj := prog.Symbols[names[i]], prog.Symbols[names[j]]
+			if ai != aj {
+				return ai < aj
+			}
+			return names[i] < names[j]
+		})
+		for _, name := range names {
+			fmt.Printf("%08x %s\n", prog.Symbols[name], name)
 		}
 	}
 }

@@ -1,0 +1,82 @@
+// Command rvlint is rvnegtest's determinism-and-invariants linter: a
+// multichecker over the internal/lint analyzer suite (mapdet,
+// wallclock, globalrand, cloneshallow, panicgate).
+//
+// Two modes:
+//
+//	rvlint [patterns...]         standalone; loads packages via `go list`
+//	                             (defaults to ./...) and analyzes them
+//	go vet -vettool=rvlint ./... driven by the go command; rvlint speaks
+//	                             the vet command-line protocol (-V=full,
+//	                             -flags, unit .cfg files) — this is how
+//	                             CI runs the suite (scripts/lint.sh)
+//
+// Exit status: 0 clean, 1 findings, 2 operational error.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"rvnegtest/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// The vet protocol probes first: `rvlint -V=full` must describe
+	// the executable for build caching, `rvlint -flags` must list the
+	// tool's flags as JSON.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			printVersion()
+			return
+		case a == "-flags" || a == "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(lint.RunUnit(os.Stderr, args[0], lint.Analyzers()))
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	for _, p := range patterns {
+		if strings.HasPrefix(p, "-") {
+			fmt.Fprintf(os.Stderr, "rvlint: unknown flag %s\n", p)
+			os.Exit(2)
+		}
+	}
+	n, err := lint.RunStandalone(os.Stderr, ".", patterns, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rvlint: %v\n", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "rvlint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// printVersion emits the build-caching fingerprint the go command
+// requires from a vettool: a "name version devel ... buildID=<hash>"
+// line whose hash changes whenever the binary does, so editing an
+// analyzer invalidates cached vet results.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("rvlint version devel buildID=%x\n", h.Sum(nil))
+}

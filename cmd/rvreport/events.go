@@ -63,15 +63,28 @@ func renderEvents(path string) {
 	fmt.Println()
 
 	if len(summaries) > 0 {
-		// Fold the per-worker summaries into campaign-wide stage totals.
-		total := map[string]obs.StageSummary{}
+		// Fold the per-worker summaries into campaign-wide stage
+		// totals. The maps are flattened into a pair slice first (the
+		// collect is order-insensitive, the fold over it is a
+		// commutative sum), and the table below renders in canonical
+		// stage order — so worker/stage map iteration order cannot
+		// leak into the report.
+		type stagePair struct {
+			stage string
+			s     obs.StageSummary
+		}
+		var pairs []stagePair
 		for _, ss := range summaries {
 			for stage, s := range ss {
-				t := total[stage]
-				t.Count += s.Count
-				t.TotalNS += s.TotalNS
-				total[stage] = t
+				pairs = append(pairs, stagePair{stage, s})
 			}
+		}
+		total := map[string]obs.StageSummary{}
+		for _, p := range pairs {
+			t := total[p.stage]
+			t.Count += p.s.Count
+			t.TotalNS += p.s.TotalNS
+			total[p.stage] = t
 		}
 		var grand uint64
 		for _, s := range total {

@@ -28,6 +28,7 @@ func V0() Options { return Options{Edges: true} }
 func V1() Options {
 	cfg, err := ParseSpec(DefaultSpec)
 	if err != nil {
+		//rvlint:allow panicgate -- compile-time-constant spec; a parse failure is an invariant violation
 		panic(fmt.Sprintf("coverage: built-in DefaultSpec failed to parse: %v", err))
 	}
 	return Options{Edges: true, Rules: NewRuleSet(cfg)}

@@ -1,0 +1,62 @@
+package lint
+
+import "testing"
+
+// This file closes the loop between static analysis and the runtime
+// determinism tests: the same seeded defect — a Clone that aliases its
+// receiver's slice field — must be caught by the cloneshallow analyzer
+// on the fixture source AND be observable as shared mutation when the
+// identical method shape runs. If the analyzer's model of "aliasing"
+// ever drifts from what the runtime actually does, one of the two
+// halves fails.
+
+// shallowTrace mirrors testdata/agreement ShallowTrace exactly: the
+// whole-struct copy shares the Trace backing array.
+type shallowTrace struct {
+	Trace []uint64
+	PC    uint64
+}
+
+func (s *shallowTrace) clone() *shallowTrace {
+	c := *s
+	return &c
+}
+
+// deepTrace mirrors testdata/agreement DeepTrace: Trace is reassigned
+// to a fresh backing array before the copy escapes.
+type deepTrace struct {
+	Trace []uint64
+	PC    uint64
+}
+
+func (s *deepTrace) clone() *deepTrace {
+	c := *s
+	c.Trace = append([]uint64(nil), s.Trace...)
+	return &c
+}
+
+// TestAgreementAnalyzerSide: cloneshallow fires on ShallowTrace.Clone
+// and stays silent on DeepTrace.Clone (the // want comments in the
+// fixture encode exactly that).
+func TestAgreementAnalyzerSide(t *testing.T) {
+	runFixture(t, Cloneshallow, "rvnegtest/internal/exec", "agreement")
+}
+
+// TestAgreementRuntimeSide: the shape the analyzer flags really does
+// leak mutations from the original into the clone, and the shape it
+// accepts really does not.
+func TestAgreementRuntimeSide(t *testing.T) {
+	orig := &shallowTrace{Trace: []uint64{0x100, 0x104}, PC: 0x108}
+	c := orig.clone()
+	orig.Trace[0] = 0xdead
+	if c.Trace[0] != 0xdead {
+		t.Fatalf("shallow clone did NOT alias: analyzer and runtime disagree (clone saw %#x)", c.Trace[0])
+	}
+
+	dorig := &deepTrace{Trace: []uint64{0x100, 0x104}, PC: 0x108}
+	dc := dorig.clone()
+	dorig.Trace[0] = 0xdead
+	if dc.Trace[0] != 0x100 {
+		t.Fatalf("deep clone aliased after all: analyzer and runtime disagree (clone saw %#x)", dc.Trace[0])
+	}
+}

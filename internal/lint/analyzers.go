@@ -1,0 +1,12 @@
+package lint
+
+// Analyzers returns the full rvlint suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		Cloneshallow,
+		Globalrand,
+		Mapdet,
+		Panicgate,
+		Wallclock,
+	}
+}

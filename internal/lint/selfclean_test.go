@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoSelfClean is the linter's own acceptance gate: every analyzer
+// over every package in the module, zero findings. A regression here
+// means either new code violated an invariant or an analyzer grew a
+// false positive — both block the PR.
+func TestRepoSelfClean(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := RunStandalone(&buf, moduleRoot(t), []string{"./..."}, Analyzers())
+	if err != nil {
+		t.Fatalf("standalone run: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("rvlint found %d issue(s) in the tree:\n%s", n, buf.String())
+	}
+}
+
+// TestVetProtocol exercises the real cmd/go integration end to end:
+// build cmd/rvlint, then run `go vet -vettool=rvlint` on a small
+// package. This is the only test that covers the unitchecker path
+// (-V=full handshake, -flags query, vet.cfg unit config, facts file).
+func TestVetProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	root := moduleRoot(t)
+	tool := filepath.Join(t.TempDir(), "rvlint")
+
+	build := exec.Command("go", "build", "-o", tool, "./cmd/rvlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build cmd/rvlint: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./internal/mem")
+	vet.Dir = root
+	vet.Env = os.Environ()
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool=rvlint ./internal/mem: %v\n%s", err, out)
+	}
+}

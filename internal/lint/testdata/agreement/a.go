@@ -1,0 +1,30 @@
+// Seeded aliasing bug for the analyzer/runtime agreement test. The
+// ShallowTrace.Clone below is the exact defect shape the cloneshallow
+// analyzer exists to catch: a whole-struct copy that shares the Trace
+// backing array. agreement_test.go runs the analyzer over this file AND
+// executes the same method shape at runtime, asserting both sides call
+// it a bug.
+package fixtures
+
+type ShallowTrace struct {
+	Trace []uint64
+	PC    uint64
+}
+
+func (s *ShallowTrace) Clone() *ShallowTrace {
+	c := *s // want "aliases the receiver's slice field"
+	return &c
+}
+
+// DeepTrace is the fixed counterpart: the analyzer is silent and the
+// runtime probe observes no shared mutation.
+type DeepTrace struct {
+	Trace []uint64
+	PC    uint64
+}
+
+func (s *DeepTrace) Clone() *DeepTrace {
+	c := *s // silent: Trace deep-copied below
+	c.Trace = append([]uint64(nil), s.Trace...)
+	return &c
+}

@@ -1,0 +1,112 @@
+// Fixture for the cloneshallow analyzer (scope: whole module).
+package fixtures
+
+// Shallow whole-struct copy: both reference fields alias through the
+// single `c := *s` site, so two diagnostics land on that line.
+type Log struct {
+	Trace []uint64
+	ByKey map[string]int
+	N     int
+}
+
+func (s *Log) Clone() *Log {
+	c := *s // want "aliases the receiver's (slice|map) field"
+	return &c
+}
+
+// Deep copy after the whole-struct copy: both fields reassigned with
+// non-aliasing right-hand sides.
+type LogDeep struct {
+	Trace []uint64
+	ByKey map[string]int
+}
+
+func (s *LogDeep) Clone() *LogDeep {
+	c := *s // silent: both reference fields deep-copied below
+	c.Trace = append([]uint64(nil), s.Trace...)
+	c.ByKey = make(map[string]int, len(s.ByKey))
+	for k, v := range s.ByKey {
+		c.ByKey[k] = v
+	}
+	return &c
+}
+
+// Composite literal that omits the slice field: the zero value aliases
+// nothing.
+type LogOmit struct {
+	Trace []uint64
+	N     int
+}
+
+func (s *LogOmit) Clone() *LogOmit {
+	return &LogOmit{N: s.N} // silent
+}
+
+// Composite literal that copies the field by bare selector: aliased.
+type LogLit struct {
+	Trace []uint64
+}
+
+func (s *LogLit) Snapshot() *LogLit {
+	return &LogLit{
+		Trace: s.Trace, // want "aliases the receiver's slice field"
+	}
+}
+
+// Value receiver returned directly: the struct copy still shares the
+// backing array.
+type LogVal struct {
+	Trace []uint64
+}
+
+func (s LogVal) Clone() LogVal {
+	return s // want "aliases the receiver's slice field"
+}
+
+// Array fields copy by value; nothing to report.
+type Regs struct {
+	X [8]uint64
+}
+
+func (s *Regs) Clone() *Regs {
+	c := *s // silent: arrays copy by value
+	return &c
+}
+
+// A helper-call right-hand side counts as the deep copy.
+type LogHelper struct {
+	Trace []uint64
+}
+
+func cloneSlice(xs []uint64) []uint64 {
+	return append([]uint64(nil), xs...)
+}
+
+func (s *LogHelper) Clone() *LogHelper {
+	c := *s // silent: reassigned via helper below
+	c.Trace = cloneSlice(s.Trace)
+	return &c
+}
+
+// Snapshot with no results is save-state, not clone-shaped: out of
+// scope even though it touches reference fields.
+type Saver struct {
+	Trace []uint64
+	saved []uint64
+}
+
+func (s *Saver) Snapshot() {
+	s.saved = s.Trace // silent: not a clone method
+}
+
+// Suppressed: the alias is intentional (copy-on-write discipline is
+// documented at the call sites).
+type LogCOW struct {
+	Trace []uint64
+}
+
+func (s *LogCOW) Clone() *LogCOW {
+	//rvlint:allow cloneshallow -- fixture: copy-on-write by convention
+	c := *s // silent: suppressed
+	return &c
+}

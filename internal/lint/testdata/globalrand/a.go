@@ -1,0 +1,36 @@
+// Fixture for the globalrand analyzer, analyzed as
+// rvnegtest/internal/fuzz (outside the resilience exemption).
+package fixtures
+
+import (
+	"math/rand"
+
+	"rvnegtest/internal/resilience"
+)
+
+func packageLevel() int {
+	return rand.Intn(10) // want "math/rand.Intn draws from non-resumable state"
+}
+
+func adHocSource() rand.Source {
+	return rand.NewSource(1) // want "math/rand.NewSource draws from non-resumable state"
+}
+
+func wrapWrongSource(src rand.Source) *rand.Rand {
+	return rand.New(src) // want "rand.New outside internal/resilience must wrap a \*resilience.RNG"
+}
+
+func wrapSanctioned(seed int64) *rand.Rand {
+	return rand.New(resilience.NewRNG(seed)) // silent: the one legal shape
+}
+
+func methodOnInstance(r *rand.Rand) int {
+	return r.Intn(10) // silent: draws from an explicit, threadable source
+}
+
+var _ rand.Source64 = (*resilience.RNG)(nil) // silent: type reference, not a draw
+
+func suppressed() float64 {
+	//rvlint:allow globalrand -- fixture: reviewed one-off
+	return rand.Float64() // silent: suppressed
+}

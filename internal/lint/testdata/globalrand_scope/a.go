@@ -1,0 +1,8 @@
+// The banned patterns under internal/resilience itself: the package
+// that implements the sanctioned source is exempt.
+package fixtures
+
+import "math/rand"
+
+func packageLevel() int        { return rand.Intn(10) }
+func adHocSource() rand.Source { return rand.NewSource(1) }

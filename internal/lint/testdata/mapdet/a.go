@@ -1,0 +1,84 @@
+// Fixture for the mapdet analyzer, analyzed under a deterministic-
+// output package path. Each `// want` line must fire; everything else
+// must stay silent.
+package fixtures
+
+import "sort"
+
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // silent: append-collect for a later sort
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func renderUnsorted(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // want "map iteration order is random"
+		if v > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func rebuild(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m { // silent: keyed rebuild, distinct keys
+		out[k] = v
+	}
+	return out
+}
+
+func intFold(m map[string]int) (sum int) {
+	for _, v := range m { // silent: integer addition commutes
+		sum += v
+	}
+	return sum
+}
+
+func floatFold(m map[string]float64) (sum float64) {
+	for _, v := range m { // want "map iteration order is random"
+		sum += v
+	}
+	return sum
+}
+
+func nestedCollect(mm map[int]map[string]int) []string {
+	var out []string
+	for _, inner := range mm { // silent: nested append-collect
+		for k := range inner {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func prune(m map[string]int, dead map[string]bool) {
+	for k := range m { // silent: delete fold
+		delete(dead, k)
+	}
+}
+
+func suppressed(m map[string]int) string {
+	s := ""
+	//rvlint:allow mapdet -- fixture: order genuinely irrelevant here
+	for k := range m { // silent: suppressed by the allow comment above
+		if len(k) > len(s) {
+			s = k
+		}
+	}
+	return s
+}
+
+func sliceRange(xs []int) (sum int) {
+	for _, v := range xs { // silent: slices iterate in order
+		if v > 0 {
+			sum += v
+		}
+	}
+	return sum
+}

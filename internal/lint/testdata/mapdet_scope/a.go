@@ -1,0 +1,14 @@
+// The same hazardous pattern as the mapdet fixture, but this package
+// is analyzed under a path outside the deterministic-output set — the
+// analyzer must not fire.
+package fixtures
+
+func renderUnsorted(m map[string]int) []string {
+	var out []string
+	for k, v := range m {
+		if v > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}

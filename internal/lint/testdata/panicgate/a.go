@@ -1,0 +1,33 @@
+// Fixture for the panicgate analyzer, analyzed as
+// rvnegtest/internal/exec (internal/, not on the allowlist).
+package fixtures
+
+import "fmt"
+
+func plainPanic(op string) {
+	panic("unknown op " + op) // want "panic in internal package"
+}
+
+// Must-prefixed helpers are the sanctioned programmer-error idiom.
+func MustParse(s string) int {
+	if s == "" {
+		panic("MustParse on empty string") // silent: Must* exemption
+	}
+	return len(s)
+}
+
+func viaFmt(op string) error {
+	return fmt.Errorf("unknown op %s", op) // silent: errors are the rule
+}
+
+func suppressedPanic() {
+	//rvlint:allow panicgate -- fixture: unreachable by construction
+	panic("unreachable") // silent: suppressed
+}
+
+// A local function named panic shadows the builtin; calling it is not a
+// runtime panic.
+func shadowed() {
+	panic := func(string) {}
+	panic("not the builtin") // silent: not the builtin
+}

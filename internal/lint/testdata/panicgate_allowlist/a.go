@@ -1,0 +1,11 @@
+// A panic inside an allowlisted function: the builtin allowlist keys
+// on "<pkg-rel-path>.<Type.Method>", here internal/mem.Memory.Restore.
+package fixtures
+
+type Memory struct{ snapped bool }
+
+func (m *Memory) Restore() {
+	if !m.snapped {
+		panic("Restore without Snapshot") // silent: builtin allowlist
+	}
+}

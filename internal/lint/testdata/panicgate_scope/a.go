@@ -1,0 +1,7 @@
+// panicgate governs internal/ only; command packages keep their own
+// fatalf conventions.
+package fixtures
+
+func cliPanic() {
+	panic("usage: rvfuzz -seed N")
+}

@@ -1,0 +1,38 @@
+// Fixture for the wallclock analyzer, analyzed as
+// rvnegtest/internal/fuzz (a determinism-bound package with allowlist
+// entries for Fuzzer.Step and Fuzzer.RunContext).
+package fixtures
+
+import "time"
+
+type Fuzzer struct{ last time.Time }
+
+// Step is on the wallclock allowlist (telemetry timers): silent.
+func (f *Fuzzer) Step() {
+	f.last = time.Now()
+}
+
+// fingerprint is NOT allowlisted: every read fires.
+func (f *Fuzzer) fingerprint() int64 {
+	t := time.Now() // want "wall-clock read \(time.Now\)"
+	return t.UnixNano()
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall-clock read \(time.Since\)"
+}
+
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want "wall-clock read \(time.Until\)"
+}
+
+func suppressedTimer() time.Time {
+	//rvlint:allow wallclock -- fixture: one-off timer with a reviewed reason
+	return time.Now() // silent: suppressed
+}
+
+func notTheClock() time.Duration {
+	// Durations and constants are fine; only reading the clock is
+	// banned.
+	return 5 * time.Second // silent
+}

@@ -1,0 +1,7 @@
+// Wall-clock reads under the internal/obs path: the telemetry layer is
+// the sanctioned home for timers, so the analyzer must stay silent.
+package fixtures
+
+import "time"
+
+func stamp() time.Time { return time.Now() }

@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// The `go vet -vettool` driver. The go command hands the tool a JSON
+// .cfg file describing one compilation unit (files, import map, export
+// data produced by the surrounding build) and expects diagnostics on
+// stderr with a non-zero exit, plus a facts file at VetxOutput. This
+// mirrors golang.org/x/tools/go/analysis/unitchecker, reimplemented on
+// the standard library so the linter has zero external dependencies.
+
+// VetConfig is the compilation-unit description `go vet` writes; field
+// names are fixed by the (unpublished) vet command-line protocol.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit analyzes the single compilation unit described by cfgFile,
+// printing diagnostics to w. It returns the process exit code: 0 clean,
+// 1 findings, 2 operational failure.
+func RunUnit(w io.Writer, cfgFile string, analyzers []*Analyzer) int {
+	cfg, err := readVetConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintf(w, "rvlint: %v\n", err)
+		return 2
+	}
+
+	// The go command records the facts file of every vetted unit and
+	// feeds it to dependents; rvlint keeps no cross-package facts, but
+	// the file must exist for the protocol's bookkeeping.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("rvlint: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(w, "rvlint: %v\n", err)
+			return 2
+		}
+	}
+
+	// Dependency units are vetted only for facts; this module's
+	// invariants never fire outside it, so skip the typecheck too.
+	if cfg.VetxOnly || !(cfg.ImportPath == modulePrefix || strings.HasPrefix(cfg.ImportPath, modulePrefix+"/")) {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(w, "rvlint: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, compilerOr(cfg.Compiler), func(path string) (io.ReadCloser, error) {
+		// path is a resolved package path, not a source import path.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	resolving := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		return imp.Import(importPath)
+	})
+
+	pkg, info, err := Typecheck(fset, cfg.ImportPath, files, resolving, goVersionOf(cfg))
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(w, "rvlint: %v\n", err)
+		return 2
+	}
+
+	diags, err := RunAnalyzers(&Pass{Fset: fset, Files: files, Pkg: pkg, PkgPath: cfg.ImportPath, TypesInfo: info}, analyzers)
+	if err != nil {
+		fmt.Fprintf(w, "rvlint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s (rvlint/%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func readVetConfig(filename string) (*VetConfig, error) {
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode vet config %s: %v", filename, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+func compilerOr(c string) string {
+	if c == "" {
+		return "gc"
+	}
+	return c
+}
+
+func goVersionOf(cfg *VetConfig) string {
+	v := cfg.GoVersion
+	if v != "" && !strings.HasPrefix(v, "go") {
+		v = "go" + v
+	}
+	return v
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -126,12 +126,15 @@ func (r *Registry) Merge(o *Registry) {
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	//rvlint:allow mapdet -- merge is a sum fold per name; addition commutes, render paths sort
 	for name, c := range o.counters {
 		r.Counter(name).Add(c.Value())
 	}
+	//rvlint:allow mapdet -- merge is a sum fold per name; addition commutes, render paths sort
 	for name, g := range o.gauges {
 		r.Gauge(name).Add(g.Value())
 	}
+	//rvlint:allow mapdet -- histogram merge is a per-bucket sum; addition commutes
 	for name, h := range o.hists {
 		r.Histogram(name).merge(h)
 	}

@@ -18,20 +18,34 @@ import (
 
 	"rvnegtest/internal/compliance"
 	"rvnegtest/internal/isa"
+	"rvnegtest/internal/resilience"
 )
 
 // Generator produces positive-testing bytestreams for one ISA
 // configuration.
 type Generator struct {
 	rng *rand.Rand
+	src *resilience.RNG
 	cfg isa.Config
 }
 
 // New creates a deterministic generator drawing instructions from the
-// given configuration's extensions.
+// given configuration's extensions. The stream is drawn through the
+// serializable resilience.RNG (the repo-wide randomness rule rvlint's
+// globalrand analyzer enforces), so generator state can ride in a
+// checkpoint like the fuzzer's mutation stream does.
 func New(seed int64, cfg isa.Config) *Generator {
-	return &Generator{rng: rand.New(rand.NewSource(seed)), cfg: cfg}
+	src := resilience.NewRNG(seed)
+	return &Generator{rng: rand.New(src), src: src, cfg: cfg}
 }
+
+// RNGState exposes the generator's source state for checkpointing.
+func (g *Generator) RNGState() [4]uint64 { return g.src.State() }
+
+// RestoreRNG replaces the source state with a checkpointed one; the
+// subsequent case stream continues bit-identically from the capture
+// point.
+func (g *Generator) RestoreRNG(s [4]uint64) error { return g.src.Restore(s) }
 
 // reg returns a random register below x30 (x30/x31 are the data-window
 // pointers and stay clean for memory sequences).
