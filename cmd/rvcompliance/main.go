@@ -8,6 +8,12 @@
 //	rvcompliance -suite suite.txt -bugs       # use a saved suite
 //	rvcompliance -suite trap -generate 50000  # trap-rich privileged suite
 //	rvcompliance -ref reference -sims Spike   # custom comparison
+//
+// External simulators join the comparison as subprocess adapter columns
+// (see cmd/rvsutadapter for the reference adapter):
+//
+//	rvcompliance -generate 10000 -sut 'ext=rvsutadapter -variant VP'
+//	rvcompliance -generate 10000 -sims '' -sut 'a=adapter-a' -sut 'b=adapter-b'
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"rvnegtest/internal/isa"
 	"rvnegtest/internal/obs"
 	"rvnegtest/internal/sim"
+	"rvnegtest/internal/sut"
 	"rvnegtest/internal/torture"
 )
 
@@ -59,7 +66,13 @@ func main() {
 		noPre      = flag.Bool("no-predecode", false, "ablation: disable the predecoded execution core (reports are identical either way)")
 		telAddr    = flag.String("telemetry-addr", "", "serve live telemetry on this address: Prometheus-text /metrics, /debug/vars, net/http/pprof")
 		eventsPath = flag.String("events", "", "write run lifecycle events as NDJSON to this file (render with rvreport -events)")
+
+		sutTimeout = flag.Float64("sut-timeout", 0, "external adapters: per-run wall-clock watchdog in seconds (0 = default 10s)")
+		sutRetries = flag.Int("sut-retries", 0, "external adapters: kill-and-restart retries per case (0 = default 2, <0 disables)")
+		sutProbe   = flag.Int("sut-halfopen", 0, "external adapters: skipped runs before a tripped breaker admits a recovery probe (0 = default, <0 stays open)")
 	)
+	var externals sutFlag
+	flag.Var(&externals, "sut", "external SUT adapter column as NAME=COMMAND [ARGS...] (repeatable)")
 	flag.Parse()
 
 	if *positive || *tortureN > 0 {
@@ -110,6 +123,10 @@ func main() {
 		fatalf("need -suite FILE|user|trap or -generate N")
 	}
 
+	for i := range externals {
+		externals[i].RunTimeout = time.Duration(*sutTimeout * float64(time.Second))
+		externals[i].Retries = *sutRetries
+	}
 	runner := &compliance.Runner{
 		MaxExamples:      10,
 		Workers:          *workers,
@@ -117,6 +134,8 @@ func main() {
 		BreakerThreshold: *breaker,
 		QuarantineDir:    *quarantine,
 		DisablePredecode: *noPre,
+		External:         externals,
+		HalfOpenAfter:    *sutProbe,
 	}
 	closeTelemetry := setupTelemetry(*telAddr, *eventsPath, runner)
 	defer closeTelemetry()
@@ -135,12 +154,20 @@ func main() {
 		fatalf("unknown reference simulator %q", *refName)
 	}
 	runner.Ref = ref
+	// -sims '' selects no built-in columns (external-only campaigns).
 	for _, name := range strings.Split(*simsFlag, ",") {
-		v, ok := sim.ByName(strings.TrimSpace(name))
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		v, ok := sim.ByName(name)
 		if !ok {
 			fatalf("unknown simulator %q", name)
 		}
 		runner.SUTs = append(runner.SUTs, v)
+	}
+	if len(runner.SUTs) == 0 && len(runner.External) == 0 {
+		fatalf("no simulators under test: give -sims and/or -sut")
 	}
 	for _, name := range strings.Split(*isasFlag, ",") {
 		cfg, err := isa.ParseConfig(strings.TrimSpace(name))
@@ -208,7 +235,7 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Printf("%s\n", raw)
-		exitDegraded(rep)
+		exitDegraded(rep, closeTelemetry)
 		return
 	}
 	fmt.Print(rep.Render())
@@ -227,7 +254,7 @@ func main() {
 			}
 		}
 	}
-	exitDegraded(rep)
+	exitDegraded(rep, closeTelemetry)
 }
 
 // setupTelemetry wires the optional live-metrics server and NDJSON event
@@ -263,12 +290,40 @@ func setupTelemetry(addr, eventsPath string, runner *compliance.Runner) func() {
 	}
 }
 
+// sutFlag accumulates repeated -sut NAME=COMMAND [ARGS...] values into
+// external adapter specs. The command is split on whitespace (adapter
+// paths with spaces are not supported; use a wrapper script).
+type sutFlag []sut.Spec
+
+func (f *sutFlag) String() string {
+	var parts []string
+	for _, s := range *f {
+		parts = append(parts, s.Name+"="+strings.Join(s.Argv, " "))
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (f *sutFlag) Set(v string) error {
+	name, cmd, ok := strings.Cut(v, "=")
+	name = strings.TrimSpace(name)
+	argv := strings.Fields(cmd)
+	if !ok || name == "" || len(argv) == 0 {
+		return fmt.Errorf("want NAME=COMMAND [ARGS...], got %q", v)
+	}
+	*f = append(*f, sut.Spec{Name: name, Argv: argv})
+	return nil
+}
+
 // exitDegraded exits with status 2 when the report contains cells degraded
 // by harness faults: the comparison completed, but some results are
-// Crashed/Timeout/Skipped(sut-unhealthy) rather than real verdicts.
-func exitDegraded(rep *compliance.Report) {
+// Crashed/Timeout/Skipped(sut-unhealthy or adapter-level) rather than
+// real verdicts. closeTelemetry runs first — os.Exit skips the deferred
+// flush, and a truncated NDJSON stream would defeat the post-mortem the
+// degraded exit asks for.
+func exitDegraded(rep *compliance.Report, closeTelemetry func()) {
 	if rep.Degraded() {
-		fmt.Fprintln(os.Stderr, "rvcompliance: run degraded by harness faults (crashed, wedged, or unhealthy simulators; see report)")
+		fmt.Fprintln(os.Stderr, "rvcompliance: run degraded by harness faults (crashed, wedged, unhealthy simulators, or failed external adapters; see report)")
+		closeTelemetry()
 		os.Exit(2)
 	}
 }

@@ -31,7 +31,16 @@ func renderEvents(path string) {
 	// campaign-wide breakdown without double counting.
 	summaries := map[int]map[string]obs.StageSummary{}
 	simTime := map[string]int64{} // cell_done DurNS per simulator
+	health := map[string]*sutHealth{}
 	crashes := 0
+	sickbay := func(sim string) *sutHealth {
+		h := health[sim]
+		if h == nil {
+			h = &sutHealth{}
+			health[sim] = h
+		}
+		return h
+	}
 	for _, ev := range evs {
 		counts[ev.Type]++
 		switch ev.Type {
@@ -41,6 +50,20 @@ func renderEvents(path string) {
 			simTime[ev.Sim] += ev.DurNS
 		case "crash", "quarantine":
 			crashes++
+		case "sut_restart":
+			sickbay(ev.Sim).restarts++
+		case "sut_retry":
+			sickbay(ev.Sim).retries++
+		case "adapter_fault":
+			sickbay(ev.Sim).faults++
+		case "sut_probe_failed":
+			sickbay(ev.Sim).probeFails++
+		case "breaker_open":
+			sickbay(ev.Sim).opens++
+		case "breaker_half_open":
+			sickbay(ev.Sim).halfOpens++
+		case "breaker_close":
+			sickbay(ev.Sim).closes++
 		}
 	}
 	span := time.Duration(evs[len(evs)-1].TNS)
@@ -127,7 +150,38 @@ func renderEvents(path string) {
 		fmt.Println()
 	}
 
+	if len(health) > 0 {
+		fmt.Println("## SUT health (supervision events)")
+		fmt.Println()
+		fmt.Println("| simulator | restarts | retries | adapter faults | breaker opened | half-open probes | recovered | probe failures |")
+		fmt.Println("|---|---|---|---|---|---|---|---|")
+		sims := make([]string, 0, len(health))
+		for s := range health {
+			sims = append(sims, s)
+		}
+		sort.Strings(sims)
+		for _, s := range sims {
+			h := health[s]
+			fmt.Printf("| %s | %d | %d | %d | %d | %d | %d | %d |\n",
+				s, h.restarts, h.retries, h.faults, h.opens, h.halfOpens, h.closes, h.probeFails)
+		}
+		fmt.Println()
+	}
+
 	if crashes > 0 {
 		fmt.Printf("%d crash/quarantine event(s); grep the NDJSON for `\"type\":\"crash\"` details.\n", crashes)
 	}
+}
+
+// sutHealth aggregates one simulator's supervision events: the breaker
+// lifecycle applies to every SUT column, the restart/retry/fault rows to
+// external adapter columns.
+type sutHealth struct {
+	restarts   int // sut_restart: adapter process respawns
+	retries    int // sut_retry: re-attempted runs after an adapter fault
+	faults     int // adapter_fault: exchanges that exhausted the retry budget
+	probeFails int // sut_probe_failed: capability preflight failures
+	opens      int // breaker_open: tripped (incl. failed recovery probes)
+	halfOpens  int // breaker_half_open: cool-down expired, probe admitted
+	closes     int // breaker_close: successful half-open recovery
 }

@@ -1,0 +1,63 @@
+// Command rvsutadapter is the reference external-SUT adapter: it serves
+// a built-in simulator model over the internal/sut wire protocol on
+// stdin/stdout, so a compliance campaign can exercise the full
+// out-of-process path (spawn, handshake, per-run watchdog, restart)
+// against a target whose signatures are known to match the in-process
+// columns byte for byte.
+//
+// It doubles as the harness's fault-injection target: -misbehave selects
+// a deliberate protocol violation (wedge, crash, kill -9, garbage
+// frames, truncated signature) and -after delays it past the first N
+// runs, which is how the CI smoke proves every failure mode degrades
+// gracefully instead of killing the campaign.
+//
+// Examples:
+//
+//	rvcompliance -generate 10000 -sut 'ext=rvsutadapter'
+//	rvcompliance -generate 10000 -sut 'vp=rvsutadapter -variant VP'
+//	rvcompliance -generate 10000 -sut 'bad=rvsutadapter -misbehave crash -after 100'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rvnegtest/internal/sim"
+	"rvnegtest/internal/sut"
+)
+
+func main() {
+	var (
+		variant   = flag.String("variant", "reference", "built-in simulator model to serve")
+		version   = flag.String("announce-version", "", "version string announced in the handshake")
+		misbehave = flag.String("misbehave", "", "fault injection: hang|crash|kill|garbage|truncate")
+		after     = flag.Int("after", 0, "serve this many RUN requests faithfully before misbehaving")
+	)
+	flag.Parse()
+
+	v, ok := sim.ByName(*variant)
+	if !ok {
+		var names []string
+		for _, m := range sim.All {
+			names = append(names, m.Name)
+		}
+		fatalf("unknown variant %q (have %s)", *variant, strings.Join(names, ", "))
+	}
+	mb, err := sut.ParseMisbehave(*misbehave)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	h := sut.NewSimHandler(v)
+	h.Version = *version
+	if err := sut.Serve(os.Stdin, os.Stdout, h, sut.ServeOpts{Misbehave: mb, After: *after}); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rvsutadapter: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"rvnegtest/internal/resilience"
 	"rvnegtest/internal/template"
@@ -52,6 +53,16 @@ func (r *Runner) fingerprint() string {
 	}
 	s += fmt.Sprintf(" dontcare=%t maxex=%d timeout=%v breaker=%d",
 		r.DontCare != nil, r.maxExamples(), r.CaseTimeout, r.breakerThreshold())
+	// External columns extend the fingerprint only when present, so every
+	// pre-existing checkpoint of a built-in-only campaign stays valid.
+	if len(r.External) > 0 {
+		s += " externals="
+		for i := range r.External {
+			sp := &r.External[i]
+			s += sp.Name + "=" + strings.Join(sp.Argv, " ") + ","
+		}
+		s += fmt.Sprintf(" halfopen=%d", r.halfOpenAfter())
+	}
 	return s
 }
 

@@ -22,6 +22,7 @@ import (
 	"rvnegtest/internal/resilience"
 	"rvnegtest/internal/sig"
 	"rvnegtest/internal/sim"
+	"rvnegtest/internal/sut"
 	"rvnegtest/internal/template"
 )
 
@@ -153,6 +154,11 @@ type Cell struct {
 	// SkippedUnhealthy counts cases never run because the simulator's
 	// circuit breaker had tripped (consecutive harness faults).
 	SkippedUnhealthy int `json:",omitempty"`
+	// SkippedAdapter counts cases whose external adapter exchange failed
+	// past the retry budget (wedge, crash, protocol garbage): the case
+	// ran out of infrastructure, not out of correctness, so it is
+	// excluded from the verdict counts instead of polluting them.
+	SkippedAdapter int `json:",omitempty"`
 	// Unhealthy marks a tripped breaker: the cell's counts cover only the
 	// cases run before (and during) the fault streak.
 	Unhealthy bool `json:",omitempty"`
@@ -194,6 +200,7 @@ func (c *Cell) merge(p *Cell, maxEx int) {
 	}
 	c.HarnessFaults += p.HarnessFaults
 	c.SkippedUnhealthy += p.SkippedUnhealthy
+	c.SkippedAdapter += p.SkippedAdapter
 	c.Unhealthy = c.Unhealthy || p.Unhealthy
 	for _, m := range p.FaultMsgs {
 		c.addFaultMsg(m)
@@ -254,12 +261,15 @@ func (r *Report) Render() string {
 	for i, cfg := range r.Configs {
 		for j, name := range r.Sims {
 			c := r.Cells[i][j]
-			if c.HarnessFaults == 0 && c.SkippedUnhealthy == 0 {
+			if c.HarnessFaults == 0 && c.SkippedUnhealthy == 0 && c.SkippedAdapter == 0 {
 				continue
 			}
 			fmt.Fprintf(&b, "%v/%s: %d harness fault(s)", cfg, name, c.HarnessFaults)
 			if c.SkippedUnhealthy > 0 {
 				fmt.Fprintf(&b, ", %d case(s) skipped (sut-unhealthy)", c.SkippedUnhealthy)
+			}
+			if c.SkippedAdapter > 0 {
+				fmt.Fprintf(&b, ", %d case(s) skipped (adapter)", c.SkippedAdapter)
 			}
 			for _, m := range c.FaultMsgs {
 				fmt.Fprintf(&b, "\n    %s", m)
@@ -278,7 +288,7 @@ func (r *Report) Render() string {
 func (r *Report) Degraded() bool {
 	for _, row := range r.Cells {
 		for _, c := range row {
-			if c.HarnessFaults > 0 || c.SkippedUnhealthy > 0 || c.Unhealthy {
+			if c.HarnessFaults > 0 || c.SkippedUnhealthy > 0 || c.SkippedAdapter > 0 || c.Unhealthy {
 				return true
 			}
 		}
@@ -294,6 +304,17 @@ type Runner struct {
 	Ref *sim.Variant
 	// SUTs are the simulators under test.
 	SUTs []*sim.Variant
+	// External adds out-of-process SUT columns: each spec launches an
+	// adapter subprocess speaking the internal/sut protocol, supervised
+	// with watchdog/kill-and-restart/backoff per worker. Specs must carry
+	// unique non-empty names (they become report columns).
+	External []sut.Spec
+	// HalfOpenAfter configures external columns' breaker recovery: an
+	// open breaker admits one probe run after this many skipped runs
+	// (cool-down counted in runs, not wall time, so campaigns stay
+	// deterministic). Zero means DefaultHalfOpenAfter; negative keeps
+	// external breakers stay-open like in-process ones.
+	HalfOpenAfter int
 	// Configs are the ISA configurations to test (Table I rows).
 	Configs []isa.Config
 	// DontCare optionally relaxes the comparison (the section VI
@@ -348,6 +369,10 @@ type Runner struct {
 	Events *obs.EventLog
 
 	tel *runnerTelemetry // resolved by run(); nil when telemetry is off
+
+	// cols is the run's resolved column list (built-in SUTs followed by
+	// externals), rebuilt by every run() call.
+	cols []column
 }
 
 // DefaultBreakerThreshold is the consecutive-harness-fault count that
@@ -463,9 +488,13 @@ func (r *Runner) run(ctx context.Context, suite *Suite, dir string) (*Report, er
 			workers = 1
 		}
 	}
+	if err := r.resolveColumns(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	r.Stats = RunStats{Workers: workers, PerWorker: make([]WorkerStats, workers)}
 	r.tel = newRunnerTelemetry(r)
+	r.probeExternals()
 
 	var ckpt *campaignCheckpoint
 	if dir != "" {
@@ -531,8 +560,8 @@ func (r *Runner) maxExamples() int {
 // newReport builds the report skeleton shared by both engines.
 func (r *Runner) newReport(suite *Suite) *Report {
 	rep := &Report{RefName: r.Ref.Name, Configs: r.Configs, Cases: len(suite.Cases)}
-	for _, v := range r.SUTs {
-		rep.Sims = append(rep.Sims, v.Name)
+	for i := range r.cols {
+		rep.Sims = append(rep.Sims, r.cols[i].name)
 	}
 	return rep
 }
@@ -549,12 +578,16 @@ func runCase(cell *Cell, ref sim.Outcome, in *instance, bs []byte, i, maxEx, tra
 		cell.Skipped++
 		return false
 	}
-	if in.breaker.Tripped() {
+	// Allow is Tripped's recovery-aware twin: for in-process breakers
+	// (HalfOpenAfter zero) it is exactly !Tripped(), keeping historical
+	// cells byte-identical; for external columns a denied run counts
+	// toward the half-open cool-down and the probe run is admitted here.
+	if !in.breaker.Allow() {
 		cell.Unhealthy = true
 		cell.SkippedUnhealthy++
 		return false
 	}
-	out, harnessFault := in.run(bs)
+	out, harnessFault, noVerdict := in.run(bs)
 	if harnessFault {
 		cell.HarnessFaults++
 		if out.CrashMsg != "" {
@@ -563,6 +596,13 @@ func runCase(cell *Cell, ref sim.Outcome, in *instance, bs []byte, i, maxEx, tra
 		if in.breaker.Tripped() {
 			cell.Unhealthy = true
 		}
+	}
+	if noVerdict {
+		// The adapter exchange failed past its retry budget: the case was
+		// attempted but produced no verdict — record it as skipped, never
+		// as a crash finding.
+		cell.SkippedAdapter++
+		return true
 	}
 	var cat Category
 	switch {
@@ -607,7 +647,7 @@ func runRefRange(ctx context.Context, refIn *instance, cases [][]byte, refOuts [
 			refOuts[i] = sim.Outcome{Crashed: true, CrashMsg: "reference unhealthy (breaker tripped)"}
 			continue
 		}
-		out, _ := refIn.run(cases[i])
+		out, _, _ := refIn.run(cases[i])
 		refOuts[i] = out
 	}
 	return nil
@@ -656,16 +696,17 @@ func (r *Runner) runConfigSerial(ctx context.Context, suite *Suite, cfg isa.Conf
 	r.tel.event(obs.Event{Type: "shard_done", Config: cfg.String(), Sim: r.Ref.Name,
 		Hi: len(suite.Cases), Execs: uint64(len(suite.Cases))})
 
-	row := make([]Cell, len(r.SUTs))
-	for j, v := range r.SUTs {
+	row := make([]Cell, len(r.cols))
+	for j := range r.cols {
+		col := &r.cols[j]
 		cell := &row[j]
-		if !v.Supports(cfg) {
+		if !col.supports(cfg, suite.Family) {
 			continue
 		}
 		cell.Supported = true
-		suts, err := r.newInstances(v, p, 1)
+		suts, err := r.newColInstances(col, p, 1)
 		if err != nil {
-			return nil, 0, fmt.Errorf("compliance: %s on %v: %w", v.Name, cfg, err)
+			return nil, 0, fmt.Errorf("compliance: %s on %v: %w", col.name, cfg, err)
 		}
 		var t0 time.Time
 		if r.tel != nil {
@@ -674,16 +715,18 @@ func (r *Runner) runConfigSerial(ctx context.Context, suite *Suite, cfg isa.Conf
 		execs := 0
 		for i, bs := range suite.Cases {
 			if err := ctx.Err(); err != nil {
+				closeInstances(suts)
 				return nil, 0, err
 			}
 			if runCase(cell, refOuts[i], suts[0], bs, i, maxEx, trapBase, r.DontCare, r.tel.compareHist()) {
 				execs++
 			}
 		}
+		closeInstances(suts)
 		r.addExecs(0, execs)
-		r.emitProgress(ProgressEvent{Config: cfg, Sim: v.Name, Worker: 0, Hi: len(suite.Cases), Execs: execs})
+		r.emitProgress(ProgressEvent{Config: cfg, Sim: col.name, Worker: 0, Hi: len(suite.Cases), Execs: execs})
 		if r.tel != nil {
-			r.tel.event(obs.Event{Type: "cell_done", Config: cfg.String(), Sim: v.Name,
+			r.tel.event(obs.Event{Type: "cell_done", Config: cfg.String(), Sim: col.name,
 				Hi: len(suite.Cases), Execs: uint64(execs), DurNS: time.Since(t0).Nanoseconds()})
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"rvnegtest/internal/obs"
 	"rvnegtest/internal/resilience"
 	"rvnegtest/internal/sim"
+	"rvnegtest/internal/sut"
 )
 
 // instance is one simulator under the resilience harness: every run is
@@ -35,6 +36,17 @@ type instance struct {
 	// completed runs (trap-family campaigns take thousands of deliberate
 	// round trips; the counter makes that volume observable).
 	traps *obs.Counter
+
+	// adapter, when non-nil, marks an external column: runs go through
+	// the subprocess adapter protocol instead of an in-process simulator,
+	// and the adapter owns its own watchdog/restart/backoff machinery.
+	adapter *sut.Adapter
+	// family/config are the RUN frame parameters for external columns.
+	family byte
+	config string
+	// events, when non-nil, emits adapter lifecycle events (the caller
+	// pre-binds sim/worker/config labels).
+	events func(obs.Event)
 }
 
 func newInstance(name string, make func() (sim.Sim, error), threshold int, timeout time.Duration, quar *resilience.Quarantine) (*instance, error) {
@@ -53,11 +65,18 @@ func newInstance(name string, make func() (sim.Sim, error), threshold int, timeo
 }
 
 // run executes one case under the harness. harnessFault reports that the
-// outcome was synthesized by the harness (isolated panic or reaped wedge)
-// rather than returned by the simulator's own error handling — only those
-// count against the breaker, because modeled Crashed/TimedOut outcomes
-// are the measurements Phase B exists to take.
-func (in *instance) run(bs []byte) (out sim.Outcome, harnessFault bool) {
+// outcome was synthesized by the harness (isolated panic, reaped wedge,
+// or failed adapter exchange) rather than returned by the simulator's
+// own error handling — only those count against the breaker, because
+// modeled Crashed/TimedOut outcomes are the measurements Phase B exists
+// to take. noVerdict additionally marks adapter-level failures whose
+// outcome carries no verdict at all: the case must be recorded as
+// adapter-skipped, not as a crash finding (in-process instances never
+// set it, keeping their cells byte-identical to the pre-adapter engine).
+func (in *instance) run(bs []byte) (out sim.Outcome, harnessFault, noVerdict bool) {
+	if in.adapter != nil {
+		return in.runExternal(bs)
+	}
 	// Capture the simulator locally: after a wedge in.s is replaced while
 	// the abandoned goroutine still holds the closure.
 	s := in.s
@@ -76,7 +95,7 @@ func (in *instance) run(bs []byte) (out sim.Outcome, harnessFault bool) {
 		in.notePredecode()
 		in.breaker.RecordFault()
 		in.quarantineWarn(bs, fmt.Sprintf("%s panic: %s\n\n%s", in.name, rec.Msg, rec.Stack))
-		return sim.Outcome{Crashed: true, CrashMsg: rec.Msg}, true
+		return sim.Outcome{Crashed: true, CrashMsg: rec.Msg}, true, false
 	case timedOut:
 		in.breaker.RecordFault()
 		in.quarantineWarn(bs, fmt.Sprintf("%s watchdog: no result within %v", in.name, in.timeout))
@@ -89,14 +108,52 @@ func (in *instance) run(bs []byte) (out sim.Outcome, harnessFault bool) {
 		} else {
 			in.breaker.Trip()
 		}
-		return sim.Outcome{TimedOut: true}, true
+		return sim.Outcome{TimedOut: true}, true, false
 	}
 	in.notePredecode()
 	in.breaker.RecordOK()
 	if in.traps != nil {
 		in.traps.Add(out.Traps)
 	}
-	return out, false
+	return out, false, false
+}
+
+// runExternal is the external-column run path: one protocol round trip
+// through the adapter, which internally retries with kill-and-restart
+// and backoff. A surviving adapter fault feeds the breaker and is
+// quarantined with its protocol context (last frame type, stderr tail);
+// the case then carries no verdict. No clock reads here — the adapter
+// owns its own wall-clock watchdog.
+func (in *instance) runExternal(bs []byte) (sim.Outcome, bool, bool) {
+	res, f := in.adapter.Run(in.family, in.config, bs)
+	if f != nil {
+		in.breaker.RecordFault()
+		in.quarantineWarn(bs, fmt.Sprintf("%s adapter fault: %s", in.name, f.Detail()))
+		if in.events != nil {
+			in.events(obs.Event{Type: "adapter_fault", Detail: f.Reason})
+		}
+		return sim.Outcome{CrashMsg: "adapter: " + f.Reason}, true, true
+	}
+	in.breaker.RecordOK()
+	if in.traps != nil {
+		in.traps.Add(res.Traps)
+	}
+	return sim.Outcome{
+		Signature: res.Signature,
+		Crashed:   res.Crashed,
+		TimedOut:  res.TimedOut,
+		CrashMsg:  res.Msg,
+		Insts:     res.Insts,
+		Traps:     res.Traps,
+	}, false, false
+}
+
+// close releases the instance's process resources (external adapters
+// only; in-process simulators need no teardown).
+func (in *instance) close() {
+	if in.adapter != nil {
+		in.adapter.Close()
+	}
 }
 
 // notePredecode folds the simulator's decode-cache counter growth since

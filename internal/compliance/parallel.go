@@ -165,14 +165,20 @@ func (r *Runner) runConfigParallel(ctx context.Context, suite *Suite, cfg isa.Co
 	}
 	// suts[j] is nil for unsupported simulators, else one instance per
 	// worker.
-	suts := make([][]*instance, len(r.SUTs))
-	for j, v := range r.SUTs {
-		if !v.Supports(cfg) {
+	suts := make([][]*instance, len(r.cols))
+	defer func() {
+		for _, ins := range suts {
+			closeInstances(ins)
+		}
+	}()
+	for j := range r.cols {
+		col := &r.cols[j]
+		if !col.supports(cfg, suite.Family) {
 			continue
 		}
-		ins, err := r.newInstances(v, p, workers)
+		ins, err := r.newColInstances(col, p, workers)
 		if err != nil {
-			return nil, 0, fmt.Errorf("compliance: %s on %v: %w", v.Name, cfg, err)
+			return nil, 0, fmt.Errorf("compliance: %s on %v: %w", col.name, cfg, err)
 		}
 		suts[j] = ins
 	}
@@ -199,8 +205,8 @@ func (r *Runner) runConfigParallel(ctx context.Context, suite *Suite, cfg isa.Co
 			r.tel.event(obs.Event{Type: "shard_done", Config: cfg.String(), Sim: r.Ref.Name,
 				Worker: w, Lo: sh.lo, Hi: sh.hi, Execs: uint64(sh.hi - sh.lo)})
 
-			cells := make([]Cell, len(r.SUTs))
-			for j := range r.SUTs {
+			cells := make([]Cell, len(r.cols))
+			for j := range r.cols {
 				if suts[j] == nil {
 					continue
 				}
@@ -220,9 +226,9 @@ func (r *Runner) runConfigParallel(ctx context.Context, suite *Suite, cfg isa.Co
 					}
 				}
 				execs[w] += n
-				emit(ProgressEvent{Config: cfg, Sim: r.SUTs[j].Name, Worker: w, Lo: sh.lo, Hi: sh.hi, Execs: n})
+				emit(ProgressEvent{Config: cfg, Sim: r.cols[j].name, Worker: w, Lo: sh.lo, Hi: sh.hi, Execs: n})
 				if r.tel != nil {
-					r.tel.event(obs.Event{Type: "cell_done", Config: cfg.String(), Sim: r.SUTs[j].Name,
+					r.tel.event(obs.Event{Type: "cell_done", Config: cfg.String(), Sim: r.cols[j].name,
 						Worker: w, Lo: sh.lo, Hi: sh.hi, Execs: uint64(n), DurNS: time.Since(t0).Nanoseconds()})
 				}
 			}
@@ -237,8 +243,8 @@ func (r *Runner) runConfigParallel(ctx context.Context, suite *Suite, cfg isa.Co
 	}
 
 	// Deterministic merge: shard order equals ascending case order.
-	row := make([]Cell, len(r.SUTs))
-	for j := range r.SUTs {
+	row := make([]Cell, len(r.cols))
+	for j := range r.cols {
 		if suts[j] == nil {
 			continue
 		}

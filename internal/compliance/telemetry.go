@@ -50,6 +50,13 @@ type simCounters struct {
 	timeouts     *obs.Counter
 	hfaults      *obs.Counter
 	breakerOpens *obs.Counter
+
+	// External-adapter supervision counters (stay zero for in-process
+	// columns).
+	restarts      *obs.Counter // adapter process respawns
+	retries       *obs.Counter // re-attempted runs after adapter faults
+	adapterSkips  *obs.Counter // cases skipped for adapter-level failure
+	breakerCloses *obs.Counter // successful half-open recoveries
 }
 
 // newRunnerTelemetry resolves the run's metric handles, or returns nil
@@ -77,8 +84,8 @@ func newRunnerTelemetry(r *Runner) *runnerTelemetry {
 		perSim: map[string]*simCounters{},
 	}
 	names := []string{r.Ref.Name}
-	for _, v := range r.SUTs {
-		names = append(names, v.Name)
+	for i := range r.cols {
+		names = append(names, r.cols[i].name)
 	}
 	for _, name := range names {
 		if _, ok := t.perSim[name]; ok {
@@ -86,11 +93,15 @@ func newRunnerTelemetry(r *Runner) *runnerTelemetry {
 		}
 		label := `{sim="` + name + `"}`
 		t.perSim[name] = &simCounters{
-			mismatches:   reg.Counter("rvnegtest_compliance_mismatches_total" + label),
-			crashes:      reg.Counter("rvnegtest_compliance_crashes_total" + label),
-			timeouts:     reg.Counter("rvnegtest_compliance_timeouts_total" + label),
-			hfaults:      reg.Counter("rvnegtest_compliance_harness_faults_total" + label),
-			breakerOpens: reg.Counter("rvnegtest_compliance_breaker_opens_total" + label),
+			mismatches:    reg.Counter("rvnegtest_compliance_mismatches_total" + label),
+			crashes:       reg.Counter("rvnegtest_compliance_crashes_total" + label),
+			timeouts:      reg.Counter("rvnegtest_compliance_timeouts_total" + label),
+			hfaults:       reg.Counter("rvnegtest_compliance_harness_faults_total" + label),
+			breakerOpens:  reg.Counter("rvnegtest_compliance_breaker_opens_total" + label),
+			restarts:      reg.Counter("rvnegtest_compliance_sut_restarts_total" + label),
+			retries:       reg.Counter("rvnegtest_compliance_sut_retries_total" + label),
+			adapterSkips:  reg.Counter("rvnegtest_compliance_adapter_skipped_total" + label),
+			breakerCloses: reg.Counter("rvnegtest_compliance_breaker_closes_total" + label),
 		}
 	}
 	return t
@@ -168,6 +179,39 @@ func (t *runnerTelemetry) breakerOpened(name string) {
 	}
 }
 
+// breakerClosed records a successful half-open recovery (external
+// columns only).
+func (t *runnerTelemetry) breakerClosed(name string) {
+	if t == nil {
+		return
+	}
+	if sc := t.perSim[name]; sc != nil {
+		sc.breakerCloses.Inc()
+	}
+}
+
+// sutRestarted records one adapter process respawn (from the Adapter's
+// OnRestart hook, on the owning worker's goroutine; counters are
+// atomics).
+func (t *runnerTelemetry) sutRestarted(name string) {
+	if t == nil {
+		return
+	}
+	if sc := t.perSim[name]; sc != nil {
+		sc.restarts.Inc()
+	}
+}
+
+// sutRetried records one re-attempted adapter run.
+func (t *runnerTelemetry) sutRetried(name string) {
+	if t == nil {
+		return
+	}
+	if sc := t.perSim[name]; sc != nil {
+		sc.retries.Inc()
+	}
+}
+
 // rowDone folds a completed (merged) configuration row into the per-SUT
 // counters and emits the row_done event. Rows are produced sequentially
 // by the dispatcher, so the adds are deterministic for every worker
@@ -183,7 +227,7 @@ func (t *runnerTelemetry) rowDone(r *Runner, cfg string, row []Cell, skipped int
 		if !c.Supported {
 			continue
 		}
-		sc := t.perSim[r.SUTs[j].Name]
+		sc := t.perSim[r.cols[j].name]
 		if sc == nil {
 			continue
 		}
@@ -191,6 +235,7 @@ func (t *runnerTelemetry) rowDone(r *Runner, cfg string, row []Cell, skipped int
 		sc.crashes.Add(uint64(c.Crashes))
 		sc.timeouts.Add(uint64(c.Timeouts))
 		sc.hfaults.Add(uint64(c.HarnessFaults))
+		sc.adapterSkips.Add(uint64(c.SkippedAdapter))
 	}
 	t.event(obs.Event{Type: "row_done", Worker: -1, Config: cfg, Detail: rowDetail(row, skipped)})
 }

@@ -1,0 +1,109 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffEnvelope: every delay lands in [envelope/2, envelope) where
+// the envelope doubles from Base up to Max.
+func TestBackoffEnvelope(t *testing.T) {
+	base, max := 50*time.Millisecond, 2*time.Second
+	b := NewBackoff(base, max, 1)
+	envelope := base
+	for i := 0; i < 12; i++ {
+		d := b.Next()
+		if d < envelope/2 || d >= envelope {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", i, d, envelope/2, envelope)
+		}
+		if envelope < max {
+			envelope *= 2
+			if envelope > max {
+				envelope = max
+			}
+		}
+	}
+	if b.Attempt() != 12 {
+		t.Fatalf("Attempt() = %d, want 12", b.Attempt())
+	}
+}
+
+// TestBackoffReset: a success returns the policy to the Base envelope.
+func TestBackoffReset(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, time.Second, 7)
+	for i := 0; i < 5; i++ {
+		b.Next()
+	}
+	b.Reset()
+	d := b.Next()
+	if d < 50*time.Millisecond || d >= 100*time.Millisecond {
+		t.Fatalf("post-Reset delay %v outside [50ms, 100ms)", d)
+	}
+}
+
+// TestBackoffDeterministicPerSeed: the same seed yields the same delay
+// sequence (campaign checkpoints replay it); different seeds diverge.
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	seq := func(seed int64) []time.Duration {
+		b := NewBackoff(0, 0, seed)
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = b.Next()
+		}
+		return out
+	}
+	a, b := seq(42), seq(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := seq(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+}
+
+// TestBackoffStateRoundTrip: a restored policy continues the exact delay
+// sequence of the original.
+func TestBackoffStateRoundTrip(t *testing.T) {
+	b := NewBackoff(0, 0, 99)
+	for i := 0; i < 3; i++ {
+		b.Next()
+	}
+	st := b.State()
+	want := []time.Duration{b.Next(), b.Next(), b.Next()}
+	r := NewBackoff(0, 0, 0)
+	if err := r.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		if got := r.Next(); got != w {
+			t.Fatalf("restored delay %d = %v, want %v", i, got, w)
+		}
+	}
+	bad := st
+	bad.RNG = [4]uint64{}
+	if err := r.RestoreState(bad); err == nil {
+		t.Fatal("all-zero RNG state accepted")
+	}
+}
+
+// TestBackoffDefaults: zero Base/Max select the documented defaults and
+// Max is clamped to at least Base.
+func TestBackoffDefaults(t *testing.T) {
+	b := NewBackoff(0, 0, 1)
+	if b.Base != DefaultBackoffBase || b.Max != DefaultBackoffMax {
+		t.Fatalf("defaults = (%v, %v), want (%v, %v)", b.Base, b.Max, DefaultBackoffBase, DefaultBackoffMax)
+	}
+	c := NewBackoff(time.Second, time.Millisecond, 1)
+	if c.Max != time.Second {
+		t.Fatalf("Max below Base not clamped: %v", c.Max)
+	}
+}

@@ -1,0 +1,144 @@
+package resilience
+
+import (
+	"reflect"
+	"testing"
+)
+
+// trip opens a breaker by recording Threshold consecutive faults.
+func trip(b *Breaker) {
+	for i := 0; i < b.Threshold; i++ {
+		b.RecordFault()
+	}
+}
+
+// TestBreakerHalfOpenRecovers walks the open → half-open → closed path:
+// after HalfOpenAfter denied runs a single probe is admitted, and its
+// success closes the breaker for good.
+func TestBreakerHalfOpenRecovers(t *testing.T) {
+	var transitions [][2]BreakerState
+	b := &Breaker{Threshold: 2, HalfOpenAfter: 3,
+		OnTransition: func(from, to BreakerState) { transitions = append(transitions, [2]BreakerState{from, to}) }}
+	trip(b)
+	if b.State() != BreakerOpen || !b.Tripped() {
+		t.Fatalf("state after trip = %v, want open", b.State())
+	}
+	for i := 0; i < 3; i++ {
+		if b.Allow() {
+			t.Fatalf("run %d allowed during cool-down", i)
+		}
+	}
+	if !b.Allow() {
+		t.Fatal("probe run denied after cool-down")
+	}
+	if b.State() != BreakerHalfOpen || !b.Tripped() {
+		t.Fatalf("state during probe = %v (tripped=%t), want half-open/tripped", b.State(), b.Tripped())
+	}
+	// Runs racing the probe stay denied and do not burn cool-down.
+	if b.Allow() {
+		t.Fatal("second run allowed while probe in flight")
+	}
+	b.RecordOK()
+	if b.State() != BreakerClosed || b.Tripped() {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker denied a run")
+	}
+	want := [][2]BreakerState{
+		{BreakerClosed, BreakerOpen},
+		{BreakerOpen, BreakerHalfOpen},
+		{BreakerHalfOpen, BreakerClosed},
+	}
+	if !reflect.DeepEqual(transitions, want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+}
+
+// TestBreakerHalfOpenReopens walks open → half-open → open: a failing
+// probe re-opens the breaker and the cool-down starts over.
+func TestBreakerHalfOpenReopens(t *testing.T) {
+	opens := 0
+	var transitions [][2]BreakerState
+	b := &Breaker{Threshold: 2, HalfOpenAfter: 2, OnOpen: func() { opens++ },
+		OnTransition: func(from, to BreakerState) { transitions = append(transitions, [2]BreakerState{from, to}) }}
+	trip(b)
+	if opens != 1 {
+		t.Fatalf("OnOpen fired %d times at trip, want 1", opens)
+	}
+	b.Allow()
+	b.Allow()
+	if !b.Allow() {
+		t.Fatal("probe denied after cool-down")
+	}
+	b.RecordFault()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if opens != 1 {
+		t.Fatalf("OnOpen re-fired on probe failure (%d times); re-opens are OnTransition-only", opens)
+	}
+	// Cool-down restarted: two more denials before the next probe.
+	if b.Allow() || b.Allow() {
+		t.Fatal("cool-down did not restart after failed probe")
+	}
+	if !b.Allow() {
+		t.Fatal("second probe denied after fresh cool-down")
+	}
+	b.RecordOK()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after recovered second probe = %v, want closed", b.State())
+	}
+	want := [][2]BreakerState{
+		{BreakerClosed, BreakerOpen},
+		{BreakerOpen, BreakerHalfOpen},
+		{BreakerHalfOpen, BreakerOpen},
+		{BreakerOpen, BreakerHalfOpen},
+		{BreakerHalfOpen, BreakerClosed},
+	}
+	if !reflect.DeepEqual(transitions, want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+}
+
+// TestBreakerStayOpenDefault: without HalfOpenAfter the historical
+// behaviour is unchanged — open means open forever.
+func TestBreakerStayOpenDefault(t *testing.T) {
+	b := &Breaker{Threshold: 1}
+	b.RecordFault()
+	for i := 0; i < 100; i++ {
+		if b.Allow() {
+			t.Fatalf("stay-open breaker admitted run %d", i)
+		}
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+}
+
+// TestBreakerClosedAllow: Allow on a closed breaker is free and does not
+// mutate anything.
+func TestBreakerClosedAllow(t *testing.T) {
+	b := &Breaker{Threshold: 3, HalfOpenAfter: 1}
+	for i := 0; i < 10; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker denied a run")
+		}
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+	// A re-trip after a full recovery fires OnOpen again (new episode).
+	opens := 0
+	b.OnOpen = func() { opens++ }
+	trip(b)
+	b.Allow()
+	if !b.Allow() {
+		t.Fatal("probe denied")
+	}
+	b.RecordOK()
+	trip(b)
+	if opens != 2 {
+		t.Fatalf("OnOpen fired %d times across two open episodes, want 2", opens)
+	}
+}

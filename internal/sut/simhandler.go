@@ -1,0 +1,89 @@
+package sut
+
+import (
+	"fmt"
+
+	"rvnegtest/internal/isa"
+	"rvnegtest/internal/sim"
+	"rvnegtest/internal/template"
+)
+
+// SimHandler serves a built-in simulator variant over the adapter
+// protocol — the reference adapter implementation. Wrapping the
+// in-process models gives an external SUT whose signatures are known
+// to be byte-identical to the in-process columns, which is exactly what
+// the protocol conformance tests and the CI smoke need: any divergence
+// between the two paths is a harness bug, not a simulator finding.
+//
+// Simulators are built lazily per (family, config) pair and cached for
+// the life of the process; the serve loop is sequential, so no locking.
+type SimHandler struct {
+	Variant *sim.Variant
+	// Version is reported in the handshake; defaults to "builtin".
+	Version string
+
+	sims map[simKey]*sim.Simulator
+}
+
+type simKey struct {
+	family byte
+	config string
+}
+
+// NewSimHandler wraps a variant for serving.
+func NewSimHandler(v *sim.Variant) *SimHandler {
+	return &SimHandler{Variant: v, sims: make(map[simKey]*sim.Simulator)}
+}
+
+// Info describes the wrapped variant for the handshake.
+func (h *SimHandler) Info() Info {
+	version := h.Version
+	if version == "" {
+		version = "builtin"
+	}
+	caps := uint64(CapTrap)
+	if !h.Variant.NoFD {
+		caps |= CapFP
+	}
+	return Info{Caps: caps, Name: h.Variant.Name, Version: version}
+}
+
+// Run executes one test case. An unsupported or unparsable configuration
+// is an adapter-level error (ERR frame); modeled crash/timeout outcomes
+// travel in the RunResult as findings.
+func (h *SimHandler) Run(req RunRequest) (RunResult, error) {
+	s, err := h.simFor(req)
+	if err != nil {
+		return RunResult{}, err
+	}
+	out := s.Run(req.Code)
+	return RunResult{
+		Signature: out.Signature,
+		Crashed:   out.Crashed,
+		TimedOut:  out.TimedOut,
+		Msg:       out.CrashMsg,
+		Insts:     out.Insts,
+		Traps:     out.Traps,
+	}, nil
+}
+
+func (h *SimHandler) simFor(req RunRequest) (*sim.Simulator, error) {
+	key := simKey{family: req.Family, config: req.Config}
+	if s, ok := h.sims[key]; ok {
+		return s, nil
+	}
+	cfg, err := isa.ParseConfig(req.Config)
+	if err != nil {
+		return nil, fmt.Errorf("config %q: %v", req.Config, err)
+	}
+	if req.Family > byte(template.FamilyTrap) {
+		return nil, fmt.Errorf("unknown template family %d", req.Family)
+	}
+	p := template.PlatformFor(template.Family(req.Family), cfg)
+	s, err := sim.New(h.Variant, p)
+	if err != nil {
+		return nil, err
+	}
+	h.sims[key] = s
+	return s, nil
+}

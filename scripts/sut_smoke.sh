@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# sut_smoke.sh — end-to-end smoke of the external SUT adapter fleet.
+#
+# Flow:
+#   1. generate a seeded suite with rvfuzz
+#   2. equivalence: an external rvsutadapter column wrapping the built-in
+#      Spike model must produce a report byte-identical (after column
+#      rename) to the in-process Spike column, for workers 1, 2 and 8
+#   3. misbehaviour matrix: hang / crash / kill / garbage / truncate
+#      adapters must each degrade gracefully — exit 2, adapter-skipped
+#      cells in the report, never a harness crash
+#   4. supervision telemetry: a flapping adapter's restart/retry/breaker
+#      activity shows up in the NDJSON events and in rvreport's
+#      "SUT health" section
+#
+# Usage: scripts/sut_smoke.sh [execs] [seed]
+set -euo pipefail
+
+EXECS="${1:-20000}"
+SEED="${2:-7}"
+
+cd "$(dirname "$0")/.."
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+go build -o "$work/rvfuzz" ./cmd/rvfuzz
+go build -o "$work/rvcompliance" ./cmd/rvcompliance
+go build -o "$work/rvsutadapter" ./cmd/rvsutadapter
+go build -o "$work/rvreport" ./cmd/rvreport
+
+echo "== generate suite (execs=$EXECS seed=$SEED)"
+"$work/rvfuzz" -cov v3 -seed "$SEED" -execs "$EXECS" -out "$work/suite.txt"
+
+echo "== in-process baseline (Spike)"
+"$work/rvcompliance" -suite "$work/suite.txt" -sims Spike -workers 1 -json \
+  >"$work/base.json"
+
+echo "== external adapter equivalence (workers 1, 2, 8)"
+for w in 1 2 8; do
+  "$work/rvcompliance" -suite "$work/suite.txt" -sims '' \
+    -sut "ext=$work/rvsutadapter -variant Spike" -workers "$w" -json \
+    >"$work/ext-$w.raw"
+  # Same cells, different column name: rename and compare byte for byte.
+  sed 's/"ext"/"Spike"/' "$work/ext-$w.raw" >"$work/ext-$w.json"
+  if ! cmp -s "$work/base.json" "$work/ext-$w.json"; then
+    echo "FAIL: external column differs from in-process Spike at workers=$w" >&2
+    diff "$work/base.json" "$work/ext-$w.json" | head >&2
+    exit 1
+  fi
+  echo "   workers=$w: byte-identical"
+done
+
+echo "== misbehaviour matrix"
+for mode in hang crash kill garbage truncate; do
+  set +e
+  out=$("$work/rvcompliance" -suite "$work/suite.txt" -isa RV32I -sims '' \
+    -sut "bad=$work/rvsutadapter -misbehave $mode" \
+    -sut-timeout 0.3 -sut-retries -1 -sut-halfopen -1 -workers 1 2>&1)
+  status=$?
+  set -e
+  if [ "$status" -ne 2 ]; then
+    echo "FAIL: $mode adapter exited $status, want degraded exit 2" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+  if ! grep -q "skipped (adapter)" <<<"$out"; then
+    echo "FAIL: $mode report lacks adapter-skipped cases" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+  echo "   $mode: degraded exit 2, adapter-skipped cells"
+done
+
+echo "== supervision telemetry (flapping adapter, half-open recovery)"
+set +e
+"$work/rvcompliance" -suite "$work/suite.txt" -isa RV32I -sims '' \
+  -sut "flappy=$work/rvsutadapter -misbehave crash -after 1" \
+  -sut-retries -1 -breaker 1 -sut-halfopen 2 -workers 1 \
+  -events "$work/events.ndjson" >/dev/null 2>&1
+status=$?
+set -e
+if [ "$status" -ne 2 ]; then
+  echo "FAIL: flapping adapter exited $status, want 2" >&2
+  exit 1
+fi
+for ev in sut_restart adapter_fault breaker_half_open breaker_close; do
+  if ! grep -q "\"type\":\"$ev\"" "$work/events.ndjson"; then
+    echo "FAIL: event stream lacks $ev" >&2
+    exit 1
+  fi
+done
+health=$("$work/rvreport" -events "$work/events.ndjson")
+if ! grep -q "SUT health" <<<"$health"; then
+  echo "FAIL: rvreport lacks the SUT health section" >&2
+  echo "$health" >&2
+  exit 1
+fi
+echo "$health" | sed -n '/SUT health/,/^$/p'
+
+echo "PASS: external SUT adapter smoke"
