@@ -64,6 +64,7 @@ func main() {
 		breaker    = flag.Int("breaker", 0, "consecutive harness faults before an instance is marked unhealthy (0 = default, <0 disables)")
 		quarantine = flag.String("quarantine", "", "save inputs that trigger harness faults into this directory")
 		noPre      = flag.Bool("no-predecode", false, "ablation: disable the predecoded execution core (reports are identical either way)")
+		batch      = flag.Int("batch", 0, "run in-process simulator columns in batched lockstep, N lanes per worker (reports are identical either way; 0 disables)")
 		telAddr    = flag.String("telemetry-addr", "", "serve live telemetry on this address: Prometheus-text /metrics, /debug/vars, net/http/pprof")
 		eventsPath = flag.String("events", "", "write run lifecycle events as NDJSON to this file (render with rvreport -events)")
 
@@ -134,6 +135,7 @@ func main() {
 		BreakerThreshold: *breaker,
 		QuarantineDir:    *quarantine,
 		DisablePredecode: *noPre,
+		Batch:            *batch,
 		External:         externals,
 		HalfOpenAfter:    *sutProbe,
 	}

@@ -44,6 +44,7 @@ func main() {
 		noMut      = flag.Bool("no-custom-mutator", false, "ablation: disable the instruction-aware mutator")
 		noFlt      = flag.Bool("no-filter", false, "ablation: disable the static filter")
 		noPre      = flag.Bool("no-predecode", false, "ablation: disable the predecoded execution core (outputs are identical either way)")
+		batch      = flag.Int("batch", 0, "run accepted inputs in batched lockstep, N lanes per worker (outputs are identical either way; 0 disables)")
 		workers    = flag.Int("workers", 1, "parallel fuzzer workers (corpora are merged and minimized)")
 		minimize   = flag.Bool("minimize", false, "minimize the suite to coverage-unique cases before saving")
 		seedSuite  = flag.String("seed-suite", "", "seed the campaign with a previously generated suite")
@@ -88,6 +89,7 @@ func main() {
 	cfg.DisableCustomMutator = *noMut
 	cfg.DisableFilter = *noFlt
 	cfg.DisablePredecode = *noPre
+	cfg.Batch = *batch
 	cfg.CaseTimeout = time.Duration(*caseSecs * float64(time.Second))
 	cfg.QuarantineDir = *quarantine
 	events, closeTelemetry := setupTelemetry(*telAddr, *eventsPath, &cfg.Obs)

@@ -1,0 +1,23 @@
+package analysis
+
+// StraightLineExtents returns the [start, end) byte extents of the
+// code's basic blocks with at least two instructions, in the CFG's
+// deterministic discovery order — the superblock fusion candidates
+// exec.DecodeCache.Fuse consumes. Extents are hints, not guarantees: they come from the
+// reference decoding the CFG builder uses, so a consumer must
+// re-validate them against its own (possibly quirked) decode and
+// truncate at any divergence. Single-instruction blocks are omitted
+// because fusing them buys nothing over per-slot dispatch. trap selects
+// the suite family, exactly as for AnalyzeMode.
+func StraightLineExtents(bs []byte, trap bool) [][2]int32 {
+	a := AnalyzeMode(bs, trap)
+	blocks := a.Blocks()
+	out := make([][2]int32, 0, len(blocks))
+	for i := range blocks {
+		b := &blocks[i]
+		if b.Insts >= 2 {
+			out = append(out, [2]int32{b.Start, b.End})
+		}
+	}
+	return out
+}

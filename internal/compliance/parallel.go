@@ -215,15 +215,11 @@ func (r *Runner) runConfigParallel(ctx context.Context, suite *Suite, cfg isa.Co
 				if r.tel != nil {
 					t0 = time.Now()
 				}
-				n := 0
-				for i := sh.lo; i < sh.hi; i++ {
-					if err := ctx.Err(); err != nil {
-						errs[w] = err
-						return
-					}
-					if runCase(&cells[j], refOuts[i], suts[j][w], suite.Cases[i], i, maxEx, trapBase, r.DontCare, r.tel.compareHist()) {
-						n++
-					}
+				n, err := runCaseRange(ctx, &cells[j], refOuts, suts[j][w], suite.Cases,
+					sh.lo, sh.hi, maxEx, trapBase, r.DontCare, r.tel.compareHist())
+				if err != nil {
+					errs[w] = err
+					return
 				}
 				execs[w] += n
 				emit(ProgressEvent{Config: cfg, Sim: r.cols[j].name, Worker: w, Lo: sh.lo, Hi: sh.hi, Execs: n})

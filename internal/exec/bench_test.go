@@ -3,6 +3,7 @@ package exec
 import (
 	"testing"
 
+	"rvnegtest/internal/analysis"
 	"rvnegtest/internal/hart"
 	"rvnegtest/internal/isa"
 	"rvnegtest/internal/mem"
@@ -96,12 +97,22 @@ func benchRunProgram() []uint32 {
 
 // benchRun measures whole-program Executor.Run throughput; the predecode
 // variant includes the per-run cache maintenance (Reset), exactly like
-// the simulator's run path.
-func benchRun(b *testing.B, pre bool) {
+// the simulator's run path, and the fused variant additionally installs
+// superblocks over the CFG's straight-line extents.
+func benchRun(b *testing.B, pre, fused bool) {
 	e := newExec(isa.RV32I, benchRunProgram()...)
 	var cache *DecodeCache
 	if pre {
 		cache = attachCache(e, isa.RV32I)
+		if fused {
+			code, err := e.Mem.ReadBytes(0, fuzzCodeSpan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if cache.Fuse(analysis.StraightLineExtents(code, false)) == 0 {
+				b.Fatal("no fused blocks installed")
+			}
+		}
 	}
 	var insts uint64
 	b.ResetTimer()
@@ -122,8 +133,56 @@ func benchRun(b *testing.B, pre bool) {
 }
 
 // BenchmarkRunDirect is the classical fetch-decode-execute loop.
-func BenchmarkRunDirect(b *testing.B) { benchRun(b, false) }
+func BenchmarkRunDirect(b *testing.B) { benchRun(b, false, false) }
 
 // BenchmarkRunPredecode is the same workload on the predecoded fast
 // path; scripts/exec_bench.sh gates its speedup over BenchmarkRunDirect.
-func BenchmarkRunPredecode(b *testing.B) { benchRun(b, true) }
+func BenchmarkRunPredecode(b *testing.B) { benchRun(b, true, false) }
+
+// BenchmarkRunFused is the same workload with superblock fusion on top
+// of the predecode; scripts/exec_bench.sh gates the batch+fusion
+// speedup over BenchmarkRunPredecode.
+func BenchmarkRunFused(b *testing.B) { benchRun(b, true, true) }
+
+// BenchmarkRunBatch runs 8 fused lanes in lockstep through exec.Batch
+// (the per-worker shape of the batched fuzz and compliance campaigns);
+// the metric aggregates instructions across all lanes.
+func BenchmarkRunBatch(b *testing.B) {
+	const lanes = 8
+	base := newExec(isa.RV32I, benchRunProgram()...)
+	cache := attachCache(base, isa.RV32I)
+	code, err := base.Mem.ReadBytes(0, fuzzCodeSpan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if cache.Fuse(analysis.StraightLineExtents(code, false)) == 0 {
+		b.Fatal("no fused blocks installed")
+	}
+	execs := make([]*Executor, lanes)
+	for i := range execs {
+		e := newExec(isa.RV32I, benchRunProgram()...)
+		e.Cache = cache.Clone()
+		execs[i] = e
+	}
+	bt := Batch{Lanes: execs}
+	var insts uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range execs {
+			e.CPU.Reset()
+			e.CPU.Mtvec = testHandler
+			e.Halted = false
+			e.InstCount = 0
+			e.Cache.Reset()
+		}
+		for j, st := range bt.Run(20000) {
+			if st.Err != nil || st.Panicked {
+				b.Fatalf("lane %d: %+v", j, st)
+			}
+		}
+		for _, e := range execs {
+			insts += e.InstCount
+		}
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}

@@ -24,6 +24,11 @@ type cacheEntry struct {
 	state uint8
 	fp    bool // legal FP op: re-check FPEnabled at dispatch time
 	dirty bool // deviates from the pristine predecode; undone by Reset
+	// blk, when non-nil, marks this slot as the head of a fused
+	// straight-line block (see fuse.go): a fetch here with budget to
+	// spare runs the whole block. Invalidation clears it; Reset restores
+	// it from the shared fuse table.
+	blk *fusedBlock
 }
 
 // CacheStats are the cumulative decode-cache counters of one executor
@@ -38,6 +43,18 @@ type CacheStats struct {
 	// Invalidations counts executed stores (and injection writes) that
 	// overlapped the cached range and knocked out at least one slot.
 	Invalidations uint64
+	// Fused counts the subset of Hits served through a fused block
+	// handler instead of per-slot dispatch.
+	Fused uint64
+}
+
+// Add folds another counter set into s (the deterministic batch-lane and
+// campaign-level fold; plain field sums, so fold order never matters).
+func (s *CacheStats) Add(o CacheStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Invalidations += o.Invalidations
+	s.Fused += o.Fused
 }
 
 // DecodeCache maps a predecoded code range to ready-to-dispatch entries
@@ -54,6 +71,12 @@ type DecodeCache struct {
 	entries []cacheEntry
 	touched []int32
 	stats   CacheStats
+	// fuse, when non-nil, is the immutable fusion index shared across
+	// clones (see Fuse); gen counts effective invalidations so a fused
+	// run in flight can detect that any cached slot — possibly its own
+	// tail — was knocked out.
+	fuse *fuseTable
+	gen  uint64
 }
 
 // NewDecodeCache derives dispatch entries from a predecode for one ISA
@@ -101,9 +124,11 @@ func makeEntry(in *isa.Inst, cfg isa.Config) cacheEntry {
 }
 
 // Clone returns an independent cache sharing only the immutable
-// predecode. The clone copies the current entries (they must match the
-// memory image it is paired with, which is cloned the same way) and
-// starts with fresh counters. Safe on a nil receiver.
+// predecode and fuse table. The clone copies the current entries (they
+// must match the memory image it is paired with, which is cloned the
+// same way) and starts with fresh counters: per-clone hit/miss/
+// invalidation counts are independent, so a campaign-level fold over
+// clones is a plain sum in clone order. Safe on a nil receiver.
 func (c *DecodeCache) Clone() *DecodeCache {
 	if c == nil {
 		return nil
@@ -121,6 +146,11 @@ func (c *DecodeCache) Clone() *DecodeCache {
 func (c *DecodeCache) Reset() {
 	for _, i := range c.touched {
 		c.entries[i] = makeEntry(&c.pd.Insts[i], c.cfg)
+		if c.fuse != nil {
+			// A restored head slot regains its fused handler: the block's
+			// body is pristine again by the same reasoning as the entry.
+			c.entries[i].blk = c.fuse.heads[i]
+		}
 	}
 	c.touched = c.touched[:0]
 }
@@ -129,11 +159,22 @@ func (c *DecodeCache) Reset() {
 // may have changed. The slot one halfword before the written range is
 // included: a 32-bit encoding starting there spans into it. The common
 // case — a write nowhere near the code range — is two comparisons.
+//
+// The overlap test is deliberately asymmetric at the two image edges.
+// At the low edge the back-widened lo may underflow past base (a write
+// at offset 0 has no predecessor slot), so the guard compares hi, and
+// the loop start is clamped to base. At the high edge the un-widened
+// write address decides: no cached encoding extends past limit (the
+// predecode leaves range-end straddles lazy and fill refuses spanning
+// encodings), so a write at or past limit cannot change any cached slot
+// — but back-widening must NOT be applied before this test, or a write
+// at limit/limit+1 would invalidate (and count against) the last
+// halfword it provably does not affect.
 func (c *DecodeCache) InvalidateRange(addr, size uint32) {
 	lo := int64(addr) - 2
 	hi := int64(addr) + int64(size)
 	base, limit := int64(c.base), int64(c.base)+int64(c.span)
-	if hi <= base || lo >= limit {
+	if hi <= base || int64(addr) >= limit {
 		return
 	}
 	if lo < base {
@@ -142,7 +183,24 @@ func (c *DecodeCache) InvalidateRange(addr, size uint32) {
 	if hi > limit {
 		hi = limit
 	}
-	for i := (lo - base) >> 1; i < (hi-base+1)>>1; i++ {
+	loSlot := (lo - base) >> 1
+	if c.fuse != nil {
+		c.gen++
+		// Splitting fusion: slots inside the range lose blk in the loop
+		// below; the only block that can span INTO the range from before
+		// it is the one owning loSlot with an earlier head.
+		if h := c.fuse.owner[loSlot]; h >= 0 && int64(h) < loSlot {
+			e := &c.entries[h]
+			if e.blk != nil {
+				if !e.dirty {
+					c.touched = append(c.touched, h)
+					e.dirty = true
+				}
+				e.blk = nil
+			}
+		}
+	}
+	for i := loSlot; i < (hi-base+1)>>1; i++ {
 		e := &c.entries[i]
 		if !e.dirty {
 			c.touched = append(c.touched, int32(i))

@@ -229,6 +229,64 @@ func TestInvalidateRangeBounds(t *testing.T) {
 	}
 }
 
+// TestInvalidateRangeImageBoundaries pins the write/invalidate overlap
+// test at both image edges (the back-widening bug class): a store at or
+// past the range end must not be widened backward into the last
+// halfword, and a store at offset 0 must not underflow past the base.
+// The cache here starts at a non-zero base so both edges are interior
+// addresses.
+func TestInvalidateRangeImageBoundaries(t *testing.T) {
+	d := isa.Ref
+	code := make([]byte, 0x20) // range [0x100, 0x120)
+	c := NewDecodeCache(d.Predecode(0x100, code), isa.RV32I)
+
+	// High edge: writes at the limit, just past it, and far past it are
+	// no-ops — no slot knocked out, nothing counted. (The buggy
+	// back-widening applied lo = addr-2 before the range test, so a
+	// write at 0x120 or 0x121 wrongly invalidated slot 15.)
+	for _, w := range []struct{ addr, size uint32 }{
+		{0x120, 4}, {0x121, 1}, {0x122, 2}, {0x1000, 8}, {0xfffffffe, 4},
+	} {
+		c.InvalidateRange(w.addr, w.size)
+	}
+	if n := c.Stats().Invalidations; n != 0 {
+		t.Fatalf("high-edge no-op writes counted %d invalidations", n)
+	}
+	if len(c.touched) != 0 {
+		t.Fatalf("high-edge no-op writes dirtied %d slots", len(c.touched))
+	}
+
+	// Last halfword: a 2-byte write at limit-2 knocks out that slot and
+	// (back-widening) its predecessor, and nothing else.
+	c.InvalidateRange(0x11e, 2)
+	if n := c.Stats().Invalidations; n != 1 {
+		t.Fatalf("last-halfword write: invalidations = %d, want 1", n)
+	}
+	if len(c.touched) != 2 || c.entries[14].state != entryInvalid || c.entries[15].state != entryInvalid {
+		t.Fatalf("last-halfword write touched %d slots (want 14 and 15)", len(c.touched))
+	}
+	c.Reset()
+
+	// Low edge: a write at offset 0 clamps the back-widened start to the
+	// base instead of underflowing, and hits slot 0 only.
+	c.InvalidateRange(0x100, 1)
+	if len(c.touched) != 1 || c.entries[0].state != entryInvalid {
+		t.Fatalf("offset-0 write touched %d slots (want slot 0 only)", len(c.touched))
+	}
+	c.Reset()
+
+	// A write ending exactly at the base does not reach slot 0...
+	c.InvalidateRange(0xfc, 4)
+	if len(c.touched) != 0 {
+		t.Fatalf("write ending at base dirtied %d slots", len(c.touched))
+	}
+	// ...but one straddling the base does, and hits slot 0 only.
+	c.InvalidateRange(0xfe, 4)
+	if len(c.touched) != 1 || c.entries[0].state != entryInvalid {
+		t.Fatalf("base-straddling write touched %d slots (want slot 0 only)", len(c.touched))
+	}
+}
+
 // TestPredecodeCrashQuirkDeferred checks that a decoder with the
 // CrashOnPattern quirk does not panic while predecoding (slots stay
 // lazy); the panic must fire only when the pattern is actually fetched,

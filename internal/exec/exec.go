@@ -123,12 +123,15 @@ func New(cpu *hart.Hart, m *mem.Memory, dec *isa.Decoder) *Executor {
 }
 
 // Run steps until the program halts or limit instructions have executed.
+// Runs with budget to spare may execute whole fused blocks per dispatch
+// (see fuse.go); the architectural trajectory and the timeout point are
+// identical to single-stepping.
 func (e *Executor) Run(limit uint64) error {
 	for !e.Halted {
 		if e.InstCount >= limit {
 			return ErrTimeout
 		}
-		e.Step()
+		e.stepBudget(limit - e.InstCount)
 	}
 	return nil
 }
@@ -139,11 +142,17 @@ func (e *Executor) edge(op isa.Op, kind uint32) {
 	}
 }
 
-// Step executes one instruction (or takes one trap). With a cache
-// attached, a fetch from a valid slot skips fetch, decode and the
-// configuration-legality ladder entirely; everything else funnels into
-// stepSlow.
+// Step executes one instruction (or takes one trap).
 func (e *Executor) Step() {
+	e.stepBudget(1)
+}
+
+// stepBudget executes at least one and at most budget instructions. With
+// a cache attached, a fetch from a valid slot skips fetch, decode and
+// the configuration-legality ladder entirely; a fetch landing on a fused
+// block head with budget to spare runs the block through its fused
+// handler. Everything else funnels into stepSlow.
+func (e *Executor) stepBudget(budget uint64) {
 	c := e.Cache
 	if c == nil {
 		e.stepSlow(false)
@@ -159,6 +168,10 @@ func (e *Executor) Step() {
 	if ent.state == entryInvalid {
 		c.stats.Misses++
 		e.stepSlow(true)
+		return
+	}
+	if ent.blk != nil && budget > 1 {
+		e.runFused(c, ent.blk, budget)
 		return
 	}
 	c.stats.Hits++

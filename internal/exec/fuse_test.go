@@ -1,0 +1,256 @@
+package exec
+
+import (
+	"testing"
+
+	"rvnegtest/internal/analysis"
+	"rvnegtest/internal/isa"
+	"rvnegtest/internal/mem"
+)
+
+// fuseProgram assembles words at 0, attaches a fused cache (extents from
+// the analysis CFG over the same bytes) and returns the executor. The
+// returned int is the number of fused blocks installed.
+func fuseProgram(t *testing.T, cfg isa.Config, words ...uint32) (*Executor, int) {
+	t.Helper()
+	e := newExec(cfg, words...)
+	c := attachCache(e, cfg)
+	code, err := e.Mem.ReadBytes(0, fuzzCodeSpan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.Fuse(analysis.StraightLineExtents(code, false))
+	return e, n
+}
+
+// runScalarRef runs the same program classically (no cache at all) as
+// the golden reference.
+func runScalarRef(cfg isa.Config, limit uint64, words ...uint32) *Executor {
+	e := newExec(cfg, words...)
+	_ = e.Run(limit)
+	return e
+}
+
+func sameArch(t *testing.T, label string, want, got *Executor) {
+	t.Helper()
+	if *want.CPU != *got.CPU {
+		t.Fatalf("%s: hart diverged: want pc=%#x x5=%d minstret=%d, got pc=%#x x5=%d minstret=%d",
+			label, want.CPU.PC, want.CPU.ReadX(5), want.CPU.Minstret,
+			got.CPU.PC, got.CPU.ReadX(5), got.CPU.Minstret)
+	}
+	if want.Halted != got.Halted || want.InstCount != got.InstCount || want.TrapCount != got.TrapCount {
+		t.Fatalf("%s: termination diverged: want (halted=%v n=%d traps=%d) got (halted=%v n=%d traps=%d)",
+			label, want.Halted, want.InstCount, want.TrapCount, got.Halted, got.InstCount, got.TrapCount)
+	}
+}
+
+// TestFusedRunMatchesClassical: a straight-line ALU/memory block runs
+// through the fused handler and must leave identical architectural state
+// to the classical loop, while actually taking the fused path.
+func TestFusedRunMatchesClassical(t *testing.T) {
+	prog := []uint32{
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Imm: 5}),
+		enc(isa.Inst{Op: isa.OpLUI, Rd: 2, Imm: 0x2000}),
+		enc(isa.Inst{Op: isa.OpAUIPC, Rd: 3, Imm: 0}),
+		enc(isa.Inst{Op: isa.OpADD, Rd: 4, Rs1: 1, Rs2: 1}),
+		enc(isa.Inst{Op: isa.OpSLLI, Rd: 5, Rs1: 1, Imm: 2}),
+		enc(isa.Inst{Op: isa.OpSW, Rs1: 0, Rs2: 5, Imm: 0x300}),
+		enc(isa.Inst{Op: isa.OpLW, Rd: 6, Rs1: 0, Imm: 0x300}),
+		enc(isa.Inst{Op: isa.OpXOR, Rd: 7, Rs1: 6, Rs2: 1}),
+		enc(isa.Inst{Op: isa.OpSW, Imm: testHaltAddr}),
+	}
+	want := runScalarRef(isa.RV32I, 100, prog...)
+	got, blocks := fuseProgram(t, isa.RV32I, prog...)
+	if blocks == 0 {
+		t.Fatal("no fused blocks installed")
+	}
+	if err := got.Run(100); err != nil {
+		t.Fatalf("fused run: %v", err)
+	}
+	sameArch(t, "fused", want, got)
+	st := got.Cache.Stats()
+	if st.Fused == 0 {
+		t.Fatal("fused counter is zero: the fused path never ran")
+	}
+	if st.Fused > st.Hits {
+		t.Fatalf("fused (%d) exceeds hits (%d)", st.Fused, st.Hits)
+	}
+}
+
+// TestFusedStepNeverFuses: Step (budget 1) must not enter fused blocks,
+// so single-stepping debuggers see per-instruction granularity.
+func TestFusedStepNeverFuses(t *testing.T) {
+	e, blocks := fuseProgram(t, isa.RV32I,
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Imm: 5}),
+		enc(isa.Inst{Op: isa.OpADD, Rd: 2, Rs1: 1, Rs2: 1}),
+		enc(isa.Inst{Op: isa.OpSW, Imm: testHaltAddr}),
+	)
+	if blocks == 0 {
+		t.Fatal("no fused blocks installed")
+	}
+	for i := 0; i < 100 && !e.Halted; i++ {
+		e.Step()
+	}
+	if st := e.Cache.Stats(); st.Fused != 0 {
+		t.Fatalf("Step took the fused path %d times", st.Fused)
+	}
+}
+
+// TestFusedSelfModifyingSplit stores into the body of the executing
+// fused block: the store's own instruction must use the old decode, the
+// following fetch the new one — identical to the classical loop — and
+// the block must be split (no fused dispatch until Reset).
+func TestFusedSelfModifyingSplit(t *testing.T) {
+	prog := []uint32{
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 30, Imm: 16}),
+		enc(isa.Inst{Op: isa.OpLW, Rd: 1, Imm: 0x200}),
+		enc(isa.Inst{Op: isa.OpSW, Rs1: 30, Rs2: 1}), // patches the inst at 16
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 5, Imm: 1}),
+		0xffffffff, // at 16: replaced before it is fetched
+		enc(isa.Inst{Op: isa.OpSW, Imm: testHaltAddr}),
+	}
+	patch := enc(isa.Inst{Op: isa.OpADDI, Rd: 2, Imm: 99})
+	poke := func(m *mem.Memory) {
+		if err := m.Write32(0x200, patch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := newExec(isa.RV32I, prog...)
+	poke(want.Mem)
+	_ = want.Run(100)
+
+	got, blocks := fuseProgram(t, isa.RV32I, prog...)
+	if blocks == 0 {
+		t.Fatal("no fused blocks installed")
+	}
+	poke(got.Mem)
+	// The poke lands inside the predecoded span but at a slot that is
+	// only ever loaded as data, never fetched, so no re-fuse is needed.
+	if err := got.Run(100); err != nil {
+		t.Fatalf("fused run: %v", err)
+	}
+	sameArch(t, "self-modifying", want, got)
+	if got.CPU.ReadX(2) != 99 {
+		t.Fatalf("x2 = %d, want 99 (stale fused step executed?)", got.CPU.ReadX(2))
+	}
+}
+
+// TestInvalidateSplitsAndResetRestores pins the invalidation-splits-
+// fusion invariant at the cache level: invalidating the middle of a
+// fused block clears the head's fused handler and bumps the generation;
+// Reset restores both.
+func TestInvalidateSplitsAndResetRestores(t *testing.T) {
+	e, blocks := fuseProgram(t, isa.RV32I,
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Imm: 1}),
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 2, Imm: 2}),
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 3, Imm: 3}),
+		enc(isa.Inst{Op: isa.OpSW, Imm: testHaltAddr}),
+	)
+	if blocks == 0 {
+		t.Fatal("no fused blocks installed")
+	}
+	c := e.Cache
+	if c.entries[0].blk == nil {
+		t.Fatal("head slot has no fused handler")
+	}
+	gen := c.gen
+	c.InvalidateRange(8, 4) // third instruction: mid-block
+	if c.gen == gen {
+		t.Error("generation not bumped by an effective invalidation")
+	}
+	if c.entries[0].blk != nil {
+		t.Error("head keeps its fused handler after a mid-block invalidation")
+	}
+	c.Reset()
+	if c.entries[0].blk == nil {
+		t.Error("Reset did not restore the fused handler")
+	}
+	// An out-of-range write must neither bump the generation nor split.
+	gen = c.gen
+	c.InvalidateRange(0x4000, 4)
+	if c.gen != gen || c.entries[0].blk == nil {
+		t.Error("no-op invalidation disturbed fusion state")
+	}
+}
+
+// TestFusedBudgetInterruption: exhausting the instruction limit mid-
+// block must stop at exactly the limit (ErrTimeout parity with scalar),
+// and resuming with a bigger budget must complete identically to an
+// uninterrupted run.
+func TestFusedBudgetInterruption(t *testing.T) {
+	prog := []uint32{
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Imm: 1}),
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 2, Imm: 2}),
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 3, Imm: 3}),
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 4, Imm: 4}),
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 5, Imm: 5}),
+		enc(isa.Inst{Op: isa.OpSW, Imm: testHaltAddr}),
+	}
+	want := runScalarRef(isa.RV32I, 100, prog...)
+	for limit := uint64(1); limit <= 5; limit++ {
+		got, _ := fuseProgram(t, isa.RV32I, prog...)
+		if err := got.Run(limit); err != ErrTimeout {
+			t.Fatalf("limit %d: err = %v, want ErrTimeout", limit, err)
+		}
+		if got.InstCount != limit {
+			t.Fatalf("limit %d: InstCount = %d (overshoot)", limit, got.InstCount)
+		}
+		ref := runScalarRef(isa.RV32I, limit, prog...)
+		sameArch(t, "interrupted", ref, got)
+		// Resume: the tail runs scalar from mid-block and completes.
+		if err := got.Run(100); err != nil {
+			t.Fatalf("resume after %d: %v", limit, err)
+		}
+		sameArch(t, "resumed", want, got)
+	}
+}
+
+// TestFuseValidatesExtents: extents pointing at illegal or lazy slots
+// are truncated or rejected rather than trusted (a quirked decoder may
+// disagree with the CFG's reference decoding).
+func TestFuseValidatesExtents(t *testing.T) {
+	e := newExec(isa.RV32I,
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Imm: 1}),
+		0xffffffff, // illegal: must end any block
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 2, Imm: 2}),
+	)
+	c := attachCache(e, isa.RV32I)
+	// A lying extent claiming [0, 12) straight-line: only one legal
+	// instruction precedes the illegal slot, so no block (min two steps).
+	if n := c.Fuse([][2]int32{{0, 12}}); n != 0 {
+		t.Fatalf("installed %d blocks across an illegal slot", n)
+	}
+	// Odd or out-of-range extents are ignored outright.
+	if n := c.Fuse([][2]int32{{1, 9}, {-4, 8}, {0x900, 0x910}}); n != 0 {
+		t.Fatalf("installed %d blocks from malformed extents", n)
+	}
+}
+
+// TestFusedCloneShares: clones share the immutable fuse table, fused
+// dispatch works on clones, and a clone's split never affects the
+// original (satellite: per-clone stats independence rides along).
+func TestFusedCloneShares(t *testing.T) {
+	e, blocks := fuseProgram(t, isa.RV32I,
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 1, Imm: 1}),
+		enc(isa.Inst{Op: isa.OpADDI, Rd: 2, Imm: 2}),
+		enc(isa.Inst{Op: isa.OpSW, Imm: testHaltAddr}),
+	)
+	if blocks == 0 {
+		t.Fatal("no fused blocks installed")
+	}
+	c := e.Cache
+	cl := c.Clone()
+	if cl.fuse != c.fuse {
+		t.Fatal("clone does not share the fuse table")
+	}
+	if cl.entries[0].blk != c.entries[0].blk {
+		t.Fatal("clone head lost its fused handler")
+	}
+	cl.InvalidateRange(4, 4)
+	if c.entries[0].blk == nil {
+		t.Fatal("clone invalidation leaked into the original")
+	}
+	if c.Stats().Invalidations != 0 || cl.Stats().Invalidations != 1 {
+		t.Fatalf("stats aliased: orig %+v clone %+v", c.Stats(), cl.Stats())
+	}
+}

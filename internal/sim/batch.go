@@ -1,0 +1,197 @@
+// Batched lockstep execution: a BatchRunner owns N persistent lanes —
+// cloned image, decode-cache clone, arena-allocated hart and executor —
+// and runs N test cases at once through exec.Batch. Every lane
+// reproduces RunHooked exactly (injection, cache maintenance, panic
+// isolation, outcome classification, signature extraction), so a batch
+// of N cases returns the same N outcomes as N sequential scalar runs;
+// batching is purely an execution strategy.
+//
+// The batch path reads no clocks: the per-run predecode maintenance
+// timer is a scalar-path-only observation, and batch-level watchdogs
+// belong to the callers (fuzz/compliance wrap RunHookedBatch in a
+// resilience.Guard scaled by the batch size).
+package sim
+
+import (
+	"errors"
+
+	"rvnegtest/internal/exec"
+	"rvnegtest/internal/hart"
+	"rvnegtest/internal/isa"
+	"rvnegtest/internal/template"
+)
+
+// errNotBatchable reports a wrapper whose inner simulator has no batch
+// support; callers fall back to scalar runs.
+var errNotBatchable = errors.New("sim: simulator does not support batching")
+
+// Batcher is implemented by simulators that can run test cases in
+// batched lockstep. A BatchRunner is single-goroutine like the
+// simulator it came from; callers that abandon one (watchdog timeout)
+// must drop it and build a fresh one.
+type Batcher interface {
+	NewBatch(n int) (BatchRunner, error)
+}
+
+// BatchRunner runs groups of test cases in lockstep.
+type BatchRunner interface {
+	// RunHookedBatch runs the inputs one lane each (cycling through the
+	// lanes in chunks when len(inputs) exceeds the batch size) and
+	// returns one outcome per input, equal to what sequential
+	// RunHooked(inputs[i], hooks[i]) calls would return. hooks may be
+	// nil (no coverage); otherwise hooks[i] attaches to input i.
+	RunHookedBatch(inputs [][]byte, hooks []exec.Hook) []Outcome
+	// PredecodeStats sums the lanes' cumulative decode-cache counters in
+	// lane order (the deterministic campaign fold).
+	PredecodeStats() exec.CacheStats
+	// LanePredecodeStats returns lane i's cumulative counters, letting a
+	// caller attribute counter growth to individual cases.
+	LanePredecodeStats(i int) exec.CacheStats
+}
+
+// batchLane is the persistent per-lane state.
+type batchLane struct {
+	img   *template.Image
+	cache *exec.DecodeCache
+}
+
+type simBatch struct {
+	variant *Variant
+	limit   uint64
+	lanes   []batchLane
+	// harts and execs are arena slices: one contiguous allocation each,
+	// so the lockstep rounds walk adjacent memory.
+	harts []hart.Hart
+	execs []exec.Executor
+	batch exec.Batch
+	// idx is scratch: the input indexes whose lanes actually ran in the
+	// current chunk (injection failures never start a lane).
+	idx []int
+}
+
+// NewBatch builds a runner with n lanes cloned from this simulator.
+// Each lane owns a private image and decode-cache clone (sharing only
+// the immutable predecode and fuse table), so lanes never observe each
+// other. The parent simulator stays usable for scalar runs.
+func (s *Simulator) NewBatch(n int) (BatchRunner, error) {
+	if n < 1 {
+		n = 1
+	}
+	b := &simBatch{
+		variant: s.Variant,
+		limit:   s.Limit,
+		lanes:   make([]batchLane, n),
+		harts:   make([]hart.Hart, n),
+		execs:   make([]exec.Executor, n),
+	}
+	b.batch.Lanes = make([]*exec.Executor, n)
+	// Like Clone, the batch shares nothing mutable with its parent (an
+	// abandoned runner's goroutine may outlive the caller's interest).
+	dec := &isa.Decoder{Quirks: s.Variant.DecQuirks}
+	for i := 0; i < n; i++ {
+		img := s.img.Clone()
+		cache := s.pre.Clone()
+		if s.NoPredecode {
+			cache = nil
+		}
+		e := img.NewExecutorCfg(s.eff, dec, s.Variant.ExecQuirks)
+		b.harts[i] = *e.CPU
+		b.execs[i] = *e
+		b.execs[i].CPU = &b.harts[i]
+		b.execs[i].Cache = cache
+		b.lanes[i] = batchLane{img: img, cache: cache}
+		b.batch.Lanes[i] = &b.execs[i]
+	}
+	return b, nil
+}
+
+func (b *simBatch) RunHookedBatch(inputs [][]byte, hooks []exec.Hook) []Outcome {
+	outs := make([]Outcome, len(inputs))
+	for lo := 0; lo < len(inputs); lo += len(b.lanes) {
+		hi := min(lo+len(b.lanes), len(inputs))
+		b.runChunk(inputs[lo:hi], hooks, lo, outs[lo:hi])
+	}
+	return outs
+}
+
+// runChunk runs up to len(lanes) cases in one lockstep round set.
+// hookBase is the chunk's offset into the hooks slice.
+func (b *simBatch) runChunk(inputs [][]byte, hooks []exec.Hook, hookBase int, outs []Outcome) {
+	// Lane setup: mirror the scalar RunHooked prologue per lane.
+	active := b.batch.Lanes[:0]
+	b.idx = b.idx[:0]
+	for i, bs := range inputs {
+		lane := &b.lanes[i]
+		e := &b.execs[i]
+		if err := lane.img.Inject(bs); err != nil {
+			outs[i] = Outcome{Crashed: true, CrashMsg: err.Error()}
+			continue
+		}
+		if lane.cache != nil {
+			lane.cache.Reset()
+			if n := uint32(len(bs)+3) &^ 3; n > 0 {
+				lane.cache.InvalidateRange(lane.img.InjectAddr, n)
+			}
+		}
+		h := e.CPU
+		h.Reset()
+		h.PC = lane.img.Entry
+		e.Halted = false
+		e.InstCount = 0
+		e.TrapCount = 0
+		e.Hook = nil
+		if hooks != nil {
+			e.Hook = hooks[hookBase+i]
+		}
+		b.idx = append(b.idx, i)
+		active = append(active, e)
+	}
+	if len(active) == 0 {
+		return
+	}
+	b.batch.Lanes = active
+	status := b.batch.Run(b.limit)
+
+	// Outcome extraction: mirror the scalar RunHooked epilogue per lane.
+	for si, i := range b.idx {
+		outs[i] = laneOutcome(&b.lanes[i], &b.execs[i], status[si])
+	}
+}
+
+// laneOutcome classifies one finished lane exactly like RunHooked.
+func laneOutcome(lane *batchLane, e *exec.Executor, st exec.LaneStatus) Outcome {
+	out := Outcome{Insts: e.InstCount, Traps: e.TrapCount}
+	if st.Panicked {
+		out.Crashed = true
+		out.CrashMsg = st.PanicMsg
+		return out
+	}
+	if st.Err != nil {
+		out.TimedOut, out.CrashMsg = classifyRunError(st.Err)
+		out.Crashed = !out.TimedOut
+		return out
+	}
+	signature, err := lane.img.Signature()
+	if err != nil {
+		out.Crashed = true
+		out.CrashMsg = err.Error()
+		return out
+	}
+	out.Signature = signature
+	return out
+}
+
+func (b *simBatch) PredecodeStats() exec.CacheStats {
+	var s exec.CacheStats
+	for i := range b.lanes {
+		s.Add(b.lanes[i].cache.Stats())
+	}
+	return s
+}
+
+func (b *simBatch) LanePredecodeStats(i int) exec.CacheStats {
+	return b.lanes[i].cache.Stats()
+}
+
+var _ Batcher = (*Simulator)(nil)
+var _ PredecodeStatser = (*simBatch)(nil)
