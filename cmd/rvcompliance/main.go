@@ -28,11 +28,11 @@ import (
 	"time"
 
 	"rvnegtest"
+	"rvnegtest/internal/campaign"
 	"rvnegtest/internal/compliance"
+	"rvnegtest/internal/fuzz"
 	"rvnegtest/internal/isa"
-	"rvnegtest/internal/obs"
 	"rvnegtest/internal/sim"
-	"rvnegtest/internal/sut"
 	"rvnegtest/internal/torture"
 )
 
@@ -54,19 +54,9 @@ func main() {
 		exportDir = flag.String("export-sigs", "", "write the reference signatures for the suite into this directory and exit")
 		verifyDir = flag.String("verify-sigs", "", "compare simulators against reference signature files in this directory")
 		asJSON    = flag.Bool("json", false, "emit the report as JSON (for CI pipelines)")
-		workers   = flag.Int("workers", -1, "compliance engine workers: 1 = serial, N = fixed pool, -1 = one per CPU (report is identical for any value)")
 		stats     = flag.Bool("stats", false, "print engine throughput and per-worker execution counts to stderr")
 		progress  = flag.Bool("progress", false, "log per-shard completion to stderr while the engine runs")
-
-		checkpoint = flag.String("checkpoint", "", "checkpoint campaign state under this directory (enables resume)")
-		resume     = flag.String("resume", "", "resume a checkpointed campaign from this directory")
-		caseSecs   = flag.Float64("case-timeout", 0, "per-case wall-clock watchdog in seconds (0 disables)")
-		breaker    = flag.Int("breaker", 0, "consecutive harness faults before an instance is marked unhealthy (0 = default, <0 disables)")
-		quarantine = flag.String("quarantine", "", "save inputs that trigger harness faults into this directory")
-		noPre      = flag.Bool("no-predecode", false, "ablation: disable the predecoded execution core (reports are identical either way)")
-		batch      = flag.Int("batch", 0, "run in-process simulator columns in batched lockstep, N lanes per worker (reports are identical either way; 0 disables)")
-		telAddr    = flag.String("telemetry-addr", "", "serve live telemetry on this address: Prometheus-text /metrics, /debug/vars, net/http/pprof")
-		eventsPath = flag.String("events", "", "write run lifecycle events as NDJSON to this file (render with rvreport -events)")
+		breaker   = flag.Int("breaker", 0, "consecutive harness faults before an instance is marked unhealthy (0 = default, <0 disables)")
 
 		sutTimeout = flag.Float64("sut-timeout", 0, "external adapters: per-run wall-clock watchdog in seconds (0 = default 10s)")
 		sutRetries = flag.Int("sut-retries", 0, "external adapters: kill-and-restart retries per case (0 = default 2, <0 disables)")
@@ -74,10 +64,12 @@ func main() {
 	)
 	var externals sutFlag
 	flag.Var(&externals, "sut", "external SUT adapter column as NAME=COMMAND [ARGS...] (repeatable)")
+	var shared campaign.Flags
+	shared.Register(flag.CommandLine, -1, "compliance engine workers: 1 = serial, N = fixed pool, -1 = one per CPU (report is identical for any value)")
 	flag.Parse()
 
 	if *positive || *tortureN > 0 {
-		runPositiveBaseline(*positive, *tortureN, *seed, *isasFlag, *refName, *simsFlag, *workers)
+		runPositiveBaseline(*positive, *tortureN, *seed, *isasFlag, *refName, *simsFlag, shared.Workers)
 		return
 	}
 	if *rounds > 0 {
@@ -87,62 +79,82 @@ func main() {
 
 	// -suite takes either a saved suite file or a family name: "trap"
 	// (or "user") selects the template family for generation instead.
-	family, isFamily := rvnegtest.ParseFamily(*suitePath)
-
-	var suite *rvnegtest.Suite
+	_, isFamily := rvnegtest.ParseFamily(*suitePath)
 	switch {
 	case *suitePath != "" && !isFamily:
-		var err error
-		suite, err = rvnegtest.LoadSuite(*suitePath)
-		if err != nil {
-			fatalf("loading suite: %v", err)
-		}
+		// A saved suite file; Execute loads it.
 	case *generate > 0 || *seconds > 0:
-		cfg := rvnegtest.DefaultFuzzConfig()
-		var ok bool
-		if cfg, ok = rvnegtest.CoverageConfig(cfg, *cov); !ok {
-			fatalf("unknown coverage configuration %q", *cov)
-		}
-		cfg.Seed = *seed
-		cfg.Family = family
-		var st rvnegtest.FuzzStats
-		var err error
-		suite, st, err = rvnegtest.GenerateSuite(cfg, *generate, time.Duration(*seconds*float64(time.Second)))
-		if err != nil {
-			fatalf("%v", err)
-		}
-		if suite.Family == rvnegtest.FamilyTrap {
-			fmt.Printf("generated %d trap-family test cases from %d executions (%.0f/s)\n\n",
-				len(suite.Cases), st.Execs, st.ExecsPerSec)
-		} else {
-			fmt.Printf("generated %d test cases from %d executions (%.0f/s)\n\n",
-				st.TestCases, st.Execs, st.ExecsPerSec)
-		}
+		// Generate first, budgeted by -generate / -seconds.
 	case isFamily && *suitePath != "":
 		fatalf("-suite %s selects a generated family; add a budget with -generate N or -seconds S", *suitePath)
 	default:
 		fatalf("need -suite FILE|user|trap or -generate N")
 	}
 
-	for i := range externals {
-		externals[i].RunTimeout = time.Duration(*sutTimeout * float64(time.Second))
-		externals[i].Retries = *sutRetries
+	// Pre-validate names with the CLI's traditional messages; Execute
+	// re-validates the full spec.
+	sims := []string{}
+	for _, name := range strings.Split(*simsFlag, ",") {
+		// -sims '' selects no built-in columns (external-only campaigns).
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := sim.ByName(name); !ok {
+			fatalf("unknown simulator %q", name)
+		}
+		sims = append(sims, name)
 	}
-	runner := &compliance.Runner{
-		MaxExamples:      10,
-		Workers:          *workers,
-		CaseTimeout:      time.Duration(*caseSecs * float64(time.Second)),
+	if _, ok := sim.ByName(*refName); !ok {
+		fatalf("unknown reference simulator %q", *refName)
+	}
+	if len(sims) == 0 && len(externals) == 0 {
+		fatalf("no simulators under test: give -sims and/or -sut")
+	}
+	var isas []string
+	for _, name := range strings.Split(*isasFlag, ",") {
+		name = strings.TrimSpace(name)
+		if _, err := isa.ParseConfig(name); err != nil {
+			fatalf("%v", err)
+		}
+		isas = append(isas, name)
+	}
+
+	if *exportDir != "" || *verifyDir != "" {
+		runSignatureMode(*exportDir, *verifyDir, *suitePath, *generate, *seconds, *seed, *cov, *refName, sims, isas)
+		return
+	}
+
+	spec := campaign.JobSpec{
+		Kind:             campaign.KindCompliance,
+		Suite:            *suitePath,
+		Cov:              *cov,
+		Seed:             *seed,
+		Execs:            *generate,
+		Ref:              *refName,
+		Sims:             sims,
+		ISAs:             isas,
 		BreakerThreshold: *breaker,
-		QuarantineDir:    *quarantine,
-		DisablePredecode: *noPre,
-		Batch:            *batch,
 		External:         externals,
-		HalfOpenAfter:    *sutProbe,
+		SUTTimeoutSec:    *sutTimeout,
+		SUTRetries:       *sutRetries,
+		SUTHalfOpen:      *sutProbe,
 	}
-	closeTelemetry := setupTelemetry(*telAddr, *eventsPath, runner)
-	defer closeTelemetry()
+	shared.Apply(&spec)
+
+	ckptDir, err := shared.CheckpointDir(compliance.HasCheckpoint)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	telemetry, err := shared.OpenTelemetry("rvcompliance")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer telemetry.Close()
+	env := shared.Env(ckptDir, telemetry)
+	env.WallBudget = time.Duration(*seconds * float64(time.Second))
 	if *progress {
-		runner.Progress = func(ev compliance.ProgressEvent) {
+		env.Progress = func(ev compliance.ProgressEvent) {
 			name := ev.Sim
 			if name == "" {
 				name = "reference"
@@ -151,85 +163,28 @@ func main() {
 				ev.Worker, ev.Config, name, ev.Lo, ev.Hi, ev.Execs)
 		}
 	}
-	ref, ok := sim.ByName(*refName)
-	if !ok {
-		fatalf("unknown reference simulator %q", *refName)
-	}
-	runner.Ref = ref
-	// -sims '' selects no built-in columns (external-only campaigns).
-	for _, name := range strings.Split(*simsFlag, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
-		}
-		v, ok := sim.ByName(name)
-		if !ok {
-			fatalf("unknown simulator %q", name)
-		}
-		runner.SUTs = append(runner.SUTs, v)
-	}
-	if len(runner.SUTs) == 0 && len(runner.External) == 0 {
-		fatalf("no simulators under test: give -sims and/or -sut")
-	}
-	for _, name := range strings.Split(*isasFlag, ",") {
-		cfg, err := isa.ParseConfig(strings.TrimSpace(name))
-		if err != nil {
-			fatalf("%v", err)
-		}
-		runner.Configs = append(runner.Configs, cfg)
-	}
 
-	if *exportDir != "" {
-		for _, cfg := range runner.Configs {
-			if err := compliance.ExportReferenceSignatures(suite, runner.Ref, cfg, *exportDir, nil); err != nil {
-				fatalf("exporting signatures: %v", err)
-			}
-		}
-		fmt.Printf("reference signatures for %d cases written under %s\n", len(suite.Cases), *exportDir)
-		return
-	}
-	if *verifyDir != "" {
-		for _, cfg := range runner.Configs {
-			for _, v := range runner.SUTs {
-				cell, err := compliance.VerifyAgainstSignatures(suite, v, cfg, *verifyDir)
-				if err != nil {
-					fatalf("verifying: %v", err)
-				}
-				fmt.Printf("%-8v %-12s %s\n", cfg, v.Name, cell)
-			}
-		}
-		return
-	}
-
-	ckptDir := *checkpoint
-	if *resume != "" {
-		if ckptDir != "" && ckptDir != *resume {
-			fatalf("-checkpoint and -resume name different directories")
-		}
-		ckptDir = *resume
-		if !compliance.HasCheckpoint(ckptDir) {
-			fatalf("no checkpoint found under %s", ckptDir)
-		}
-	}
-	var rep *compliance.Report
-	var err error
+	ctx := context.Background()
 	if ckptDir != "" {
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		rep, err = runner.RunResumable(ctx, suite, ckptDir)
-		if errors.Is(err, compliance.ErrInterrupted) {
-			fmt.Fprintf(os.Stderr, "rvcompliance: interrupted, state checkpointed; continue with: rvcompliance -resume %s (plus the original flags)\n", ckptDir)
-			closeTelemetry() // os.Exit skips the deferred flush
-			os.Exit(130)
-		}
-	} else {
-		rep, err = runner.Run(suite)
+	}
+	res, err := campaign.Execute(ctx, spec, env)
+	if errors.Is(err, campaign.ErrInterrupted) {
+		fmt.Fprintf(os.Stderr, "rvcompliance: interrupted, state checkpointed; continue with: rvcompliance -resume %s (plus the original flags)\n", ckptDir)
+		telemetry.Close() // os.Exit skips the deferred flush
+		os.Exit(130)
 	}
 	if err != nil {
 		fatalf("%v", err)
 	}
+	if res.GenStats != nil {
+		printGenerated(res.Suite, *res.GenStats)
+	}
+	rep := res.Report
 	if *stats {
-		fmt.Fprintf(os.Stderr, "engine: %s\n", runner.Stats)
+		fmt.Fprintf(os.Stderr, "engine: %s\n", res.RunStats)
 	}
 	if *asJSON {
 		raw, err := rep.JSON()
@@ -237,7 +192,7 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Printf("%s\n", raw)
-		exitDegraded(rep, closeTelemetry)
+		exitDegraded(rep, telemetry.Close)
 		return
 	}
 	fmt.Print(rep.Render())
@@ -251,51 +206,96 @@ func main() {
 			for j, name := range rep.Sims {
 				c := rep.Cells[i][j]
 				for _, idx := range c.Examples {
-					fmt.Printf("  %v %s case %d: %x\n", cfg, name, idx, suite.Cases[idx])
+					fmt.Printf("  %v %s case %d: %x\n", cfg, name, idx, res.Suite.Cases[idx])
 				}
 			}
 		}
 	}
-	exitDegraded(rep, closeTelemetry)
+	exitDegraded(rep, telemetry.Close)
 }
 
-// setupTelemetry wires the optional live-metrics server and NDJSON event
-// stream into the runner, returning a close function that flushes the
-// event file and shuts the server down.
-func setupTelemetry(addr, eventsPath string, runner *compliance.Runner) func() {
-	var closers []func()
-	if addr != "" {
-		runner.Obs = obs.NewRegistry()
-		srv, err := obs.Serve(addr, runner.Obs)
-		if err != nil {
-			fatalf("telemetry server: %v", err)
-		}
-		fmt.Fprintf(os.Stderr, "rvcompliance: telemetry at http://%s/metrics (also /debug/vars, /debug/pprof/)\n", srv.Addr)
-		closers = append(closers, func() { srv.Close() })
+// printGenerated reports a just-generated suite the way the CLI always
+// has (trap suites count the directed probes that ride along).
+func printGenerated(suite *rvnegtest.Suite, st fuzz.Stats) {
+	if suite.Family == rvnegtest.FamilyTrap {
+		fmt.Printf("generated %d trap-family test cases from %d executions (%.0f/s)\n\n",
+			len(suite.Cases), st.Execs, st.ExecsPerSec)
+	} else {
+		fmt.Printf("generated %d test cases from %d executions (%.0f/s)\n\n",
+			st.TestCases, st.Execs, st.ExecsPerSec)
 	}
-	if eventsPath != "" {
-		events, err := obs.CreateEventLog(eventsPath)
+}
+
+// resolveSuite loads or generates the suite for the signature modes,
+// mirroring what a compliance job's generation step would do.
+func resolveSuite(suitePath string, generate uint64, seconds float64, seed int64, cov string) *rvnegtest.Suite {
+	family, isFamily := rvnegtest.ParseFamily(suitePath)
+	if suitePath != "" && !isFamily {
+		suite, err := rvnegtest.LoadSuite(suitePath)
 		if err != nil {
-			fatalf("events file: %v", err)
+			fatalf("loading suite: %v", err)
 		}
-		runner.Events = events
-		closers = append(closers, func() {
-			if err := events.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "rvcompliance: closing events file: %v\n", err)
+		return suite
+	}
+	cfg := rvnegtest.DefaultFuzzConfig()
+	var ok bool
+	if cfg, ok = rvnegtest.CoverageConfig(cfg, cov); !ok {
+		fatalf("unknown coverage configuration %q", cov)
+	}
+	cfg.Seed = seed
+	cfg.Family = family
+	suite, st, err := rvnegtest.GenerateSuite(cfg, generate, time.Duration(seconds*float64(time.Second)))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	printGenerated(suite, st)
+	return suite
+}
+
+// runSignatureMode handles -export-sigs and -verify-sigs: signature
+// interchange against a directory rather than a live comparison run.
+func runSignatureMode(exportDir, verifyDir, suitePath string, generate uint64, seconds float64, seed int64, cov, refName string, sims, isas []string) {
+	suite := resolveSuite(suitePath, generate, seconds, seed, cov)
+	ref, ok := sim.ByName(refName)
+	if !ok {
+		fatalf("unknown reference simulator %q", refName)
+	}
+	var configs []isa.Config
+	for _, name := range isas {
+		cfg, err := isa.ParseConfig(name)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		configs = append(configs, cfg)
+	}
+	if exportDir != "" {
+		for _, cfg := range configs {
+			if err := compliance.ExportReferenceSignatures(suite, ref, cfg, exportDir, nil); err != nil {
+				fatalf("exporting signatures: %v", err)
 			}
-		})
+		}
+		fmt.Printf("reference signatures for %d cases written under %s\n", len(suite.Cases), exportDir)
+		return
 	}
-	return func() {
-		for _, c := range closers {
-			c()
+	for _, cfg := range configs {
+		for _, name := range sims {
+			v, ok := sim.ByName(name)
+			if !ok {
+				fatalf("unknown simulator %q", name)
+			}
+			cell, err := compliance.VerifyAgainstSignatures(suite, v, cfg, verifyDir)
+			if err != nil {
+				fatalf("verifying: %v", err)
+			}
+			fmt.Printf("%-8v %-12s %s\n", cfg, v.Name, cell)
 		}
 	}
 }
 
 // sutFlag accumulates repeated -sut NAME=COMMAND [ARGS...] values into
-// external adapter specs. The command is split on whitespace (adapter
+// external adapter columns. The command is split on whitespace (adapter
 // paths with spaces are not supported; use a wrapper script).
-type sutFlag []sut.Spec
+type sutFlag []campaign.SUTSpec
 
 func (f *sutFlag) String() string {
 	var parts []string
@@ -306,13 +306,11 @@ func (f *sutFlag) String() string {
 }
 
 func (f *sutFlag) Set(v string) error {
-	name, cmd, ok := strings.Cut(v, "=")
-	name = strings.TrimSpace(name)
-	argv := strings.Fields(cmd)
-	if !ok || name == "" || len(argv) == 0 {
-		return fmt.Errorf("want NAME=COMMAND [ARGS...], got %q", v)
+	s, err := campaign.ParseSUT(v)
+	if err != nil {
+		return err
 	}
-	*f = append(*f, sut.Spec{Name: name, Argv: argv})
+	*f = append(*f, s)
 	return nil
 }
 

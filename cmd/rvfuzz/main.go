@@ -12,7 +12,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -23,42 +22,34 @@ import (
 	"time"
 
 	"rvnegtest"
-	"rvnegtest/internal/analysis"
+	"rvnegtest/internal/campaign"
 	"rvnegtest/internal/compliance"
 	"rvnegtest/internal/fuzz"
-	"rvnegtest/internal/obs"
 	"rvnegtest/internal/template"
 )
 
 func main() {
 	var (
-		cov        = flag.String("cov", "v3", "coverage configuration: v0|v1|v2|v3")
-		execs      = flag.Uint64("execs", 0, "execution budget (0 = unbounded)")
-		seconds    = flag.Float64("seconds", 0, "wall-time budget (0 = unbounded)")
-		seed       = flag.Int64("seed", 1, "fuzzer seed")
-		isaName    = flag.String("isa", "RV32GC", "foundation simulator ISA configuration")
-		famName    = flag.String("suite", "user", "template family: user (paper's trap-terminates template) | trap (trap-recording privileged suite)")
-		out        = flag.String("out", "", "write the generated suite to this file")
-		asmDir     = flag.String("asm-dir", "", "export the suite as assembler sources into this directory")
-		fig4       = flag.Bool("fig4", false, "run the Fig. 4 experiment (all four coverage configurations)")
-		noMut      = flag.Bool("no-custom-mutator", false, "ablation: disable the instruction-aware mutator")
-		noFlt      = flag.Bool("no-filter", false, "ablation: disable the static filter")
-		noPre      = flag.Bool("no-predecode", false, "ablation: disable the predecoded execution core (outputs are identical either way)")
-		batch      = flag.Int("batch", 0, "run accepted inputs in batched lockstep, N lanes per worker (outputs are identical either way; 0 disables)")
-		workers    = flag.Int("workers", 1, "parallel fuzzer workers (corpora are merged and minimized)")
-		minimize   = flag.Bool("minimize", false, "minimize the suite to coverage-unique cases before saving")
-		seedSuite  = flag.String("seed-suite", "", "seed the campaign with a previously generated suite")
-		stats      = flag.Bool("stats", false, "print the generated suite's composition statistics")
-		fltStats   = flag.Bool("filter-stats", false, "print the static filter's drop-reason histogram and acceptance rate")
-		checkpoint = flag.String("checkpoint", "", "checkpoint campaign state under this directory (enables resume)")
-		resume     = flag.String("resume", "", "resume a checkpointed campaign from this directory")
-		ckptEvery  = flag.Uint64("checkpoint-every", 100000, "executions between periodic checkpoints")
-		quarantine = flag.String("quarantine", "", "save inputs that trigger harness faults into this directory")
-		caseSecs   = flag.Float64("case-timeout", 0, "per-case wall-clock watchdog in seconds (0 disables)")
-		statsJSON  = flag.String("stats-json", "", "write deterministic per-worker campaign stats as JSON to this file")
-		telAddr    = flag.String("telemetry-addr", "", "serve live telemetry on this address: Prometheus-text /metrics, /debug/vars, net/http/pprof")
-		eventsPath = flag.String("events", "", "write campaign lifecycle events as NDJSON to this file (render with rvreport -events)")
+		cov       = flag.String("cov", "v3", "coverage configuration: v0|v1|v2|v3")
+		execs     = flag.Uint64("execs", 0, "execution budget (0 = unbounded)")
+		seconds   = flag.Float64("seconds", 0, "wall-time budget (0 = unbounded)")
+		seed      = flag.Int64("seed", 1, "fuzzer seed")
+		isaName   = flag.String("isa", "RV32GC", "foundation simulator ISA configuration")
+		famName   = flag.String("suite", "user", "template family: user (paper's trap-terminates template) | trap (trap-recording privileged suite)")
+		out       = flag.String("out", "", "write the generated suite to this file")
+		asmDir    = flag.String("asm-dir", "", "export the suite as assembler sources into this directory")
+		fig4      = flag.Bool("fig4", false, "run the Fig. 4 experiment (all four coverage configurations)")
+		noMut     = flag.Bool("no-custom-mutator", false, "ablation: disable the instruction-aware mutator")
+		noFlt     = flag.Bool("no-filter", false, "ablation: disable the static filter")
+		minimize  = flag.Bool("minimize", false, "minimize the suite to coverage-unique cases before saving")
+		seedSuite = flag.String("seed-suite", "", "seed the campaign with a previously generated suite")
+		stats     = flag.Bool("stats", false, "print the generated suite's composition statistics")
+		fltStats  = flag.Bool("filter-stats", false, "print the static filter's drop-reason histogram and acceptance rate")
+		ckptEvery = flag.Uint64("checkpoint-every", 100000, "executions between periodic checkpoints")
+		statsJSON = flag.String("stats-json", "", "write deterministic per-worker campaign stats as JSON to this file")
 	)
+	var shared campaign.Flags
+	shared.Register(flag.CommandLine, 1, "parallel fuzzer workers (corpora are merged and minimized)")
 	flag.Parse()
 	if *execs == 0 && *seconds == 0 {
 		*execs = 200000
@@ -70,114 +61,95 @@ func main() {
 		return
 	}
 
-	cfg := rvnegtest.DefaultFuzzConfig()
-	var ok bool
-	if cfg, ok = rvnegtest.CoverageConfig(cfg, *cov); !ok {
+	// Pre-validate the display-relevant names with the CLI's traditional
+	// messages; Execute re-validates the full spec.
+	if _, ok := rvnegtest.CoverageConfig(rvnegtest.DefaultFuzzConfig(), *cov); !ok {
 		fatalf("unknown coverage configuration %q", *cov)
 	}
 	isaCfg, err := rvnegtest.ParseISA(*isaName)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	cfg.ISA = isaCfg
-	family, ok := rvnegtest.ParseFamily(*famName)
-	if !ok {
+	if _, ok := rvnegtest.ParseFamily(*famName); !ok {
 		fatalf("unknown suite family %q (want user or trap)", *famName)
 	}
-	cfg.Family = family
-	cfg.Seed = *seed
-	cfg.DisableCustomMutator = *noMut
-	cfg.DisableFilter = *noFlt
-	cfg.DisablePredecode = *noPre
-	cfg.Batch = *batch
-	cfg.CaseTimeout = time.Duration(*caseSecs * float64(time.Second))
-	cfg.QuarantineDir = *quarantine
-	events, closeTelemetry := setupTelemetry(*telAddr, *eventsPath, &cfg.Obs)
-	cfg.Events = events
-	defer closeTelemetry()
-	if *seedSuite != "" {
-		prior, err := rvnegtest.LoadSuite(*seedSuite)
-		if err != nil {
-			fatalf("loading seed suite: %v", err)
-		}
-		cfg.Seeds = prior.Cases
-		fmt.Printf("seeded with %d prior test cases\n", len(prior.Cases))
+
+	spec := campaign.JobSpec{
+		Kind:                 campaign.KindFuzz,
+		Suite:                *famName,
+		Cov:                  *cov,
+		ISA:                  *isaName,
+		Seed:                 *seed,
+		Execs:                *execs,
+		CheckpointEvery:      *ckptEvery,
+		Minimize:             *minimize,
+		SeedSuite:            *seedSuite,
+		DisableCustomMutator: *noMut,
+		DisableFilter:        *noFlt,
+	}
+	shared.Apply(&spec)
+
+	ckptDir, err := shared.CheckpointDir(func(dir string) bool {
+		return fuzz.HasCheckpoint(filepath.Join(dir, "worker-000"))
+	})
+	if err != nil {
+		fatalf("%v", err)
 	}
 
-	ckptDir := *checkpoint
-	if *resume != "" {
-		if ckptDir != "" && ckptDir != *resume {
-			fatalf("-checkpoint and -resume name different directories")
-		}
-		ckptDir = *resume
-		if !fuzz.HasCheckpoint(filepath.Join(ckptDir, "worker-000")) {
-			fatalf("no checkpoint found under %s", ckptDir)
-		}
-	}
-
-	var suite *rvnegtest.Suite
-	var workerStats []fuzz.Stats
-	if ckptDir != "" || *workers > 1 {
+	campaignMode := ckptDir != "" || shared.Workers > 1
+	if campaignMode {
 		if ckptDir != "" && *seconds != 0 {
 			fatalf("-seconds cannot be combined with checkpointing; resume needs a deterministic -execs bound")
 		}
 		if *execs == 0 {
 			fatalf("campaign mode needs -execs (the per-worker budget)")
 		}
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	}
+
+	telemetry, err := shared.OpenTelemetry("rvfuzz")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer telemetry.Close()
+	env := shared.Env(ckptDir, telemetry)
+	env.WallBudget = dur
+
+	ctx := context.Background()
+	if campaignMode {
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		cases, cstats, err := fuzz.Campaign(ctx, cfg, fuzz.CampaignConfig{
-			Workers:         *workers,
-			ExecsEach:       *execs,
-			CheckpointDir:   ckptDir,
-			CheckpointEvery: *ckptEvery,
-			Minimize:        *workers > 1 || *minimize,
-		})
-		if errors.Is(err, fuzz.ErrInterrupted) {
-			if ckptDir != "" {
-				fmt.Fprintf(os.Stderr, "rvfuzz: interrupted, state checkpointed; continue with: rvfuzz -resume %s (plus the original flags)\n", ckptDir)
-			} else {
-				fmt.Fprintln(os.Stderr, "rvfuzz: interrupted (no -checkpoint directory, progress discarded)")
-			}
-			closeTelemetry() // os.Exit skips the deferred flush
-			os.Exit(130)
+	}
+	res, err := campaign.Execute(ctx, spec, env)
+	if errors.Is(err, campaign.ErrInterrupted) {
+		if ckptDir != "" {
+			fmt.Fprintf(os.Stderr, "rvfuzz: interrupted, state checkpointed; continue with: rvfuzz -resume %s (plus the original flags)\n", ckptDir)
+		} else {
+			fmt.Fprintln(os.Stderr, "rvfuzz: interrupted (no -checkpoint directory, progress discarded)")
 		}
-		if err != nil {
-			fatalf("%v", err)
-		}
-		workerStats = cstats
-		var totalExecs, totalFaults uint64
-		var merged analysis.Stats
-		for _, s := range cstats {
-			totalExecs += s.Execs
-			totalFaults += s.HarnessFaults
-			merged.Merge(s.Filter)
-		}
-		suite = &rvnegtest.Suite{
-			Cases:  cases,
-			Family: cfg.Family,
-			Origin: fmt.Sprintf("parallel fuzzer workers=%d seed=%d execs=%d", *workers, *seed, totalExecs),
-		}
-		if cfg.Family == rvnegtest.FamilyTrap {
-			// Mirror GenerateSuite: the directed privileged probes ride
-			// along with every generated trap suite.
-			suite.Cases = append(suite.Cases, fuzz.TrapDirectedCases()...)
-		}
-		fmt.Printf("configuration %s on %v (seed %d, %d workers)\n", *cov, isaCfg, *seed, *workers)
-		fmt.Printf("executions:     %d total\n", totalExecs)
-		fmt.Printf("test cases:     %d (merged)\n", len(cases))
-		if totalFaults > 0 {
-			fmt.Printf("harness faults: %d (see quarantine directory)\n", totalFaults)
+		telemetry.Close() // os.Exit skips the deferred flush
+		os.Exit(130)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	suite := res.Suite
+	if *seedSuite != "" {
+		fmt.Printf("seeded with %d prior test cases\n", res.SeedCases)
+	}
+	if res.CampaignMode {
+		fmt.Printf("configuration %s on %v (seed %d, %d workers)\n", *cov, isaCfg, *seed, shared.Workers)
+		fmt.Printf("executions:     %d total\n", res.TotalExecs)
+		fmt.Printf("test cases:     %d (merged)\n", res.MergedCases)
+		if res.TotalFaults > 0 {
+			fmt.Printf("harness faults: %d (see quarantine directory)\n", res.TotalFaults)
 		}
 		if *fltStats {
-			fmt.Print(merged.String())
+			fmt.Print(res.Filter.String())
 		}
 	} else {
-		var st rvnegtest.FuzzStats
-		suite, st, err = rvnegtest.GenerateSuite(cfg, *execs, dur)
-		if err != nil {
-			fatalf("%v", err)
-		}
+		st := res.WorkerStats[0]
 		fmt.Printf("configuration %s on %v (seed %d)\n", *cov, isaCfg, *seed)
 		fmt.Printf("executions:     %d (%.0f/s)\n", st.Execs, st.ExecsPerSec)
 		fmt.Printf("filtered out:   %d (%.1f%%)\n", st.Dropped, pct(st.Dropped, st.Execs))
@@ -192,14 +164,8 @@ func main() {
 		if *fltStats {
 			fmt.Print(st.Filter.String())
 		}
-		workerStats = []fuzz.Stats{st}
 		if *minimize {
-			min, err := fuzz.Minimize(suite.Cases, cfg)
-			if err != nil {
-				fatalf("minimizing: %v", err)
-			}
-			fmt.Printf("minimized:      %d -> %d cases\n", len(suite.Cases), len(min))
-			suite.Cases = min
+			fmt.Printf("minimized:      %d -> %d cases\n", res.MinimizedFrom, len(suite.Cases))
 		}
 	}
 	if *stats {
@@ -218,19 +184,11 @@ func main() {
 		fmt.Printf("assembler sources written to %s\n", *asmDir)
 	}
 	if *statsJSON != "" {
-		det := make([]fuzz.Stats, len(workerStats))
-		for i, s := range workerStats {
-			det[i] = s.Deterministic()
-		}
-		payload := struct {
-			Workers []fuzz.Stats `json:"workers"`
-			Cases   int          `json:"cases"`
-		}{det, len(suite.Cases)}
-		raw, err := json.MarshalIndent(payload, "", "  ")
+		raw, err := campaign.EncodeFuzzStats(res.WorkerStats, len(suite.Cases))
 		if err != nil {
 			fatalf("encoding stats: %v", err)
 		}
-		if err := os.WriteFile(*statsJSON, append(raw, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(*statsJSON, raw, 0o644); err != nil {
 			fatalf("writing stats: %v", err)
 		}
 		fmt.Printf("campaign stats written to %s\n", *statsJSON)
@@ -251,41 +209,6 @@ func runFig4(execs uint64, dur time.Duration, seed int64) {
 	for _, r := range results {
 		for _, p := range r.Stats.Trace {
 			fmt.Printf("%s %d %d\n", r.Name, p.Execs, p.TestCases)
-		}
-	}
-}
-
-// setupTelemetry wires the optional live-metrics server and NDJSON event
-// stream. It stores a fresh registry into *reg when an address is given,
-// returns the event log (nil when unused) and a close function that
-// flushes the event file and shuts the server down.
-func setupTelemetry(addr, eventsPath string, reg **obs.Registry) (*obs.EventLog, func()) {
-	var closers []func()
-	if addr != "" {
-		*reg = obs.NewRegistry()
-		srv, err := obs.Serve(addr, *reg)
-		if err != nil {
-			fatalf("telemetry server: %v", err)
-		}
-		fmt.Fprintf(os.Stderr, "rvfuzz: telemetry at http://%s/metrics (also /debug/vars, /debug/pprof/)\n", srv.Addr)
-		closers = append(closers, func() { srv.Close() })
-	}
-	var events *obs.EventLog
-	if eventsPath != "" {
-		var err error
-		events, err = obs.CreateEventLog(eventsPath)
-		if err != nil {
-			fatalf("events file: %v", err)
-		}
-		closers = append(closers, func() {
-			if err := events.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "rvfuzz: closing events file: %v\n", err)
-			}
-		})
-	}
-	return events, func() {
-		for _, c := range closers {
-			c()
 		}
 	}
 }

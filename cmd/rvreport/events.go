@@ -9,22 +9,100 @@ import (
 	"rvnegtest/internal/obs"
 )
 
-// renderEvents implements `rvreport -events FILE`: it reads a telemetry
-// event stream written by `rvfuzz -events` or `rvcompliance -events` and
-// renders a markdown report — the per-stage time breakdown (from the last
-// stage_summary each worker emitted), the event-type counts, and the
-// per-simulator cell timings when the stream came from a compliance run.
-func renderEvents(path string) {
+// renderEvents implements `rvreport -events FILE [-job ID]`: it reads a
+// telemetry event stream written by `rvfuzz -events`, `rvcompliance
+// -events` or `rvnegtestd -events` and renders a markdown report — the
+// per-stage time breakdown (from the last stage_summary each worker
+// emitted), the event-type counts, and the per-simulator cell timings
+// and health when the stream came from a compliance run.
+//
+// A daemon stream interleaves events from many jobs (each stamped with a
+// job ID); folding them into one aggregate would blend unrelated
+// campaigns into bogus totals, so such streams render one section per
+// job. -job restricts the report to a single job's events.
+func renderEvents(path, jobFilter string) {
 	f, err := os.Open(path)
 	check(err)
 	defer f.Close()
 	evs, err := obs.ReadEvents(f)
 	check(err)
+	if jobFilter != "" {
+		filtered := evs[:0]
+		for _, ev := range evs {
+			if ev.Job == jobFilter {
+				filtered = append(filtered, ev)
+			}
+		}
+		evs = filtered
+		if len(evs) == 0 {
+			fmt.Printf("no events for job %s in %s\n", jobFilter, path)
+			return
+		}
+	}
 	if len(evs) == 0 {
 		fmt.Println("no events in", path)
 		return
 	}
 
+	// Group by job ID, preserving first-appearance order. CLI streams
+	// carry no job IDs and collapse into one unlabeled group, rendering
+	// exactly as they always have.
+	var order []string
+	groups := map[string][]obs.Event{}
+	for _, ev := range evs {
+		if _, ok := groups[ev.Job]; !ok {
+			order = append(order, ev.Job)
+		}
+		groups[ev.Job] = append(groups[ev.Job], ev)
+	}
+
+	span := time.Duration(evs[len(evs)-1].TNS)
+	fmt.Printf("# Telemetry event report: %s\n\n", path)
+	fmt.Printf("%d events spanning %v.\n\n", len(evs), span.Round(time.Millisecond))
+
+	if len(order) == 1 && order[0] == "" {
+		renderStream(groups[""], "##")
+		return
+	}
+	for _, job := range order {
+		name := job
+		if name == "" {
+			name = "(unattributed)"
+		}
+		group := groups[job]
+		fmt.Printf("## Job %s — %d events%s\n\n", name, len(group), lifecycleNote(group))
+		renderStream(group, "###")
+	}
+}
+
+// lifecycleNote summarizes a job group's scheduler lifecycle events for
+// the section heading ("submitted, started, done"), empty when the group
+// has none.
+func lifecycleNote(evs []obs.Event) string {
+	var phases []string
+	for _, ev := range evs {
+		switch ev.Type {
+		case "job_submitted", "job_start", "job_resume", "job_suspend",
+			"job_done", "job_failed", "job_canceled":
+			phases = append(phases, ev.Type[len("job_"):])
+		}
+	}
+	if len(phases) == 0 {
+		return ""
+	}
+	out := " ("
+	for i, p := range phases {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out + ")"
+}
+
+// renderStream renders one event stream's analysis sections at heading
+// level h ("##" for a whole-file stream, "###" under a per-job heading).
+func renderStream(evs []obs.Event, h string) {
 	counts := map[string]int{}
 	// The last stage_summary per worker carries that worker's cumulative
 	// stage totals; summing the latest one of each worker gives the
@@ -66,12 +144,8 @@ func renderEvents(path string) {
 			sickbay(ev.Sim).closes++
 		}
 	}
-	span := time.Duration(evs[len(evs)-1].TNS)
 
-	fmt.Printf("# Telemetry event report: %s\n\n", path)
-	fmt.Printf("%d events spanning %v.\n\n", len(evs), span.Round(time.Millisecond))
-
-	fmt.Println("## Event counts")
+	fmt.Printf("%s Event counts\n", h)
 	fmt.Println()
 	fmt.Println("| event | count |")
 	fmt.Println("|---|---|")
@@ -113,7 +187,7 @@ func renderEvents(path string) {
 		for _, s := range total {
 			grand += s.TotalNS
 		}
-		fmt.Printf("## Stage-time breakdown (%d worker(s))\n", len(summaries))
+		fmt.Printf("%s Stage-time breakdown (%d worker(s))\n", h, len(summaries))
 		fmt.Println()
 		fmt.Println("| stage | count | total | mean | share |")
 		fmt.Println("|---|---|---|---|---|")
@@ -135,7 +209,7 @@ func renderEvents(path string) {
 	}
 
 	if len(simTime) > 0 {
-		fmt.Println("## Per-simulator cell time (compliance cell_done events)")
+		fmt.Printf("%s Per-simulator cell time (compliance cell_done events)\n", h)
 		fmt.Println()
 		fmt.Println("| simulator | total |")
 		fmt.Println("|---|---|")
@@ -151,7 +225,7 @@ func renderEvents(path string) {
 	}
 
 	if len(health) > 0 {
-		fmt.Println("## SUT health (supervision events)")
+		fmt.Printf("%s SUT health (supervision events)\n", h)
 		fmt.Println()
 		fmt.Println("| simulator | restarts | retries | adapter faults | breaker opened | half-open probes | recovered | probe failures |")
 		fmt.Println("|---|---|---|---|---|---|---|---|")

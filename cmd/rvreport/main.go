@@ -27,12 +27,13 @@ func main() {
 		execs      = flag.Uint64("execs", 300000, "fuzzer execution budget for the main suite")
 		seed       = flag.Int64("seed", 1, "campaign seed")
 		workers    = flag.Int("workers", -1, "compliance engine workers (-1 = one per CPU; the report is identical for any value)")
-		eventsPath = flag.String("events", "", "render a telemetry events file (NDJSON from rvfuzz/rvcompliance -events) as a stage-time breakdown and exit")
+		eventsPath = flag.String("events", "", "render a telemetry events file (NDJSON from rvfuzz/rvcompliance/rvnegtestd -events) as a stage-time breakdown and exit")
+		jobFilter  = flag.String("job", "", "with -events: restrict the report to this job ID (daemon streams interleave jobs)")
 	)
 	flag.Parse()
 
 	if *eventsPath != "" {
-		renderEvents(*eventsPath)
+		renderEvents(*eventsPath, *jobFilter)
 		return
 	}
 

@@ -1,0 +1,384 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func fuzzSpec(workers int) JobSpec {
+	return JobSpec{
+		Kind:            KindFuzz,
+		Seed:            3,
+		Execs:           4000,
+		Workers:         workers,
+		CheckpointEvery: 2000,
+	}
+}
+
+func complianceSpec(workers int) JobSpec {
+	return JobSpec{
+		Kind:    KindCompliance,
+		Suite:   "user",
+		Seed:    5,
+		Execs:   1500,
+		Workers: workers,
+		Sims:    []string{"Spike", "VP"},
+		ISAs:    []string{"RV32I"},
+	}
+}
+
+// readArtifacts loads every artifact file under dir by name.
+func readArtifacts(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading artifacts dir: %v", err)
+	}
+	out := map[string][]byte{}
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = raw
+	}
+	return out
+}
+
+// directArtifacts runs the spec the way a CLI-with-checkpoint invocation
+// would — Execute on the calling goroutine — and writes its artifacts.
+func directArtifacts(t *testing.T, spec JobSpec) map[string][]byte {
+	t.Helper()
+	dir := t.TempDir()
+	res, err := Execute(context.Background(), spec, Env{CheckpointDir: filepath.Join(dir, "ck")})
+	if err != nil {
+		t.Fatalf("direct execute: %v", err)
+	}
+	adir := filepath.Join(dir, "artifacts")
+	if err := res.WriteArtifacts(adir); err != nil {
+		t.Fatal(err)
+	}
+	return readArtifacts(t, adir)
+}
+
+// daemonArtifacts runs the spec through the persistent store + scheduler
+// (the daemon path) and returns the finished job's artifacts.
+func daemonArtifacts(t *testing.T, spec JobSpec) (map[string][]byte, *Job) {
+	t.Helper()
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(st, SchedulerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Close()
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	final, err := s.Wait(ctx, job.ID)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("job finished %s (error %q), want done", final.State, final.Error)
+	}
+	return readArtifacts(t, st.ArtifactsDir(job.ID)), final
+}
+
+func compareArtifacts(t *testing.T, want, got map[string][]byte) {
+	t.Helper()
+	if len(want) == 0 {
+		t.Fatal("no artifacts to compare")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("artifact sets differ: want %d files, got %d", len(want), len(got))
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Fatalf("artifact %s missing", name)
+		}
+		if string(g) != string(w) {
+			t.Fatalf("artifact %s differs (%d vs %d bytes)", name, len(w), len(g))
+		}
+	}
+}
+
+// TestDaemonFuzzParity is the determinism invariant for fuzz jobs: a job
+// executed by the daemon scheduler produces byte-identical artifacts to
+// the equivalent direct (CLI-with-checkpoint) invocation, across worker
+// counts.
+func TestDaemonFuzzParity(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		spec := fuzzSpec(workers)
+		want := directArtifacts(t, spec)
+		got, _ := daemonArtifacts(t, spec)
+		compareArtifacts(t, want, got)
+		if _, ok := got[ArtifactSuite]; !ok {
+			t.Fatal("fuzz job produced no suite artifact")
+		}
+		if _, ok := got[ArtifactFuzzStats]; !ok {
+			t.Fatal("fuzz job produced no stats artifact")
+		}
+	}
+}
+
+// TestDaemonComplianceParity is the same invariant for compliance jobs:
+// generated suite, engine run and rendered/JSON reports are identical no
+// matter who drove the execution.
+func TestDaemonComplianceParity(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		spec := complianceSpec(workers)
+		want := directArtifacts(t, spec)
+		got, _ := daemonArtifacts(t, spec)
+		compareArtifacts(t, want, got)
+		if _, ok := got[ArtifactReport]; !ok {
+			t.Fatal("compliance job produced no report artifact")
+		}
+	}
+}
+
+// TestSchedulerSuspendResumeParity closes the scheduler mid-job (the
+// graceful-shutdown path), reopens the store with a fresh scheduler, and
+// verifies the resumed job's artifacts are byte-identical to an
+// uninterrupted direct run.
+func TestSchedulerSuspendResumeParity(t *testing.T) {
+	spec := fuzzSpec(2)
+	spec.Execs = 60000
+	spec.CheckpointEvery = 3000
+	want := directArtifacts(t, spec)
+
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(st, SchedulerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, s, job.ID, StateRunning)
+	time.Sleep(150 * time.Millisecond) // let it get past a checkpoint
+	s.Close()
+
+	onDisk, err := st.Get(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch onDisk.State {
+	case StateQueued:
+		if onDisk.Resumes == 0 {
+			t.Fatal("suspended job did not count a resume")
+		}
+	case StateDone:
+		t.Log("job completed before shutdown; parity still checked")
+	default:
+		t.Fatalf("after close, job is %s, want queued or done", onDisk.State)
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(st2, SchedulerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Start()
+	defer s2.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	final, err := s2.Wait(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("resumed job finished %s (error %q), want done", final.State, final.Error)
+	}
+	compareArtifacts(t, want, readArtifacts(t, st2.ArtifactsDir(job.ID)))
+}
+
+// TestOpenRecoversKilledRunningJob simulates kill -9: job.json says
+// "running" but no scheduler owns it. Open must walk it back to queued
+// with a counted resume.
+func TestOpenRecoversKilledRunningJob(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := st.NewJob(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.transition(StateRunning); err != nil {
+		t.Fatal(err)
+	}
+	job.StartedNS = 42
+	if err := st.Put(job); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(st2, SchedulerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got, err := s.Get(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateQueued || got.Resumes != 1 || got.StartedNS != 0 {
+		t.Fatalf("recovered job = state %s, resumes %d, started %d; want queued/1/0",
+			got.State, got.Resumes, got.StartedNS)
+	}
+	onDisk, err := st2.Get(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onDisk.State != StateQueued {
+		t.Fatalf("recovery not persisted: disk state %s", onDisk.State)
+	}
+}
+
+func waitForState(t *testing.T, s *Scheduler, id string, want State) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		job, err := s.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job.State == want || job.State.Terminal() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(st, SchedulerConfig{}) // never started: job stays queued
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	job, err := s.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cancel(job.ID); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get(job.ID)
+	if got.State != StateCanceled {
+		t.Fatalf("state %s, want canceled", got.State)
+	}
+	if err := s.Cancel(job.ID); !errors.Is(err, ErrJobTerminal) {
+		t.Fatalf("second cancel = %v, want ErrJobTerminal", err)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(st, SchedulerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Close()
+	spec := fuzzSpec(1)
+	spec.Execs = 2000000 // long enough that cancel lands mid-run
+	spec.CheckpointEvery = 2000
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, s, job.ID, StateRunning)
+	if err := s.Cancel(job.ID); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	final, err := s.Wait(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateCanceled {
+		t.Fatalf("state %s, want canceled", final.State)
+	}
+}
+
+func TestSubmitRejectsInvalidSpec(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(st, SchedulerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	bad := []JobSpec{
+		{Kind: "bogus"},
+		{Kind: KindFuzz}, // no execs budget
+		{Kind: KindFuzz, Execs: 10, Cov: "v9"},
+		{Kind: KindCompliance, Execs: 10, Sims: []string{"NoSuchSim"}},
+		{Kind: KindCompliance}, // no suite, no budget
+	}
+	for i, spec := range bad {
+		if _, err := s.Submit(spec); !errors.Is(err, ErrInvalidSpec) {
+			t.Errorf("bad spec %d: err = %v, want ErrInvalidSpec", i, err)
+		}
+	}
+	if jobs := s.Jobs(); len(jobs) != 0 {
+		t.Fatalf("rejected submissions persisted %d jobs", len(jobs))
+	}
+}
+
+func TestExecuteSpecGuards(t *testing.T) {
+	// A wall budget cannot be combined with checkpointing.
+	_, err := Execute(context.Background(), fuzzSpec(1),
+		Env{CheckpointDir: t.TempDir(), WallBudget: time.Second})
+	if !errors.Is(err, ErrInvalidSpec) {
+		t.Fatalf("wall budget + checkpoint: %v, want ErrInvalidSpec", err)
+	}
+	// Campaign mode needs an execs budget.
+	spec := fuzzSpec(2)
+	spec.Execs = 0
+	if _, err := Execute(context.Background(), spec, Env{}); !errors.Is(err, ErrInvalidSpec) {
+		t.Fatalf("campaign without budget: %v, want ErrInvalidSpec", err)
+	}
+	// Compliance generation needs some budget.
+	cs := complianceSpec(1)
+	cs.Execs = 0
+	if _, err := Execute(context.Background(), cs, Env{}); !errors.Is(err, ErrInvalidSpec) {
+		t.Fatalf("compliance without budget: %v, want ErrInvalidSpec", err)
+	}
+}

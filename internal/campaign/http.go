@@ -1,0 +1,246 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+)
+
+// NewAPI builds the daemon's job API over a scheduler. Routes (all JSON
+// unless noted):
+//
+//	POST /api/v1/jobs                       submit a JobSpec, 201 + job
+//	GET  /api/v1/jobs                       list jobs (submission order)
+//	GET  /api/v1/jobs/{id}                  one job's state
+//	GET  /api/v1/jobs/{id}/wait             block until terminal (or ?timeout_sec=)
+//	POST /api/v1/jobs/{id}/cancel           cancel queued or running job
+//	GET  /api/v1/jobs/{id}/artifacts        list result artifacts
+//	GET  /api/v1/jobs/{id}/artifacts/{name} fetch one artifact (bytes)
+//	GET  /api/v1/jobs/{id}/quarantine       list quarantined fault inputs
+//	GET  /api/v1/jobs/{id}/quarantine/{name} fetch one quarantine entry (bytes)
+//	GET  /api/v1/healthz                    liveness + job counts
+//
+// Errors are {"error": "..."} with 400 for invalid specs, 404 for
+// unknown jobs or files, 409 for lifecycle conflicts, 503 when shutting
+// down.
+func NewAPI(s *Scheduler) http.Handler {
+	a := &api{s: s}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", a.submit)
+	mux.HandleFunc("GET /api/v1/jobs", a.list)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", a.get)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/wait", a.wait)
+	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", a.cancel)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/artifacts", a.artifacts)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/artifacts/{name}", a.artifactFile)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/quarantine", a.quarantine)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/quarantine/{name}", a.quarantineFile)
+	mux.HandleFunc("GET /api/v1/healthz", a.healthz)
+	return mux
+}
+
+type api struct {
+	s *Scheduler
+}
+
+// writeJSON emits v as a compact JSON body with trailing newline.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		// Everything we serialize is plain data; this is unreachable in
+		// practice but must not crash the daemon.
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(raw, '\n'))
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeErr maps campaign errors onto HTTP statuses: client mistakes
+// (malformed or invalid specs, unknown jobs, lifecycle conflicts) must
+// never surface as 500s.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrInvalidSpec):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrNoJob):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrJobTerminal):
+		status = http.StatusConflict
+	case errors.Is(err, ErrSchedulerClosed):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (a *api) submit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding job spec: %v", err)})
+		return
+	}
+	job, err := a.s.Submit(spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, job)
+}
+
+type jobList struct {
+	Jobs []*Job `json:"jobs"`
+}
+
+func (a *api) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, jobList{Jobs: a.s.Jobs()})
+}
+
+func (a *api) get(w http.ResponseWriter, r *http.Request) {
+	job, err := a.s.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// wait blocks until the job is terminal or the timeout elapses
+// (?timeout_sec=, default 600), then returns the job's snapshot either
+// way — callers inspect "state".
+func (a *api) wait(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	timeout := 600 * time.Second
+	if v := r.URL.Query().Get("timeout_sec"); v != "" {
+		sec, err := strconv.ParseFloat(v, 64)
+		if err != nil || sec <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid timeout_sec %q", v)})
+			return
+		}
+		timeout = time.Duration(sec * float64(time.Second))
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	job, err := a.s.Wait(ctx, id)
+	if err == nil {
+		writeJSON(w, http.StatusOK, job)
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		// Timed out (or client went away): report where the job stands.
+		if job, gerr := a.s.Get(id); gerr == nil {
+			writeJSON(w, http.StatusOK, job)
+			return
+		}
+	}
+	writeErr(w, err)
+}
+
+func (a *api) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := a.s.Cancel(id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	job, err := a.s.Get(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+type fileList struct {
+	Files []ArtifactFile `json:"files"`
+}
+
+func (a *api) artifacts(w http.ResponseWriter, r *http.Request) {
+	a.listFiles(w, r, a.s.Store().Artifacts)
+}
+
+func (a *api) quarantine(w http.ResponseWriter, r *http.Request) {
+	a.listFiles(w, r, a.s.Store().QuarantineFiles)
+}
+
+func (a *api) listFiles(w http.ResponseWriter, r *http.Request, list func(string) ([]ArtifactFile, error)) {
+	id := r.PathValue("id")
+	if _, err := a.s.Get(id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	files, err := list(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fileList{Files: files})
+}
+
+func (a *api) artifactFile(w http.ResponseWriter, r *http.Request) {
+	a.serveFile(w, r, a.s.Store().ArtifactsDir(r.PathValue("id")))
+}
+
+func (a *api) quarantineFile(w http.ResponseWriter, r *http.Request) {
+	a.serveFile(w, r, a.s.Store().QuarantineDir(r.PathValue("id")))
+}
+
+// serveFile streams one named file from a job subdirectory, refusing
+// anything that is not a plain file name directly inside it.
+func (a *api) serveFile(w http.ResponseWriter, r *http.Request, dir string) {
+	if _, err := a.s.Get(r.PathValue("id")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	name := r.PathValue("name")
+	if !SafeName(name) {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid file name %q", name)})
+		return
+	}
+	f, err := os.Open(filepath.Join(dir, name))
+	if errors.Is(err, os.ErrNotExist) {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("no such file %q", name)})
+		return
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	io.Copy(w, f)
+}
+
+type health struct {
+	Status  string `json:"status"`
+	Jobs    int    `json:"jobs"`
+	Queued  int    `json:"queued"`
+	Running int    `json:"running"`
+}
+
+func (a *api) healthz(w http.ResponseWriter, r *http.Request) {
+	h := health{Status: "ok"}
+	for _, job := range a.s.Jobs() {
+		h.Jobs++
+		switch job.State {
+		case StateQueued:
+			h.Queued++
+		case StateRunning, StateCheckpointing:
+			h.Running++
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
+}

@@ -1,0 +1,353 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rvnegtest/internal/analysis"
+	"rvnegtest/internal/compliance"
+	"rvnegtest/internal/core"
+	"rvnegtest/internal/coverage"
+	"rvnegtest/internal/fuzz"
+	"rvnegtest/internal/isa"
+	"rvnegtest/internal/obs"
+	"rvnegtest/internal/sim"
+	"rvnegtest/internal/template"
+)
+
+// ErrInterrupted reports that a job stopped on context cancellation after
+// checkpointing its state; executing again with the same spec and
+// checkpoint directory continues bit-identically.
+var ErrInterrupted = errors.New("campaign: interrupted")
+
+// Env is everything environmental about one execution: where durable
+// state and fault artifacts live, where telemetry flows, and the
+// CLI-only wall-time budget. Env never influences result bytes — only
+// whether and where they are persisted — which is what keeps a daemon
+// job and a CLI run with the same JobSpec byte-identical.
+type Env struct {
+	// CheckpointDir enables checkpoint/resume: engine state persists
+	// under it and an existing checkpoint is resumed instead of
+	// starting over. Empty disables durable state (one-shot runs).
+	CheckpointDir string
+	// QuarantineDir, when set, receives inputs that triggered harness
+	// faults.
+	QuarantineDir string
+	// WallBudget bounds one-shot fuzz generation by wall time (the
+	// CLIs' -seconds; incompatible with checkpointing, zero for daemon
+	// jobs).
+	WallBudget time.Duration
+	// Obs receives engine telemetry (nil disables).
+	Obs *obs.Registry
+	// Events receives lifecycle events (nil disables).
+	Events *obs.EventLog
+	// Progress, when non-nil, receives compliance shard-completion
+	// callbacks (the CLI's -progress rendering).
+	Progress func(compliance.ProgressEvent)
+}
+
+// Result is one executed job's outcome. Fuzz jobs fill Suite and the
+// fuzzer stats; compliance jobs fill Report (plus GenStats when the
+// suite was generated first).
+type Result struct {
+	Kind Kind
+
+	// Suite is the generated suite (fuzz jobs), or the suite a
+	// compliance job ran (loaded or generated) — kept for example
+	// rendering, never written as a compliance artifact.
+	Suite *compliance.Suite
+	// WorkerStats are the per-worker fuzzer stats (one entry for
+	// one-shot runs).
+	WorkerStats []fuzz.Stats
+	// TotalExecs / TotalFaults / Filter aggregate WorkerStats.
+	TotalExecs  uint64
+	TotalFaults uint64
+	Filter      analysis.Stats
+	// CampaignMode records which fuzz path ran (multi-worker or
+	// checkpointed campaign vs. one-shot generation).
+	CampaignMode bool
+	// MinimizedFrom is the pre-minimization case count when a one-shot
+	// suite was minimized (0 otherwise).
+	MinimizedFrom int
+	// MergedCases is the campaign-mode corpus size after the merge,
+	// before any directed trap probes are appended to the suite.
+	MergedCases int
+	// SeedCases is the number of prior cases loaded from SeedSuite.
+	SeedCases int
+
+	// Report is the compliance report (compliance jobs).
+	Report *compliance.Report
+	// RunStats describes the compliance engine run.
+	RunStats compliance.RunStats
+	// GenStats is set when a compliance job generated its suite first.
+	GenStats *fuzz.Stats
+}
+
+// Degraded reports whether the outcome carries harness faults: a
+// degraded compliance report, or quarantined fuzz inputs. Maps to the
+// CLIs' exit status 2 and the daemon's degraded job state.
+func (r *Result) Degraded() bool {
+	if r == nil {
+		return false
+	}
+	if r.Report != nil && r.Report.Degraded() {
+		return true
+	}
+	return r.Kind == KindFuzz && r.TotalFaults > 0
+}
+
+// Execute runs one job to completion (or interruption) on the calling
+// goroutine. It is the only path from a JobSpec to engine invocations:
+// rvfuzz and rvcompliance call it directly, the daemon scheduler calls
+// it per slot — so for a given spec the artifacts are identical no
+// matter who drove it.
+func Execute(ctx context.Context, spec JobSpec, env Env) (*Result, error) {
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	switch spec.Kind {
+	case KindFuzz:
+		return executeFuzz(ctx, spec, env)
+	default:
+		return executeCompliance(ctx, spec, env)
+	}
+}
+
+func executeFuzz(ctx context.Context, spec JobSpec, env Env) (*Result, error) {
+	cfg, err := spec.fuzzConfig()
+	if err != nil {
+		return nil, err
+	}
+	cfg.QuarantineDir = env.QuarantineDir
+	cfg.Obs = env.Obs
+	cfg.Events = env.Events
+	res := &Result{Kind: KindFuzz}
+	if spec.SeedSuite != "" {
+		prior, err := compliance.LoadSuite(spec.SeedSuite)
+		if err != nil {
+			return nil, fmt.Errorf("loading seed suite: %w", err)
+		}
+		cfg.Seeds = prior.Cases
+		res.SeedCases = len(prior.Cases)
+	}
+
+	res.CampaignMode = env.CheckpointDir != "" || spec.Workers > 1
+	if res.CampaignMode {
+		if env.CheckpointDir != "" && env.WallBudget != 0 {
+			return nil, specErrf("a wall-time budget cannot be combined with checkpointing; resume needs a deterministic execution bound")
+		}
+		if spec.Execs == 0 {
+			return nil, specErrf("campaign mode needs an executions budget (per worker)")
+		}
+		cases, cstats, err := fuzz.Campaign(ctx, cfg, fuzz.CampaignConfig{
+			Workers:         spec.Workers,
+			ExecsEach:       spec.Execs,
+			CheckpointDir:   env.CheckpointDir,
+			CheckpointEvery: spec.CheckpointEvery,
+			Minimize:        spec.Workers > 1 || spec.Minimize,
+		})
+		if errors.Is(err, fuzz.ErrInterrupted) {
+			return nil, ErrInterrupted
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.WorkerStats = cstats
+		res.MergedCases = len(cases)
+		for _, s := range cstats {
+			res.TotalExecs += s.Execs
+			res.TotalFaults += s.HarnessFaults
+			res.Filter.Merge(s.Filter)
+		}
+		res.Suite = &compliance.Suite{
+			Cases:  cases,
+			Family: cfg.Family,
+			Origin: fmt.Sprintf("parallel fuzzer workers=%d seed=%d execs=%d", spec.Workers, spec.Seed, res.TotalExecs),
+		}
+		if cfg.Family == template.FamilyTrap {
+			// Mirror GenerateSuite: the directed privileged probes ride
+			// along with every generated trap suite.
+			res.Suite.Cases = append(res.Suite.Cases, fuzz.TrapDirectedCases()...)
+		}
+		return res, nil
+	}
+
+	suite, st, err := core.GenerateSuite(cfg, spec.Execs, env.WallBudget)
+	if err != nil {
+		return nil, err
+	}
+	res.Suite = suite
+	res.WorkerStats = []fuzz.Stats{st}
+	res.TotalExecs = st.Execs
+	res.TotalFaults = st.HarnessFaults
+	res.Filter = st.Filter
+	if spec.Minimize {
+		min, err := fuzz.Minimize(suite.Cases, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("minimizing: %w", err)
+		}
+		res.MinimizedFrom = len(suite.Cases)
+		suite.Cases = min
+	}
+	return res, nil
+}
+
+// genConfig is the compliance-generation fuzzing configuration: exactly
+// the fields the rvcompliance CLI has always applied to -generate
+// (coverage, seed, family) — deliberately not the fuzz-job ablation and
+// timeout knobs, so generated suites stay comparable across tools.
+func (s *JobSpec) genConfig() (fuzz.Config, error) {
+	cfg := fuzz.DefaultConfig()
+	opts, ok := coverage.ByName(s.Cov)
+	if !ok {
+		return cfg, specErrf("unknown coverage configuration %q", s.Cov)
+	}
+	cfg.Coverage = opts
+	cfg.Seed = s.Seed
+	cfg.Family = s.family()
+	return cfg, nil
+}
+
+func executeCompliance(ctx context.Context, spec JobSpec, env Env) (*Result, error) {
+	res := &Result{Kind: KindCompliance}
+
+	_, isFamily := template.ParseFamily(spec.Suite)
+	var suite *compliance.Suite
+	switch {
+	case spec.Suite != "" && !isFamily:
+		var err error
+		suite, err = compliance.LoadSuite(spec.Suite)
+		if err != nil {
+			return nil, fmt.Errorf("loading suite: %w", err)
+		}
+	default:
+		if spec.Execs == 0 && env.WallBudget == 0 {
+			return nil, specErrf("compliance job needs a suite file, or a family name with an execs budget")
+		}
+		cfg, err := spec.genConfig()
+		if err != nil {
+			return nil, err
+		}
+		var st fuzz.Stats
+		suite, st, err = core.GenerateSuite(cfg, spec.Execs, env.WallBudget)
+		if err != nil {
+			return nil, err
+		}
+		res.GenStats = &st
+	}
+	res.Suite = suite
+
+	runner := &compliance.Runner{
+		MaxExamples:      10,
+		Workers:          spec.Workers,
+		CaseTimeout:      spec.caseTimeout(),
+		BreakerThreshold: spec.BreakerThreshold,
+		QuarantineDir:    env.QuarantineDir,
+		DisablePredecode: spec.DisablePredecode,
+		Batch:            spec.Batch,
+		External:         spec.sutSpecs(),
+		HalfOpenAfter:    spec.SUTHalfOpen,
+		Obs:              env.Obs,
+		Events:           env.Events,
+		Progress:         env.Progress,
+	}
+	ref, ok := sim.ByName(spec.Ref)
+	if !ok {
+		return nil, specErrf("unknown reference simulator %q", spec.Ref)
+	}
+	runner.Ref = ref
+	for _, name := range spec.Sims {
+		v, ok := sim.ByName(name)
+		if !ok {
+			return nil, specErrf("unknown simulator %q", name)
+		}
+		runner.SUTs = append(runner.SUTs, v)
+	}
+	for _, name := range spec.ISAs {
+		cfg, err := isa.ParseConfig(name)
+		if err != nil {
+			return nil, err
+		}
+		runner.Configs = append(runner.Configs, cfg)
+	}
+
+	var rep *compliance.Report
+	var err error
+	if env.CheckpointDir != "" {
+		rep, err = runner.RunResumable(ctx, suite, env.CheckpointDir)
+	} else {
+		rep, err = runner.RunContext(ctx, suite)
+	}
+	if errors.Is(err, compliance.ErrInterrupted) {
+		return nil, ErrInterrupted
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Report = rep
+	res.RunStats = runner.Stats
+	return res, nil
+}
+
+// EncodeFuzzStats is the canonical stats-JSON artifact: deterministic
+// per-worker campaign stats (wall-clock fields zeroed) plus the final
+// case count. The rvfuzz -stats-json flag and the daemon's stats.json
+// artifact both emit exactly these bytes.
+func EncodeFuzzStats(workerStats []fuzz.Stats, cases int) ([]byte, error) {
+	det := make([]fuzz.Stats, len(workerStats))
+	for i, s := range workerStats {
+		det[i] = s.Deterministic()
+	}
+	payload := struct {
+		Workers []fuzz.Stats `json:"workers"`
+		Cases   int          `json:"cases"`
+	}{det, cases}
+	raw, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(raw, '\n'), nil
+}
+
+// Artifact file names under a job's artifacts directory.
+const (
+	ArtifactSuite      = "suite.txt"   // fuzz: the generated suite
+	ArtifactFuzzStats  = "stats.json"  // fuzz: deterministic campaign stats
+	ArtifactReport     = "report.txt"  // compliance: rendered Table-I report
+	ArtifactReportJSON = "report.json" // compliance: machine-readable report
+)
+
+// WriteArtifacts persists the result's canonical artifact files into
+// dir, creating it as needed. The bytes match what the equivalent CLI
+// invocation would have written (suite.Save, -stats-json, -json).
+func (r *Result) WriteArtifacts(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	switch r.Kind {
+	case KindFuzz:
+		if err := r.Suite.Save(filepath.Join(dir, ArtifactSuite)); err != nil {
+			return err
+		}
+		stats, err := EncodeFuzzStats(r.WorkerStats, len(r.Suite.Cases))
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dir, ArtifactFuzzStats), stats, 0o644)
+	default:
+		if err := os.WriteFile(filepath.Join(dir, ArtifactReport), []byte(r.Report.Render()), 0o644); err != nil {
+			return err
+		}
+		raw, err := r.Report.JSON()
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dir, ArtifactReportJSON), append(raw, '\n'), 0o644)
+	}
+}

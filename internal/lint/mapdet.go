@@ -14,6 +14,7 @@ import (
 // order-insensitive fold (see orderInsensitive) or the keys were
 // collected and sorted first.
 var mapdetPaths = []string{
+	"internal/campaign",
 	"internal/compliance",
 	"internal/fuzz",
 	"internal/obs",

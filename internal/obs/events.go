@@ -2,7 +2,9 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"sync"
@@ -23,6 +25,11 @@ type Event struct {
 	Seq  uint64 `json:"seq"`
 	TNS  int64  `json:"t_ns"` // monotonic ns since the stream opened
 	Type string `json:"type"`
+	// Job labels the event with the campaign job that produced it. A
+	// daemon (cmd/rvnegtestd) interleaves many jobs into one stream;
+	// the label is what lets rvreport -events split the stream back
+	// into per-job reports. Empty for single-campaign CLI streams.
+	Job string `json:"job,omitempty"`
 	// Worker is the campaign worker index (0 for single-worker engines,
 	// -1 for events not tied to a worker).
 	Worker int                     `json:"worker"`
@@ -49,6 +56,12 @@ type EventLog struct {
 	seq   uint64
 	start time.Time
 	err   error // sticky first write error
+
+	// fwd/job make this log a labeling view over another log (ForJob):
+	// Emit stamps the job name and forwards, Close is a no-op (the
+	// underlying stream outlives any one job).
+	fwd *EventLog
+	job string
 }
 
 // NewEventLog wraps an arbitrary writer (tests, in-memory buffers).
@@ -68,11 +81,56 @@ func CreateEventLog(path string) (*EventLog, error) {
 	return l, nil
 }
 
+// AppendEventLog opens (or creates) path in append mode. A restarted
+// daemon keeps extending its job stream instead of erasing the history
+// of already-finished jobs; sequence numbers restart at 1 per process,
+// so consumers must treat (seq) as per-session, not per-file. A kill -9
+// can tear the final line mid-write; the torn fragment is terminated
+// with a newline here so new events never splice onto it (ReadEvents
+// then skips the fragment as an unparseable line).
+func AppendEventLog(path string) (*EventLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if st, err := f.Stat(); err == nil && st.Size() > 0 {
+		last := make([]byte, 1)
+		if _, err := f.ReadAt(last, st.Size()-1); err == nil && last[0] != '\n' {
+			if _, err := f.Write([]byte("\n")); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+	}
+	l := NewEventLog(f)
+	l.c = f
+	return l, nil
+}
+
+// ForJob returns a view of the log that stamps every emitted event with
+// the job name before forwarding it. Views share the underlying stream's
+// mutex, sequencing and clock, so events from concurrent jobs interleave
+// in a single strict order. Closing a view is a no-op; a nil receiver
+// yields nil (events stay disabled).
+func (l *EventLog) ForJob(job string) *EventLog {
+	if l == nil {
+		return nil
+	}
+	return &EventLog{fwd: l, job: job}
+}
+
 // Emit assigns the next sequence number and timestamp to ev and writes
 // it. Write errors are sticky (first one wins, later emissions are
 // dropped) and surface from Close.
 func (l *EventLog) Emit(ev Event) {
 	if l == nil {
+		return
+	}
+	if l.fwd != nil {
+		if ev.Job == "" {
+			ev.Job = l.job
+		}
+		l.fwd.Emit(ev)
 		return
 	}
 	l.mu.Lock()
@@ -95,6 +153,9 @@ func (l *EventLog) Close() error {
 	if l == nil {
 		return nil
 	}
+	if l.fwd != nil {
+		return nil // views never own the stream
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.w.Flush(); err != nil && l.err == nil {
@@ -109,18 +170,34 @@ func (l *EventLog) Close() error {
 	return l.err
 }
 
-// ReadEvents parses an NDJSON event stream (report tooling).
+// ReadEvents parses an NDJSON event stream (report tooling). Lines that
+// do not parse are skipped rather than aborting the read: an append-mode
+// stream that survived a kill -9 legitimately contains a torn fragment
+// where the old process died (see AppendEventLog). A stream with lines
+// but no parseable events still errors, so pointing the tooling at a
+// non-event file fails loudly instead of reporting on nothing.
 func ReadEvents(r io.Reader) ([]Event, error) {
 	var out []Event
-	dec := json.NewDecoder(r)
+	br := bufio.NewReader(r)
+	torn := 0
 	for {
-		var ev Event
-		if err := dec.Decode(&ev); err != nil {
-			if err == io.EOF {
-				return out, nil
+		line, err := br.ReadBytes('\n')
+		if len(bytes.TrimSpace(line)) > 0 {
+			var ev Event
+			if json.Unmarshal(line, &ev) == nil {
+				out = append(out, ev)
+			} else {
+				torn++
 			}
+		}
+		if err == io.EOF {
+			if len(out) == 0 && torn > 0 {
+				return nil, fmt.Errorf("no parseable events (%d unparseable lines)", torn)
+			}
+			return out, nil
+		}
+		if err != nil {
 			return out, err
 		}
-		out = append(out, ev)
 	}
 }

@@ -317,3 +317,50 @@ func TestEventLogFile(t *testing.T) {
 		t.Fatalf("round-trip mismatch: %+v", evs)
 	}
 }
+
+// TestAppendEventLogHealsTornTail simulates a kill -9 tearing the final
+// line mid-write: reopening in append mode must terminate the fragment
+// so later events don't splice onto it, and ReadEvents must skip the
+// fragment while keeping every intact line on both sides of it.
+func TestAppendEventLogHealsTornTail(t *testing.T) {
+	path := t.TempDir() + "/events.ndjson"
+	l, err := CreateEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Emit(Event{Type: "campaign_start", Worker: -1})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":2,"t_ns":12,"ty`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, err := AppendEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Emit(Event{Type: "campaign_done", Worker: -1})
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadEvents(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("ReadEvents on a healed stream: %v\n%s", err, raw)
+	}
+	if len(evs) != 2 || evs[0].Type != "campaign_start" || evs[1].Type != "campaign_done" {
+		t.Fatalf("healed stream events = %+v", evs)
+	}
+	if _, err := ReadEvents(strings.NewReader("not json\nstill not\n")); err == nil {
+		t.Fatal("all-garbage stream must error, not report zero events")
+	}
+}

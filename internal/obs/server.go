@@ -32,6 +32,20 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	s := &Server{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second},
+		ln:   ln,
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Handler returns the telemetry surface (/metrics, /debug/vars,
+// /debug/pprof/) as a mountable http.Handler, so services with their own
+// mux (cmd/rvnegtestd) can expose the registry next to their API instead
+// of binding a second port.
+func Handler(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -63,14 +77,7 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-
-	s := &Server{
-		Addr: ln.Addr().String(),
-		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
-		ln:   ln,
-	}
-	go func() { _ = s.srv.Serve(ln) }()
-	return s, nil
+	return mux
 }
 
 // Close stops the server and releases the listener.
